@@ -1,0 +1,71 @@
+//! §7 ablation benches: the weight cache's effect on MPS resizes, and the
+//! right-sizer's recommendation cost over full-grid latency profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{overheads, SEED};
+use parfait_core::rightsize;
+use parfait_gpu::GpuSpec;
+use parfait_workloads::dnn::{exec, models};
+use parfait_workloads::LlmSpec;
+use std::hint::black_box;
+
+fn bench_weightcache(c: &mut Criterion) {
+    let o = overheads(SEED);
+    println!(
+        "ablation weight-cache: resize {:.1}s stock vs {:.1}s cached ({:.2}x)",
+        o.mps_resize_to_first_completion_s,
+        o.mps_resize_cached_s,
+        o.mps_resize_to_first_completion_s / o.mps_resize_cached_s
+    );
+    let mut g = c.benchmark_group("ablation_weightcache");
+    g.sample_size(10);
+    g.bench_function("resize_paths", |b| {
+        b.iter(|| {
+            let o = overheads(SEED);
+            black_box((o.mps_resize_to_first_completion_s, o.mps_resize_cached_s))
+        })
+    });
+    g.finish();
+}
+
+fn bench_rightsize(c: &mut Criterion) {
+    let spec = GpuSpec::a100_40gb();
+    let mut g = c.benchmark_group("ablation_rightsize");
+    let llm = LlmSpec::llama2_7b(4);
+    {
+        let pts = rightsize::profile(
+            |sms| llm.solo_completion_seconds(&spec, sms, 16, 27),
+            rightsize::full_grid(&spec),
+        );
+        let rec = rightsize::recommend(&spec, &pts, llm.footprint_bytes(), 0.10).unwrap();
+        println!(
+            "ablation right-size llama2-7b: knee {:.0} SMs -> {}% MPS / {:?}",
+            rec.knee_sms, rec.mps_percentage, rec.mig_profile
+        );
+    }
+    g.bench_function("llama2-7b", |b| {
+        b.iter(|| {
+            let pts = rightsize::profile(
+                |sms| llm.solo_completion_seconds(&spec, sms, 16, 27),
+                rightsize::full_grid(&spec),
+            );
+            black_box(rightsize::recommend(&spec, &pts, llm.footprint_bytes(), 0.10))
+        })
+    });
+    for name in ["resnet50", "vgg16"] {
+        let m = models::by_name(name).expect("model");
+        g.bench_with_input(BenchmarkId::new("cnn", name), &m, |b, m| {
+            b.iter(|| {
+                let pts = rightsize::profile(
+                    |sms| exec::solo_latency(m, &spec, 1, sms),
+                    rightsize::full_grid(&spec),
+                );
+                black_box(rightsize::recommend(&spec, &pts, m.weight_bytes(4), 0.10))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weightcache, bench_rightsize);
+criterion_main!(benches);

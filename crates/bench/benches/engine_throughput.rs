@@ -1,0 +1,146 @@
+//! Substrate bench: raw event throughput of the DES engine and the GPU
+//! arbitration hot path — how many simulated kernels per second the
+//! reproduction can push (relevant for scaling the experiments up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parfait_gpu::host::{launch_kernel, GpuFleet, GpuHost};
+use parfait_gpu::{CtxBinding, DeviceMode, GpuSpec, KernelDesc, KernelDone};
+use parfait_simcore::{Engine, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_engine_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("timer_events", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                let mut count: u64 = 0;
+                for i in 0..n {
+                    eng.schedule_at(
+                        SimTime::from_nanos(i * 997 % 1_000_000),
+                        |w: &mut u64, _| *w += 1,
+                    );
+                }
+                eng.run(&mut count);
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+struct ChainWorld {
+    fleet: GpuFleet,
+    remaining: u64,
+    ctx: parfait_gpu::CtxId,
+}
+
+impl GpuHost for ChainWorld {
+    fn fleet_mut(&mut self) -> &mut GpuFleet {
+        &mut self.fleet
+    }
+    fn on_kernel_done(&mut self, eng: &mut Engine<Self>, done: KernelDone) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let desc = KernelDesc::new("chain", 0.02, 108, 108, 0.1);
+            let ctx = self.ctx;
+            launch_kernel(self, eng, done.gpu, ctx, desc, 0).expect("launch");
+        }
+    }
+}
+
+fn bench_kernel_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_sim");
+    for n in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("kernel_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut fleet = GpuFleet::new();
+                let gid = fleet.add(GpuSpec::a100_80gb());
+                fleet.device_mut(gid).mps.start();
+                fleet.device_mut(gid).set_mode(DeviceMode::MpsDefault).expect("mode");
+                let ctx = fleet
+                    .device_mut(gid)
+                    .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+                    .expect("ctx");
+                let mut w = ChainWorld {
+                    fleet,
+                    remaining: n,
+                    ctx,
+                };
+                let mut eng = Engine::new();
+                launch_kernel(
+                    &mut w,
+                    &mut eng,
+                    gid,
+                    ctx,
+                    KernelDesc::new("chain", 0.02, 108, 108, 0.1),
+                    0,
+                )
+                .expect("launch");
+                eng.run(&mut w);
+                black_box(eng.now())
+            })
+        });
+    }
+    // Contended arbitration: 8 contexts, recompute on every completion.
+    g.bench_function("contended_arbitration", |b| {
+        b.iter(|| {
+            let mut fleet = GpuFleet::new();
+            let gid = fleet.add(GpuSpec::a100_80gb());
+            fleet.device_mut(gid).mps.start();
+            fleet.device_mut(gid).set_mode(DeviceMode::MpsDefault).expect("mode");
+            let ctxs: Vec<_> = (0..8)
+                .map(|i| {
+                    fleet
+                        .device_mut(gid)
+                        .create_context(SimTime::ZERO, &format!("p{i}"), CtxBinding::Bare)
+                        .expect("ctx")
+                })
+                .collect();
+            struct W {
+                fleet: GpuFleet,
+            }
+            impl GpuHost for W {
+                fn fleet_mut(&mut self) -> &mut GpuFleet {
+                    &mut self.fleet
+                }
+                fn on_kernel_done(&mut self, _e: &mut Engine<Self>, _d: KernelDone) {}
+            }
+            let mut w = W { fleet };
+            let mut eng = Engine::new();
+            for (i, &ctx) in ctxs.iter().enumerate() {
+                for j in 0..50u64 {
+                    launch_kernel(
+                        &mut w,
+                        &mut eng,
+                        gid,
+                        ctx,
+                        KernelDesc::new("k", 0.5 + j as f64 * 0.01, 40, 40, 0.3),
+                        (i as u64) << 32 | j,
+                    )
+                    .expect("launch");
+                }
+            }
+            eng.run(&mut w);
+            black_box(eng.now())
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine_events, bench_kernel_chain
+}
+criterion_main!(benches);
+
+// Quiet unused-import lint for SimDuration used only in some cfgs.
+#[allow(dead_code)]
+fn _unused(_: SimDuration) {}

@@ -1,0 +1,40 @@
+//! Fig. 1 bench: per-layer FLOP profiling of the paper's CNN set.
+//!
+//! Measures the analytic profiling pipeline (architecture construction →
+//! per-layer FLOPs → kernel lowering) and prints the Fig. 1 series
+//! summary once per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_gpu::GpuSpec;
+use parfait_workloads::dnn::{exec, models};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let spec = GpuSpec::a100_80gb();
+    let mut g = c.benchmark_group("fig1");
+    for name in ["alexnet", "vgg16", "resnet50", "resnet101"] {
+        // One-time series printout (the actual figure data).
+        let m = models::by_name(name).expect("catalog model");
+        let series = m.conv_series();
+        let max = series.iter().map(|s| s.1).fold(0.0, f64::max);
+        let min = series.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        println!(
+            "fig1 {name}: {} conv layers, {:.2} GFLOPs/image, per-layer spread {:.1}x",
+            series.len(),
+            m.flops_per_image() / 1e9,
+            max / min
+        );
+        g.bench_with_input(BenchmarkId::new("profile", name), &name, |b, name| {
+            b.iter(|| {
+                let m = models::by_name(name).expect("model");
+                let series = m.conv_series();
+                let kernels = exec::inference_kernels(&m, &spec, 1);
+                black_box((series.len(), kernels.len()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

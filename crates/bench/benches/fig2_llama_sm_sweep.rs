@@ -1,0 +1,33 @@
+//! Fig. 2 bench: LLaMa2 completion latency vs SM allocation.
+//!
+//! Each benchmark point runs the full simulated platform (one MPS-capped
+//! worker, warm model) for a 20-word completion and reports the measured
+//! latency series that regenerates Fig. 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{fig2_point, SEED};
+use parfait_workloads::LlmSpec;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    for (label, llm) in [
+        ("llama2-7b", LlmSpec::llama2_7b(4)),
+        ("llama2-13b", LlmSpec::llama2_13b(4)),
+    ] {
+        for pct in [5u32, 13, 19, 25, 50, 100] {
+            let latency = fig2_point(&llm, pct, SEED);
+            println!("fig2 {label} @ {pct}% SMs: {latency:.3}s per completion");
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{pct}pct")),
+                &pct,
+                |b, &pct| b.iter(|| black_box(fig2_point(&llm, pct, SEED))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 3 bench: the molecular-design campaign end-to-end (simulation /
+//! training / inference phases on the Listing-1 platform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{molecular_campaign, SEED};
+use parfait_workloads::molecular::Selection;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    for sel in [Selection::ActiveLearning, Selection::Random] {
+        let r = molecular_campaign(sel, SEED);
+        println!(
+            "fig3 {:?}: wall {:.0}s, GPU idle {:.0}%, best IP {:.3}",
+            sel,
+            r.wall_s,
+            r.gpu_idle_fraction * 100.0,
+            r.best_ip
+        );
+    }
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for sel in [Selection::ActiveLearning, Selection::Random] {
+        g.bench_with_input(
+            BenchmarkId::new("campaign", format!("{sel:?}")),
+            &sel,
+            |b, &sel| b.iter(|| black_box(molecular_campaign(sel, SEED).best_ip)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 4 bench: total task-completion time for 1–4 multiplexed LLaMa2
+//! processes under time-sharing, MPS and MIG.
+//!
+//! Each point runs the warmed §5.2 platform end-to-end; the printed
+//! series are the Fig. 4 bars (relative to the 1-process baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{llama_multiplex, SEED};
+use parfait_core::Strategy;
+use std::hint::black_box;
+
+const N: usize = 40;
+
+fn bench_fig4(c: &mut Criterion) {
+    let base = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED).makespan_s;
+    println!("fig4 baseline (1 process): {base:.1}s for {N} completions");
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for procs in [1usize, 2, 3, 4] {
+        let strategies: &[Strategy] = if procs == 1 {
+            &[Strategy::TimeSharing]
+        } else {
+            &[Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual]
+        };
+        for s in strategies {
+            let r = llama_multiplex(s, procs, N, SEED);
+            println!(
+                "fig4 {} x{}: {:.1}s ({:.2}x vs single instance)",
+                r.mode,
+                procs,
+                r.makespan_s,
+                base / r.makespan_s
+            );
+            let s = s.clone();
+            g.bench_with_input(
+                BenchmarkId::new(r.mode.clone(), procs),
+                &procs,
+                move |b, &procs| b.iter(|| black_box(llama_multiplex(&s, procs, N, SEED).makespan_s)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 5 bench: average per-completion inference latency under
+//! multiplexing — time-sharing's rapid latency growth vs the slow growth
+//! of spatial sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{llama_multiplex, SEED};
+use parfait_core::Strategy;
+use std::hint::black_box;
+
+const N: usize = 40;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for procs in [1usize, 2, 3, 4] {
+        let strategies: &[Strategy] = if procs == 1 {
+            &[Strategy::TimeSharing]
+        } else {
+            &[Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual]
+        };
+        for s in strategies {
+            let r = llama_multiplex(s, procs, N, SEED);
+            println!(
+                "fig5 {} x{}: mean latency {:.2}s (p95 {:.2}s)",
+                r.mode, procs, r.mean_latency_s, r.p95_latency_s
+            );
+            let s = s.clone();
+            g.bench_with_input(
+                BenchmarkId::new(r.mode.clone(), procs),
+                &procs,
+                move |b, &procs| {
+                    b.iter(|| black_box(llama_multiplex(&s, procs, N, SEED).mean_latency_s))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

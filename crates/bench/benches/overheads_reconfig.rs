@@ -1,0 +1,28 @@
+//! §6 bench: cold-start decomposition and reconfiguration penalties
+//! (MPS process restart vs MIG GPU reset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parfait_bench::scenarios::{overheads, SEED};
+use std::hint::black_box;
+
+fn bench_overheads(c: &mut Criterion) {
+    let o = overheads(SEED);
+    println!(
+        "overheads: 7B cold start {:.1}s (fi {:.1} + ctx {:.1} + load {:.1})",
+        o.cold_start_7b.0 + o.cold_start_7b.1 + o.cold_start_7b.2,
+        o.cold_start_7b.0,
+        o.cold_start_7b.1,
+        o.cold_start_7b.2
+    );
+    println!(
+        "overheads: MPS resize {:.1}s stock / {:.1}s with weight cache (baseline completion {:.1}s)",
+        o.mps_resize_to_first_completion_s, o.mps_resize_cached_s, o.baseline_completion_s
+    );
+    let mut g = c.benchmark_group("overheads");
+    g.sample_size(10);
+    g.bench_function("section6", |b| b.iter(|| black_box(overheads(SEED))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Extension bench: open-loop serving capacity per sharing mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{open_loop_serving, SEED};
+use parfait_core::Strategy;
+use std::hint::black_box;
+
+fn bench_serving(c: &mut Criterion) {
+    for rate in [0.15f64, 0.30, 0.45] {
+        for (s, procs) in [(Strategy::TimeSharing, 1usize), (Strategy::MpsEqual, 4)] {
+            let r = open_loop_serving(&s, procs, rate, 40, SEED);
+            println!(
+                "serving {} x{procs} @ {rate:.2} req/s: achieved {:.3}, p95 turnaround {:.1}s",
+                r.mode, r.achieved_rate, r.p95_turnaround_s
+            );
+        }
+    }
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    for (s, procs) in [(Strategy::TimeSharing, 1usize), (Strategy::MpsEqual, 4)] {
+        let label = format!("{}x{procs}", if procs == 1 { "single" } else { "mps" });
+        g.bench_with_input(BenchmarkId::new("poisson_0.3", label), &s, move |b, s| {
+            b.iter(|| black_box(open_loop_serving(s, procs, 0.3, 40, SEED).achieved_rate))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 1 bench: every multiplexing technique under the 4-process LLaMa2
+//! workload, quantifying the qualitative comparison table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfait_bench::scenarios::{llama_multiplex, mode_label, SEED};
+use parfait_core::Strategy;
+use std::hint::black_box;
+
+const N: usize = 40;
+
+fn bench_table1(c: &mut Criterion) {
+    let strategies = [
+        Strategy::TimeSharing,
+        Strategy::MpsDefault,
+        Strategy::MpsEqual,
+        Strategy::MigEqual,
+        Strategy::Vgpu,
+    ];
+    for s in &strategies {
+        let r = llama_multiplex(s, 4, N, SEED);
+        println!(
+            "table1 {}: util {:.1}%, makespan {:.1}s, {:.3} req/s",
+            r.mode,
+            r.mean_utilization * 100.0,
+            r.makespan_s,
+            r.throughput
+        );
+    }
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for s in strategies {
+        let label = mode_label(&s);
+        g.bench_with_input(BenchmarkId::new("mode", label), &s, |b, s| {
+            b.iter(|| black_box(llama_multiplex(s, 4, N, SEED).throughput))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

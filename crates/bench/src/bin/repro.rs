@@ -1,0 +1,632 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p parfait-bench --bin repro -- all
+//! cargo run --release -p parfait-bench --bin repro -- fig4 --csv
+//! ```
+//!
+//! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
+//! extension all`.
+//! `--csv` switches the output to CSV; `--completions N` rescales the
+//! §5.2 experiments (default 100, as in the paper).
+
+use parfait_bench::report::{csv, f2, f3, pct, text_table};
+use parfait_bench::scenarios::{
+    self, chat_vs_text, llama_multiplex, mode_label, molecular_campaign,
+    molecular_campaign_with, open_loop_serving, overheads, resnet_multiplex, table1, SEED,
+};
+use parfait_bench::sweep;
+use parfait_core::advisor::{recommend_strategy, TenancyRequirements};
+use parfait_core::{recommend, rightsize, Strategy};
+use parfait_gpu::GIB;
+use parfait_gpu::GpuSpec;
+use parfait_workloads::dnn::models;
+use parfait_workloads::molecular::Selection;
+use parfait_workloads::LlmSpec;
+
+struct Opts {
+    csv: bool,
+    completions: usize,
+    seed: u64,
+}
+
+fn emit(opts: &Opts, title: &str, headers: &[&str], rows: Vec<Vec<String>>) {
+    println!("== {title} ==");
+    if opts.csv {
+        print!("{}", csv(headers, &rows));
+    } else {
+        print!("{}", text_table(headers, &rows));
+    }
+    println!();
+}
+
+fn run_table1(opts: &Opts) {
+    let rows = table1(opts.completions, opts.seed)
+        .into_iter()
+        .map(|(s, isolation, drawback)| {
+            vec![
+                s.mode,
+                pct(s.mean_utilization),
+                f2(s.makespan_s),
+                f2(s.mean_latency_s),
+                f3(s.throughput),
+                isolation.to_string(),
+                drawback.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Table 1 (quantified): multiplexing techniques, 4 LLaMa2-7B workers / A100-80GB",
+        &[
+            "technique",
+            "gpu util",
+            "makespan (s)",
+            "mean latency (s)",
+            "req/s",
+            "isolation",
+            "drawback",
+        ],
+        rows,
+    );
+}
+
+fn run_fig1(opts: &Opts) {
+    for m in models::fig1_models() {
+        let rows = m
+            .conv_series()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, flops))| {
+                vec![i.to_string(), name, format!("{:.1}", flops / 1e6)]
+            })
+            .collect();
+        emit(
+            opts,
+            &format!(
+                "Fig 1: per-conv-layer MFLOPs of {} ({} conv layers, {:.2} GFLOPs total)",
+                m.name,
+                m.conv_series().len(),
+                m.flops_per_image() / 1e9
+            ),
+            &["layer#", "layer", "MFLOPs/image"],
+            rows,
+        );
+    }
+}
+
+fn run_fig2(opts: &Opts) {
+    let specs = [LlmSpec::llama2_7b(4), LlmSpec::llama2_13b(4)];
+    let gpu = GpuSpec::a100_40gb();
+    let sm_grid: Vec<u32> = vec![5, 10, 14, 18, 20, 22, 27, 32, 43, 54, 76, 97, 108];
+    let mut rows = Vec::new();
+    for llm in &specs {
+        for &sms in &sm_grid {
+            let pct_raw = (sms as f64 / gpu.sms as f64 * 100.0).round() as u32;
+            let pct_arg = pct_raw.clamp(1, 100);
+            let measured = scenarios::fig2_point(llm, pct_arg, opts.seed);
+            let analytic = llm.solo_completion_seconds(&gpu, sms as f64, 16, 27);
+            rows.push(vec![
+                llm.name.to_string(),
+                sms.to_string(),
+                pct_arg.to_string(),
+                f3(measured),
+                f3(analytic),
+            ]);
+        }
+        let cpu = llm.cpu_completion_seconds(&gpu, 16, 27);
+        rows.push(vec![
+            llm.name.to_string(),
+            "cpu".into(),
+            "-".into(),
+            f2(cpu),
+            f2(cpu),
+        ]);
+    }
+    emit(
+        opts,
+        "Fig 2: LLaMa2 completion latency vs SMs (A100-40GB, fp32; 16-token prompt, 27 new tokens)",
+        &["model", "SMs", "MPS %", "measured (s)", "analytic (s)"],
+        rows,
+    );
+}
+
+fn run_fig3(opts: &Opts) {
+    for sel in [Selection::ActiveLearning, Selection::Random] {
+        let r = molecular_campaign(sel, opts.seed);
+        let mut rows: Vec<Vec<String>> = r
+            .phase_busy_s
+            .iter()
+            .map(|(t, b)| vec![t.clone(), f2(*b), pct(b / r.wall_s)])
+            .collect();
+        rows.push(vec!["gpu idle samples".into(), "-".into(), pct(r.gpu_idle_fraction)]);
+        emit(
+            opts,
+            &format!(
+                "Fig 3: molecular-design phases ({}; wall {:.0}s, best IP {:.3}, rounds {:?})",
+                r.selection,
+                r.wall_s,
+                r.best_ip,
+                r.best_by_round
+                    .iter()
+                    .map(|b| format!("{b:.2}"))
+                    .collect::<Vec<_>>()
+            ),
+            &["phase", "busy (s)", "of wall"],
+            rows,
+        );
+        if !opts.csv {
+            println!("{}", r.ascii);
+        }
+    }
+}
+
+fn fig45_rows(opts: &Opts) -> Vec<scenarios::MultiplexResult> {
+    let mut out = Vec::new();
+    out.push(llama_multiplex(&Strategy::TimeSharing, 1, opts.completions, opts.seed));
+    for procs in [2usize, 3, 4] {
+        for s in [Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual] {
+            out.push(llama_multiplex(&s, procs, opts.completions, opts.seed));
+        }
+    }
+    out
+}
+
+fn run_fig4(opts: &Opts) {
+    let results = fig45_rows(opts);
+    let base = results[0].makespan_s;
+    let rows = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.procs.to_string(),
+                r.mode.clone(),
+                f2(r.makespan_s),
+                format!("{:.2}x", base / r.makespan_s),
+                f3(r.throughput),
+                pct(r.mean_utilization),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Fig 4: time to complete {} completions, 1-4 LLaMa2-7B processes (baseline {}s)",
+            opts.completions,
+            f2(base)
+        ),
+        &["procs", "mode", "completion time (s)", "speedup", "req/s", "gpu util"],
+        rows,
+    );
+}
+
+fn run_fig5(opts: &Opts) {
+    let results = fig45_rows(opts);
+    let rows = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.procs.to_string(),
+                r.mode.clone(),
+                f3(r.mean_latency_s),
+                f3(r.p95_latency_s),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Fig 5: average LLaMa2 inference latency under multiplexing",
+        &["procs", "mode", "mean latency (s)", "p95 (s)"],
+        rows,
+    );
+}
+
+fn run_overheads(opts: &Opts) {
+    let o = overheads(opts.seed);
+    let rows = vec![
+        vec![
+            "cold start 7B fp32".into(),
+            f2(o.cold_start_7b.0),
+            f2(o.cold_start_7b.1),
+            f2(o.cold_start_7b.2),
+            f2(o.cold_start_7b.0 + o.cold_start_7b.1 + o.cold_start_7b.2),
+        ],
+        vec![
+            "cold start 13B fp32".into(),
+            f2(o.cold_start_13b.0),
+            f2(o.cold_start_13b.1),
+            f2(o.cold_start_13b.2),
+            f2(o.cold_start_13b.0 + o.cold_start_13b.1 + o.cold_start_13b.2),
+        ],
+    ];
+    emit(
+        opts,
+        "§6 cold-start decomposition",
+        &["scenario", "function init (s)", "ctx init (s)", "model load (s)", "total (s)"],
+        rows,
+    );
+    let rows = vec![
+        vec!["warm completion (no resize)".into(), f2(o.baseline_completion_s)],
+        vec![
+            "MPS resize -> first completion".into(),
+            f2(o.mps_resize_to_first_completion_s),
+        ],
+        vec![
+            "MPS resize with weight cache (§7)".into(),
+            f2(o.mps_resize_cached_s),
+        ],
+    ];
+    emit(
+        opts,
+        "§6 reconfiguration penalty (LLaMa2-7B fp16, 2 workers, 50/50 -> 75/25)",
+        &["scenario", "seconds"],
+        rows,
+    );
+}
+
+fn run_ablation(opts: &Opts) {
+    // Right-sizing ablation (§7): recommendation vs sweep optimum.
+    let gpu = GpuSpec::a100_40gb();
+    let mut rows = Vec::new();
+    let llm = LlmSpec::llama2_7b(4);
+    let pts = rightsize::profile(
+        |sms| llm.solo_completion_seconds(&gpu, sms, 16, 27),
+        rightsize::full_grid(&gpu),
+    );
+    let rec = recommend(&gpu, &pts, llm.footprint_bytes(), 0.10).expect("profile non-empty");
+    rows.push(vec![
+        llm.name.to_string(),
+        format!("{:.0}", rec.knee_sms),
+        format!("{}%", rec.mps_percentage),
+        rec.mig_profile.unwrap_or("-").to_string(),
+    ]);
+    for m in [models::resnet50(), models::resnet101(), models::vgg16()] {
+        let pts = rightsize::profile(
+            |sms| parfait_workloads::dnn::exec::solo_latency(&m, &gpu, 1, sms),
+            rightsize::full_grid(&gpu),
+        );
+        let rec = recommend(&gpu, &pts, m.weight_bytes(4), 0.10).expect("profile non-empty");
+        rows.push(vec![
+            m.name.to_string(),
+            format!("{:.0}", rec.knee_sms),
+            format!("{}%", rec.mps_percentage),
+            rec.mig_profile.unwrap_or("-").to_string(),
+        ]);
+    }
+    emit(
+        opts,
+        "§7 ablation: right-sizing recommendations (10% latency tolerance)",
+        &["workload", "knee (SMs)", "MPS %", "MIG profile"],
+        rows,
+    );
+
+    // Weight-cache ablation is part of `overheads`; repeat the headline.
+    let o = overheads(opts.seed);
+    let speedup = o.mps_resize_to_first_completion_s / o.mps_resize_cached_s;
+    emit(
+        opts,
+        "§7 ablation: GPU-resident weight cache on MPS resize",
+        &["variant", "resize -> first completion (s)"],
+        vec![
+            vec!["stock (reload weights)".into(), f2(o.mps_resize_to_first_completion_s)],
+            vec!["weight cache (re-bind)".into(), f2(o.mps_resize_cached_s)],
+            vec!["speedup".into(), format!("{speedup:.2}x")],
+        ],
+    );
+}
+
+fn run_extension(opts: &Opts) {
+    // ResNet-50 services multiplexed (the workload the paper profiles in
+    // §3.3/§3.4 but never benchmarks end-to-end).
+    let images = 200;
+    let mut rows = Vec::new();
+    let base = resnet_multiplex(&Strategy::TimeSharing, 1, images, opts.seed);
+    for (procs, s) in [
+        (1usize, Strategy::TimeSharing),
+        (4, Strategy::TimeSharing),
+        (4, Strategy::MpsEqual),
+        (4, Strategy::MigEqual),
+    ] {
+        let r = resnet_multiplex(&s, procs, images, opts.seed);
+        rows.push(vec![
+            procs.to_string(),
+            r.mode.clone(),
+            f2(r.makespan_s),
+            format!("{:.2}x", base.makespan_s / r.makespan_s),
+            f3(r.mean_latency_s),
+        ]);
+    }
+    emit(
+        opts,
+        &format!(
+            "Extension: {images} ResNet-50 batch-1 inferences, multiplexed services \
+             (sub-ms kernels make time-sharing thrash; spatial sharing scales)"
+        ),
+        &["procs", "mode", "makespan (s)", "speedup", "mean latency (s)"],
+        rows,
+    );
+
+    // Text vs chat deployments (§3.2's use-case distinction).
+    let rows = chat_vs_text(4, 60, opts.seed)
+        .into_iter()
+        .map(|(name, lat, thr)| vec![name, f3(lat), f3(thr)])
+        .collect();
+    emit(
+        opts,
+        "Extension: LLaMa2 text vs chat request profiles (4-way MPS)",
+        &["profile", "mean latency (s)", "req/s"],
+        rows,
+    );
+
+    // Strategy advisor (Table 1 as a decision procedure).
+    let cases = [
+        ("4 trusted LLaMa tenants", TenancyRequirements {
+            tenants: 4,
+            require_isolation: false,
+            sms_needed: 20,
+            footprint_bytes: 16 * GIB,
+            resize_rate_hz: 0.0,
+            homogeneous: true,
+        }),
+        ("2 untrusted tenants, 30 GiB each", TenancyRequirements {
+            tenants: 2,
+            require_isolation: true,
+            sms_needed: 20,
+            footprint_bytes: 30 * GIB,
+            resize_rate_hz: 0.0,
+            homogeneous: true,
+        }),
+        ("4 untrusted tenants, 16 GiB each", TenancyRequirements {
+            tenants: 4,
+            require_isolation: true,
+            sms_needed: 20,
+            footprint_bytes: 16 * GIB,
+            resize_rate_hz: 0.0,
+            homogeneous: true,
+        }),
+        ("frequent resizes (autoscaling)", TenancyRequirements {
+            tenants: 4,
+            require_isolation: false,
+            sms_needed: 20,
+            footprint_bytes: 16 * GIB,
+            resize_rate_hz: 0.2,
+            homogeneous: true,
+        }),
+    ];
+    let spec = parfait_gpu::GpuSpec::a100_80gb();
+    let rows = cases
+        .iter()
+        .map(|(label, req)| {
+            let a = recommend_strategy(&spec, req);
+            vec![
+                label.to_string(),
+                mode_label(&a.strategy),
+                a.rationale.last().cloned().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Extension: strategy advisor (Table 1 as a decision procedure)",
+        &["tenancy", "advice", "final rationale"],
+        rows,
+    );
+
+    // Dynamic batching: the other §3.4 lever, measured end to end.
+    {
+        use parfait_simcore::{SimDuration, SimRng};
+        use parfait_workloads::batching::{BatchPolicy, BatchingDriver, BatchingService};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let serve = |policy: BatchPolicy| -> (f64, f64) {
+            let gpu_spec = parfait_gpu::GpuSpec::a100_80gb();
+            let mut fleet = parfait_gpu::host::GpuFleet::new();
+            fleet.add(gpu_spec.clone());
+            let config = parfait_faas::Config::new(vec![parfait_faas::ExecutorConfig::gpu(
+                "gpu",
+                vec![parfait_faas::AcceleratorSpec::Gpu(0)],
+            )]);
+            let mut world = parfait_faas::FaasWorld::new(config, fleet, opts.seed);
+            let svc = Rc::new(RefCell::new(BatchingService::new(
+                models::resnet50(),
+                gpu_spec,
+                "gpu",
+                policy,
+            )));
+            let log = svc.borrow().log_handle();
+            world.set_driver(BatchingDriver {
+                service: Rc::clone(&svc),
+            });
+            let mut eng = parfait_simcore::Engine::new();
+            parfait_faas::boot(&mut world, &mut eng);
+            let mut rng = SimRng::new(opts.seed).split(999);
+            let tr = parfait_workloads::trace::poisson(&mut rng, 200.0, 400);
+            for a in tr.arrivals {
+                let svc2 = Rc::clone(&svc);
+                // Offset past the cold start so steady state dominates.
+                let at = a + SimDuration::from_secs(3);
+                eng.schedule_at(at, move |w: &mut parfait_faas::FaasWorld, e| {
+                    BatchingService::request(w, e, &svc2);
+                });
+            }
+            eng.run(&mut world);
+            let recs = log.borrow();
+            let mean_wait = recs
+                .iter()
+                .map(|r| r.completed.duration_since(r.arrived).as_secs_f64())
+                .sum::<f64>()
+                / recs.len() as f64;
+            let first = recs.iter().map(|r| r.arrived).min().expect("records");
+            let last = recs.iter().map(|r| r.completed).max().expect("records");
+            let thr = recs.len() as f64 / last.duration_since(first).as_secs_f64();
+            (thr, mean_wait)
+        };
+        let (t_un, w_un) = serve(BatchPolicy::none());
+        let (t_b, w_b) = serve(BatchPolicy {
+            max_batch: 8,
+            max_delay: SimDuration::from_millis(40),
+        });
+        emit(
+            opts,
+            "Extension: dynamic batching (ResNet-50, 400 Poisson requests @ 200 req/s)",
+            &["policy", "achieved req/s", "mean wait (s)"],
+            vec![
+                vec!["unbatched".into(), format!("{t_un:.1}"), f3(w_un)],
+                vec!["batch ≤8, ≤40 ms".into(), format!("{t_b:.1}"), f3(w_b)],
+            ],
+        );
+    }
+
+    // §3.4 pipelining: overlap next-round simulations with GPU phases.
+    let seq = molecular_campaign_with(
+        parfait_workloads::molecular::Selection::ActiveLearning,
+        false,
+        opts.seed,
+    );
+    let pipe = molecular_campaign_with(
+        parfait_workloads::molecular::Selection::ActiveLearning,
+        true,
+        opts.seed,
+    );
+    emit(
+        opts,
+        "Extension: §3.4 pipelined molecular-design campaign",
+        &["variant", "wall (s)", "gpu idle samples", "best IP"],
+        vec![
+            vec!["sequential".into(), f2(seq.wall_s), pct(seq.gpu_idle_fraction), f3(seq.best_ip)],
+            vec!["pipelined".into(), f2(pipe.wall_s), pct(pipe.gpu_idle_fraction), f3(pipe.best_ip)],
+            vec![
+                "wall reduction".into(),
+                pct(1.0 - pipe.wall_s / seq.wall_s),
+                "".into(),
+                "".into(),
+            ],
+        ],
+    );
+
+    // §3.4 batch-size saturation: "to saturate the GPU SMs ... training
+    // of a deep neural network using large data batches is usually
+    // needed". Analytic ResNet-50 throughput vs batch on a full A100.
+    let spec = parfait_gpu::GpuSpec::a100_80gb();
+    let m = models::resnet50();
+    let rows = [1u32, 4, 16, 64, 256]
+        .into_iter()
+        .map(|batch| {
+            let t = parfait_workloads::dnn::exec::solo_latency(&m, &spec, batch, spec.sms as f64);
+            let t_half = parfait_workloads::dnn::exec::solo_latency(&m, &spec, batch, 54.0);
+            vec![
+                batch.to_string(),
+                format!("{:.1}", batch as f64 / t),
+                format!("{:.3}", t * 1000.0 / batch as f64),
+                format!("{:.2}x", t_half / t),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Extension: §3.4 batch-size saturation (ResNet-50, full A100 vs half)",
+        &["batch", "images/s", "ms/image", "speedup of 108 vs 54 SMs"],
+        rows,
+    );
+
+    // Open-loop Poisson serving: sustainable load per sharing mode.
+    let mut rows = Vec::new();
+    for rate in [0.15f64, 0.3, 0.45] {
+        for (strategy, procs) in [(Strategy::TimeSharing, 1usize), (Strategy::MpsEqual, 4)] {
+            let r = open_loop_serving(&strategy, procs, rate, 60, opts.seed);
+            rows.push(vec![
+                format!("{:.2}", r.offered_rate),
+                format!("{} x{}", r.mode, procs),
+                f3(r.achieved_rate),
+                f2(r.mean_turnaround_s),
+                f2(r.p95_turnaround_s),
+            ]);
+        }
+    }
+    emit(
+        opts,
+        "Extension: open-loop Poisson serving (60 requests; turnaround includes queueing)",
+        &["offered req/s", "platform", "achieved req/s", "mean turnaround (s)", "p95 (s)"],
+        rows,
+    );
+
+    // Multi-seed confidence. The warmed LLaMa phase is fully
+    // deterministic (zero variance by construction); the molecular
+    // campaign carries real stochasticity (lognormal simulation times,
+    // sampled molecules), so sweep that.
+    let seeds = sweep::seed_series(opts.seed, 6);
+    let r = sweep::run_replicas(&seeds, 3, |s| {
+        molecular_campaign(Selection::ActiveLearning, s).wall_s
+    });
+    emit(
+        opts,
+        "Extension: 6-seed replica sweep of the Fig-3 campaign wall time",
+        &["metric", "value"],
+        vec![
+            vec!["mean wall (s)".into(), f2(r.stats.mean())],
+            vec!["std dev (s)".into(), f2(r.stats.std_dev())],
+            vec!["relative spread".into(), pct(r.relative_spread())],
+        ],
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut opts = Opts {
+        csv: false,
+        completions: 100,
+        seed: SEED,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => opts.csv = true,
+            "--completions" => {
+                i += 1;
+                opts.completions = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--completions N");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+    if want("table1") {
+        run_table1(&opts);
+    }
+    if want("fig1") {
+        run_fig1(&opts);
+    }
+    if want("fig2") {
+        run_fig2(&opts);
+    }
+    if want("fig3") {
+        run_fig3(&opts);
+    }
+    if want("fig4") {
+        run_fig4(&opts);
+    }
+    if want("fig5") {
+        run_fig5(&opts);
+    }
+    if want("overheads") {
+        run_overheads(&opts);
+    }
+    if want("ablation") {
+        run_ablation(&opts);
+    }
+    if want("extension") {
+        run_extension(&opts);
+    }
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! # parfait-bench
+//!
+//! The benchmark harness: scenario builders regenerating every table and
+//! figure of the paper ([`scenarios`]), plus text/CSV rendering
+//! ([`report`]). The `repro` binary (`cargo run -p parfait-bench --bin
+//! repro -- <artifact>`) and the Criterion benches wrap these.
+
+pub mod report;
+pub mod scenarios;
+pub mod sweep;

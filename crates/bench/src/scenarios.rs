@@ -1,0 +1,582 @@
+//! End-to-end experiment scenarios — one builder per paper artifact.
+//!
+//! Every scenario constructs a fresh deterministic platform (fleet +
+//! executors + workloads), runs it to completion under the discrete-event
+//! engine, and reduces the run to the numbers the corresponding table or
+//! figure reports. The `repro` binary and the Criterion benches are thin
+//! wrappers over these functions.
+
+use parfait_core::{apply_plan, plan, resize_mps, weightcache, Strategy};
+use parfait_core::metrics::{self, ModeSummary};
+use parfait_faas::{
+    boot, resume_sampling, submit, AcceleratorSpec, AppCall, Config, ExecutorConfig, FaasWorld,
+    TaskState,
+};
+use parfait_gpu::context::ColdStartModel;
+use parfait_gpu::host::GpuFleet;
+use parfait_gpu::{DeviceMode, GpuSpec, ShareConfig};
+use parfait_simcore::stats::OnlineStats;
+use parfait_simcore::{Engine, SimTime};
+use parfait_workloads::dnn::{exec, models};
+use parfait_workloads::llm::RequestProfile;
+use parfait_workloads::trace;
+use parfait_workloads::molecular::{Campaign, CampaignConfig, Selection};
+use parfait_workloads::{CompletionBody, LlmSpec};
+use serde::Serialize;
+
+/// Default experiment seed (any seed reproduces the paper's shapes; this
+/// one is pinned so EXPERIMENTS.md numbers are exact).
+pub const SEED: u64 = 20231112; // SC-W 2023 opening day
+
+/// MPS co-residency interference used by the reproduction scenarios
+/// (see `ShareConfig::mps_interference`).
+pub const MPS_INTERFERENCE: f64 = 0.06;
+
+fn scenario_share_config() -> ShareConfig {
+    ShareConfig {
+        mps_interference: MPS_INTERFERENCE,
+        ..ShareConfig::default()
+    }
+}
+
+/// Result of one multiplexing cell (one bar of Fig. 4 / point of Fig. 5).
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiplexResult {
+    /// Sharing-mode label.
+    pub mode: String,
+    /// Co-resident LLaMa2 processes.
+    pub procs: usize,
+    /// Completions executed.
+    pub completions: usize,
+    /// Fig. 4 value: time to finish all completions (s), workers warm.
+    pub makespan_s: f64,
+    /// Fig. 5 value: mean per-completion latency (s).
+    pub mean_latency_s: f64,
+    /// P95 per-completion latency (s).
+    pub p95_latency_s: f64,
+    /// Completions per second.
+    pub throughput: f64,
+    /// Mean sampled GPU utilization in `[0,1]`.
+    pub mean_utilization: f64,
+}
+
+fn build_llama_platform(
+    strategy: &Strategy,
+    procs: usize,
+    seed: u64,
+) -> (FaasWorld, Engine<FaasWorld>, LlmSpec, GpuSpec) {
+    let gpu_spec = GpuSpec::a100_80gb();
+    // §5.2 deployment: fp16 7B so four instances fit in 80 GB.
+    let llm = LlmSpec::llama2_7b(2);
+    let mut fleet = GpuFleet::new();
+    let g = fleet.add(gpu_spec.clone());
+    fleet.device_mut(g).set_share_config(scenario_share_config());
+    let p = plan(&gpu_spec, 0, procs, strategy).expect("valid plan");
+    // A 4-way MIG split (1g.10gb) cannot hold a 16.6 GiB deployment; the
+    // paper reports numbers anyway, so we enable UVM oversubscription for
+    // MIG runs (documented in DESIGN.md §1, inconsistency 2).
+    if matches!(strategy, Strategy::MigEqual) {
+        fleet.device_mut(g).set_uvm(true);
+    }
+    let specs = apply_plan(&mut fleet, &p).expect("plan applies");
+    let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
+    let world = FaasWorld::new(config, fleet, seed);
+    (world, Engine::new(), llm, gpu_spec)
+}
+
+fn chat_call(llm: &LlmSpec, gpu_spec: &GpuSpec, app: &str) -> AppCall {
+    let llm = llm.clone();
+    let gpu_spec = gpu_spec.clone();
+    AppCall::new(app, "gpu", move |_| {
+        Box::new(CompletionBody::paper_request(llm.clone(), gpu_spec.clone()))
+    })
+}
+
+/// Run the §5.2 multiplexing experiment: `procs` LLaMa2-7B chatbot
+/// workers share one A100-80GB under `strategy`; `completions` text
+/// completions are drained from a shared queue. Workers are warmed (one
+/// completion each) before measurement, matching the paper's steady-state
+/// reading.
+pub fn llama_multiplex(
+    strategy: &Strategy,
+    procs: usize,
+    completions: usize,
+    seed: u64,
+) -> MultiplexResult {
+    let (mut world, mut eng, llm, gpu_spec) = build_llama_platform(strategy, procs, seed);
+    boot(&mut world, &mut eng);
+    // Warm-up: cold starts + model loads happen here.
+    for _ in 0..procs {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+    }
+    eng.run(&mut world);
+    assert_eq!(
+        world.dfk.failed_count(),
+        0,
+        "warmup failed: {:?}",
+        world
+            .dfk
+            .tasks()
+            .iter()
+            .filter_map(|t| t.error.clone())
+            .collect::<Vec<_>>()
+    );
+    // Measured phase.
+    resume_sampling(&mut world, &mut eng);
+    for _ in 0..completions {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "chat"));
+    }
+    eng.run(&mut world);
+    let lat = metrics::exec_latency(&world, "chat");
+    let mut hist = OnlineStats::new();
+    let mut lats: Vec<f64> = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "chat" && t.state == TaskState::Done)
+        .map(|t| {
+            t.finished
+                .expect("done")
+                .duration_since(t.started.expect("started"))
+                .as_secs_f64()
+        })
+        .collect();
+    lats.sort_by(f64::total_cmp);
+    for &l in &lats {
+        hist.record(l);
+    }
+    let p95 = if lats.is_empty() {
+        0.0
+    } else {
+        lats[((lats.len() as f64 * 0.95).ceil() as usize - 1).min(lats.len() - 1)]
+    };
+    MultiplexResult {
+        mode: mode_label(strategy),
+        procs,
+        completions,
+        makespan_s: metrics::makespan(&world, "chat")
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+        mean_latency_s: lat.mean(),
+        p95_latency_s: p95,
+        throughput: metrics::throughput(&world, "chat"),
+        mean_utilization: world.monitor.mean_utilization(0),
+    }
+}
+
+/// Human label for a strategy.
+pub fn mode_label(s: &Strategy) -> String {
+    match s {
+        Strategy::TimeSharing => "time-sharing".into(),
+        Strategy::MpsDefault => "mps-default".into(),
+        Strategy::MpsEqual => "mps".into(),
+        Strategy::MpsWeighted(_) => "mps-weighted".into(),
+        Strategy::MigEqual => "mig".into(),
+        Strategy::Vgpu => "vgpu".into(),
+    }
+}
+
+/// One Fig. 2 point: measured completion latency with the model capped to
+/// `pct` percent of the SMs (single process, warm worker).
+pub fn fig2_point(llm: &LlmSpec, pct: u32, seed: u64) -> f64 {
+    let gpu_spec = GpuSpec::a100_40gb();
+    let mut fleet = GpuFleet::new();
+    let g = fleet.add(gpu_spec.clone());
+    fleet.device_mut(g).set_share_config(scenario_share_config());
+    fleet.device_mut(g).mps.start();
+    fleet
+        .device_mut(g)
+        .set_mode(DeviceMode::MpsPartitioned)
+        .expect("idle device");
+    let config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::GpuPercentage(0, pct)],
+    )]);
+    let mut world = FaasWorld::new(config, fleet, seed);
+    let mut eng = Engine::new();
+    boot(&mut world, &mut eng);
+    submit(&mut world, &mut eng, chat_call(llm, &gpu_spec, "warmup"));
+    eng.run(&mut world);
+    for _ in 0..5 {
+        submit(&mut world, &mut eng, chat_call(llm, &gpu_spec, "probe"));
+    }
+    eng.run(&mut world);
+    assert_eq!(world.dfk.failed_count(), 0, "fig2 probe failed");
+    metrics::exec_latency(&world, "probe").mean()
+}
+
+/// Fig. 3 result: the campaign timeline plus phase/idleness summaries.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignResult {
+    /// Selection policy used.
+    pub selection: String,
+    /// Total campaign wall time (s).
+    pub wall_s: f64,
+    /// Union busy seconds per phase track.
+    pub phase_busy_s: Vec<(String, f64)>,
+    /// Fraction of monitoring samples with a fully idle GPU.
+    pub gpu_idle_fraction: f64,
+    /// Best ground-truth IP found.
+    pub best_ip: f64,
+    /// ASCII rendering of the phase timeline (the textual Fig. 3).
+    pub ascii: String,
+    /// Per-round best-IP progression.
+    pub best_by_round: Vec<f64>,
+}
+
+/// Run the §3.1 molecular-design campaign on the Listing-1 platform
+/// (16 CPU workers + 1 whole-GPU worker) and reduce it to Fig. 3.
+pub fn molecular_campaign(selection: Selection, seed: u64) -> CampaignResult {
+    molecular_campaign_with(selection, false, seed)
+}
+
+/// Campaign with the §3.4 pipelining flag exposed (overlap the next
+/// round's CPU simulations with the GPU training/inference phases).
+pub fn molecular_campaign_with(selection: Selection, pipelined: bool, seed: u64) -> CampaignResult {
+    let gpu_spec = GpuSpec::a100_40gb();
+    let mut fleet = GpuFleet::new();
+    fleet.add(gpu_spec);
+    let config = Config::new(vec![
+        ExecutorConfig::cpu("cpu", 16),
+        ExecutorConfig::gpu("gpu", vec![AcceleratorSpec::Gpu(0)]),
+    ]);
+    let mut world = FaasWorld::new(config, fleet, seed);
+    let campaign = Campaign::new(
+        CampaignConfig {
+            selection,
+            pipelined,
+            ..CampaignConfig::default()
+        },
+        seed,
+    );
+    let history = campaign.history_handle();
+    world.set_driver(campaign);
+    let mut eng = Engine::new();
+    parfait_faas::run(&mut world, &mut eng);
+    let wall = eng.now();
+    let tracks = world.timeline.tracks();
+    let phase_busy_s = tracks
+        .iter()
+        .map(|t| {
+            (
+                t.clone(),
+                world
+                    .timeline
+                    .union_busy(t, SimTime::ZERO, wall)
+                    .as_secs_f64(),
+            )
+        })
+        .collect();
+    let rounds = history.borrow();
+    let best_by_round: Vec<f64> = rounds.iter().map(|r| r.best_ip).collect();
+    let best_ip = best_by_round.last().copied().unwrap_or(0.0);
+    drop(rounds);
+    CampaignResult {
+        selection: format!("{selection:?}"),
+        wall_s: wall.as_secs_f64(),
+        phase_busy_s,
+        gpu_idle_fraction: world.monitor.idle_fraction(0),
+        best_ip,
+        best_by_round,
+        ascii: world.timeline.render_ascii(100),
+    }
+}
+
+/// The §6 overheads, measured in-simulator.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadReport {
+    /// Cold-start decomposition for a LLaMa2-7B fp32 worker (s):
+    /// (function init, GPU context init, model load).
+    pub cold_start_7b: (f64, f64, f64),
+    /// Same for 13B fp32.
+    pub cold_start_13b: (f64, f64, f64),
+    /// Time from MPS resize to the first completion afterwards (s).
+    pub mps_resize_to_first_completion_s: f64,
+    /// Same with the §7 weight cache enabled.
+    pub mps_resize_cached_s: f64,
+    /// Steady-state completion latency (no resize), for reference.
+    pub baseline_completion_s: f64,
+}
+
+/// Measure §6: cold-start decomposition and the MPS-resize penalty, with
+/// and without the §7 weight cache.
+pub fn overheads(seed: u64) -> OverheadReport {
+    let cold = ColdStartModel::default();
+    let spec = GpuSpec::a100_80gb();
+    let b7 = cold.mean(Some(&spec), LlmSpec::llama2_7b(4).weight_bytes());
+    let b13 = cold.mean(
+        Some(&spec),
+        // single-GPU fp32 13B image (what §6's "10-20 s" refers to).
+        (13.0e9 * 4.0) as u64,
+    );
+    let resize = |cache: bool| -> (f64, f64) {
+        let (mut world, mut eng, llm, gpu_spec) =
+            build_llama_platform(&Strategy::MpsEqual, 2, seed);
+        if cache {
+            weightcache::enable(&mut world);
+        }
+        boot(&mut world, &mut eng);
+        for _ in 0..2 {
+            submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+        }
+        eng.run(&mut world);
+        // Baseline warm completion.
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "baseline"));
+        eng.run(&mut world);
+        let baseline = metrics::exec_latency(&world, "baseline").mean();
+        // Resize 50/50 → 75/25 (the §6 scenario: reallocating GPU share).
+        let t0 = eng.now();
+        resize_mps(&mut world, &mut eng, 0, &[75, 25]).expect("resize");
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "after"));
+        eng.run(&mut world);
+        let first_done = world
+            .dfk
+            .tasks()
+            .iter()
+            .filter(|t| t.app == "after" && t.state == TaskState::Done)
+            .filter_map(|t| t.finished)
+            .min()
+            .expect("post-resize completion");
+        (first_done.duration_since(t0).as_secs_f64(), baseline)
+    };
+    let (uncached, baseline) = resize(false);
+    let (cached, _) = resize(true);
+    OverheadReport {
+        cold_start_7b: (
+            b7.function_init.as_secs_f64(),
+            b7.gpu_context_init.as_secs_f64(),
+            b7.app_load.as_secs_f64(),
+        ),
+        cold_start_13b: (
+            b13.function_init.as_secs_f64(),
+            b13.gpu_context_init.as_secs_f64(),
+            b13.app_load.as_secs_f64(),
+        ),
+        mps_resize_to_first_completion_s: uncached,
+        mps_resize_cached_s: cached,
+        baseline_completion_s: baseline,
+    }
+}
+
+/// Quantified Table 1: run the 4-process LLaMa workload under every
+/// multiplexing technique and report measured utilization/latency/
+/// throughput next to the qualitative properties.
+pub fn table1(completions: usize, seed: u64) -> Vec<(ModeSummary, &'static str, &'static str)> {
+    let strategies: [(Strategy, &str, &str); 5] = [
+        (Strategy::TimeSharing, "none", "low utilization"),
+        (Strategy::MpsDefault, "none", "contention possible"),
+        (Strategy::MpsEqual, "compute only", "restart to resize"),
+        (Strategy::MigEqual, "compute+memory", "GPU reset to resize"),
+        (Strategy::Vgpu, "compute+memory", "homogeneous only"),
+    ];
+    strategies
+        .into_iter()
+        .map(|(s, isolation, drawback)| {
+            let r = llama_multiplex(&s, 4, completions, seed);
+            (
+                ModeSummary {
+                    mode: r.mode.clone(),
+                    makespan_s: r.makespan_s,
+                    mean_latency_s: r.mean_latency_s,
+                    throughput: r.throughput,
+                    mean_utilization: r.mean_utilization,
+                },
+                isolation,
+                drawback,
+            )
+        })
+        .collect()
+}
+
+/// Extension: multiplex `procs` ResNet-50 batch-1 inference services on
+/// one A100 and compare sharing modes — the §3.3/§3.4 workload the paper
+/// profiles but never benchmarks end-to-end.
+pub fn resnet_multiplex(strategy: &Strategy, procs: usize, images: usize, seed: u64) -> MultiplexResult {
+    let gpu_spec = GpuSpec::a100_80gb();
+    let model = models::resnet50();
+    let kernels = exec::inference_kernels(&model, &gpu_spec, 1);
+    let weight_bytes = model.weight_bytes(4);
+    let mut fleet = GpuFleet::new();
+    let g = fleet.add(gpu_spec.clone());
+    fleet.device_mut(g).set_share_config(scenario_share_config());
+    let p = plan(&gpu_spec, 0, procs, strategy).expect("valid plan");
+    let specs = apply_plan(&mut fleet, &p).expect("plan applies");
+    let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
+    let mut world = FaasWorld::new(config, fleet, seed);
+    let mut eng = Engine::new();
+    boot(&mut world, &mut eng);
+    let mk = |app: &str| {
+        let kernels = kernels.clone();
+        let profile = parfait_faas::ModelProfile {
+            id: 0x7e5_e71,
+            bytes: weight_bytes + parfait_gpu::GIB / 2,
+            shared_bytes: weight_bytes,
+        };
+        AppCall::new(app, "gpu", move |_| {
+            Box::new(
+                parfait_faas::app::bodies::KernelSeq::new(
+                    kernels.clone(),
+                    exec::layer_host_overhead(),
+                )
+                .with_model(profile),
+            )
+        })
+    };
+    for _ in 0..procs {
+        submit(&mut world, &mut eng, mk("warmup"));
+    }
+    eng.run(&mut world);
+    assert_eq!(world.dfk.failed_count(), 0, "resnet warmup failed");
+    resume_sampling(&mut world, &mut eng);
+    for _ in 0..images {
+        submit(&mut world, &mut eng, mk("infer"));
+    }
+    eng.run(&mut world);
+    let lat = metrics::exec_latency(&world, "infer");
+    MultiplexResult {
+        mode: mode_label(strategy),
+        procs,
+        completions: images,
+        makespan_s: metrics::makespan(&world, "infer")
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+        mean_latency_s: lat.mean(),
+        p95_latency_s: lat.max().unwrap_or(0.0),
+        throughput: metrics::throughput(&world, "infer"),
+        mean_utilization: world.monitor.mean_utilization(0),
+    }
+}
+
+/// Extension: the §3.2 text-vs-chat deployment comparison — same model,
+/// different request-length distributions, same MPS partition.
+pub fn chat_vs_text(procs: usize, requests: usize, seed: u64) -> Vec<(String, f64, f64)> {
+    let gpu_spec = GpuSpec::a100_80gb();
+    let llm = LlmSpec::llama2_7b(2);
+    let mut out = Vec::new();
+    for profile in [RequestProfile::text(), RequestProfile::chat()] {
+        let mut fleet = GpuFleet::new();
+        let g = fleet.add(gpu_spec.clone());
+        fleet.device_mut(g).set_share_config(scenario_share_config());
+        let p = plan(&gpu_spec, 0, procs, &Strategy::MpsEqual).expect("plan");
+        let specs = apply_plan(&mut fleet, &p).expect("apply");
+        let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
+        let mut world = FaasWorld::new(config, fleet, seed);
+        let mut eng = Engine::new();
+        boot(&mut world, &mut eng);
+        for _ in 0..procs {
+            submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+        }
+        eng.run(&mut world);
+        let name = profile.name;
+        for _ in 0..requests {
+            let llm = llm.clone();
+            let gpu_spec2 = gpu_spec.clone();
+            let profile = profile.clone();
+            submit(
+                &mut world,
+                &mut eng,
+                AppCall::new("serve", "gpu", move |rng| {
+                    Box::new(CompletionBody::sampled(
+                        llm.clone(),
+                        gpu_spec2.clone(),
+                        &profile,
+                        rng,
+                    ))
+                }),
+            );
+        }
+        eng.run(&mut world);
+        let lat = metrics::exec_latency(&world, "serve");
+        out.push((
+            name.to_string(),
+            lat.mean(),
+            metrics::throughput(&world, "serve"),
+        ));
+    }
+    out
+}
+
+/// Result of an open-loop serving run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingResult {
+    /// Sharing-mode label.
+    pub mode: String,
+    /// Offered request rate (req/s).
+    pub offered_rate: f64,
+    /// Achieved throughput (req/s over the serving window).
+    pub achieved_rate: f64,
+    /// Mean *turnaround* (arrival → completion, queueing included).
+    pub mean_turnaround_s: f64,
+    /// P95 turnaround.
+    pub p95_turnaround_s: f64,
+}
+
+/// Extension: open-loop Poisson serving — the serverless-operator view.
+/// Requests for LLaMa2-7B completions arrive at `rate_per_sec`; the
+/// platform runs `procs` workers under `strategy`. Saturation shows up as
+/// exploding turnaround (arrival → completion), which the closed-loop
+/// Fig. 4/5 experiments cannot express.
+pub fn open_loop_serving(
+    strategy: &Strategy,
+    procs: usize,
+    rate_per_sec: f64,
+    requests: usize,
+    seed: u64,
+) -> ServingResult {
+    let (mut world, mut eng, llm, gpu_spec) = build_llama_platform(strategy, procs, seed);
+    boot(&mut world, &mut eng);
+    for _ in 0..procs {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+    }
+    eng.run(&mut world);
+    assert_eq!(world.dfk.failed_count(), 0, "warmup failed");
+    // Generate the arrival trace and schedule submissions at those
+    // offsets from "now".
+    let mut rng = parfait_simcore::SimRng::new(seed).split(4242);
+    let tr = trace::poisson(&mut rng, rate_per_sec, requests);
+    let t0 = eng.now();
+    resume_sampling(&mut world, &mut eng);
+    for a in &tr.arrivals {
+        let llm = llm.clone();
+        let gpu_spec = gpu_spec.clone();
+        let at = t0 + parfait_simcore::SimDuration::from_nanos(a.as_nanos());
+        eng.schedule_at(at, move |w: &mut FaasWorld, e| {
+            submit(
+                w,
+                e,
+                AppCall::new("serve", "gpu", move |_| {
+                    Box::new(CompletionBody::paper_request(llm.clone(), gpu_spec.clone()))
+                }),
+            );
+        });
+    }
+    eng.run(&mut world);
+    let mut turns: Vec<f64> = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "serve" && t.state == TaskState::Done)
+        .map(|t| {
+            t.finished
+                .expect("done")
+                .duration_since(t.submitted)
+                .as_secs_f64()
+        })
+        .collect();
+    turns.sort_by(f64::total_cmp);
+    let n = turns.len();
+    let mean = if n == 0 { 0.0 } else { turns.iter().sum::<f64>() / n as f64 };
+    let p95 = if n == 0 {
+        0.0
+    } else {
+        turns[((n as f64 * 0.95).ceil() as usize - 1).min(n - 1)]
+    };
+    let window = eng.now().duration_since(t0).as_secs_f64();
+    ServingResult {
+        mode: mode_label(strategy),
+        offered_rate: rate_per_sec,
+        achieved_rate: if window > 0.0 { n as f64 / window } else { 0.0 },
+        mean_turnaround_s: mean,
+        p95_turnaround_s: p95,
+    }
+}

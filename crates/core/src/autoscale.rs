@@ -1,0 +1,184 @@
+//! Demand-driven repartitioning — §7's "change GPU resources depending
+//! on demand", end to end.
+//!
+//! The paper's future work wants the platform to *notice* that one
+//! tenant's partition is too small for its demand and reallocate GPU
+//! share at runtime. This module closes that loop over the pieces the
+//! rest of the crate provides:
+//!
+//! 1. **observe** — per-executor queue depths (backlog = demand signal);
+//! 2. **decide** — a proportional split of 100 % across tenants by
+//!    backlog, clamped to a configurable floor so idle tenants keep a
+//!    live instance;
+//! 3. **act** — [`crate::reconfig::resize_mps`] (the §6 restart path,
+//!    ideally with the §7 weight cache enabled so the restart re-binds
+//!    instead of reloading).
+//!
+//! The controller runs as a periodic event; hysteresis (`min_shift`)
+//! prevents resize thrash, because every act costs a process restart.
+
+use crate::reconfig::{resize_mps, workers_on_gpu};
+use parfait_faas::{AcceleratorSpec, FaasWorld};
+use parfait_simcore::{Engine, SimDuration};
+use serde::Serialize;
+
+/// Controller parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoscalePolicy {
+    /// Control period.
+    pub period: SimDuration,
+    /// Minimum percentage any tenant keeps (floor).
+    pub min_pct: u32,
+    /// Only resize when some tenant's target differs from its current
+    /// share by at least this many percentage points (hysteresis).
+    pub min_shift: u32,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            period: SimDuration::from_secs(20),
+            min_pct: 10,
+            min_shift: 15,
+        }
+    }
+}
+
+/// A record of one controller decision.
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoscaleEvent {
+    /// Virtual time of the decision.
+    pub at_s: f64,
+    /// Observed backlog per tenant executor.
+    pub backlogs: Vec<usize>,
+    /// The split applied (None = held steady).
+    pub applied: Option<Vec<u32>>,
+}
+
+/// Compute the proportional-backlog split across `n` tenants, with a
+/// per-tenant floor. Deterministic and side-effect free (unit tested).
+pub fn proportional_split(backlogs: &[usize], min_pct: u32) -> Vec<u32> {
+    let n = backlogs.len() as u32;
+    assert!(n > 0, "need at least one tenant");
+    assert!(min_pct * n <= 100, "floors exceed the GPU");
+    let total: usize = backlogs.iter().sum();
+    if total == 0 {
+        return vec![100 / n; backlogs.len()];
+    }
+    let budget = 100 - min_pct * n;
+    let mut pcts: Vec<u32> = backlogs
+        .iter()
+        .map(|&b| min_pct + (budget as f64 * b as f64 / total as f64).floor() as u32)
+        .collect();
+    // Hand leftover points (from flooring) to the largest backlog.
+    let assigned: u32 = pcts.iter().sum();
+    if assigned < 100 {
+        let max_i = backlogs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| **b)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        pcts[max_i] += 100 - assigned;
+    }
+    pcts
+}
+
+/// Start the controller for a set of single-worker tenant executors that
+/// share GPU `gpu` under partitioned MPS. `tenants` maps executor index →
+/// tenant slot, in the same order as the workers on the GPU.
+///
+/// Returns a handle to the decision log (readable after the run).
+pub fn enable_autoscaler(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    tenants: Vec<usize>,
+    policy: AutoscalePolicy,
+) -> std::rc::Rc<std::cell::RefCell<Vec<AutoscaleEvent>>> {
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    tick(world, eng, gpu, tenants, policy, std::rc::Rc::clone(&log));
+    log
+}
+
+fn current_pcts(world: &FaasWorld, gpu: u32) -> Vec<u32> {
+    workers_on_gpu(world, gpu)
+        .into_iter()
+        .map(|wid| match &world.workers[wid].accel {
+            Some(AcceleratorSpec::GpuPercentage(_, p)) => *p,
+            _ => 0,
+        })
+        .collect()
+}
+
+fn tick(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    tenants: Vec<usize>,
+    policy: AutoscalePolicy,
+    log: std::rc::Rc<std::cell::RefCell<Vec<AutoscaleEvent>>>,
+) {
+    let backlogs: Vec<usize> = tenants.iter().map(|&e| world.queues[e].len()).collect();
+    let target = proportional_split(&backlogs, policy.min_pct);
+    let current = current_pcts(world, gpu);
+    let shift = target
+        .iter()
+        .zip(current.iter().chain(std::iter::repeat(&0)))
+        .map(|(t, c)| t.abs_diff(*c))
+        .max()
+        .unwrap_or(0);
+    // Resizing restarts the tenant processes (§6); any in-flight request
+    // fails and retries after the restart — exactly the cost the §7
+    // weight cache is built to shrink. Hysteresis keeps this rare.
+    let applied = if shift >= policy.min_shift && current.len() == target.len() {
+        resize_mps(world, eng, gpu, &target).ok().map(|_| target.clone())
+    } else {
+        None
+    };
+    log.borrow_mut().push(AutoscaleEvent {
+        at_s: eng.now().as_secs_f64(),
+        backlogs,
+        applied,
+    });
+    // Keep controlling while work remains anywhere.
+    let active = !world.dfk.all_settled();
+    if active {
+        let log2 = std::rc::Rc::clone(&log);
+        eng.schedule_in(policy.period, move |w: &mut FaasWorld, e| {
+            tick(w, e, gpu, tenants, policy, log2)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_split_properties() {
+        // Sums to 100, respects the floor, tracks backlog ratios.
+        let p = proportional_split(&[30, 10], 10);
+        assert_eq!(p.iter().sum::<u32>(), 100);
+        assert!(p[0] > p[1]);
+        assert!(p.iter().all(|&x| x >= 10));
+        assert_eq!(p, vec![70, 30]);
+    }
+
+    #[test]
+    fn zero_backlog_is_equal_split() {
+        assert_eq!(proportional_split(&[0, 0, 0, 0], 10), vec![25; 4]);
+    }
+
+    #[test]
+    fn one_sided_backlog_hits_floor() {
+        let p = proportional_split(&[100, 0], 10);
+        assert_eq!(p, vec![90, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "floors exceed")]
+    fn impossible_floor_rejected() {
+        proportional_split(&[1, 1, 1], 40);
+    }
+}

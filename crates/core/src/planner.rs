@@ -1,0 +1,394 @@
+//! Partition-plan synthesis and application — §5.2's experimental setups
+//! as a library.
+//!
+//! Given "multiplex GPU `g` across `k` function workers", the planner
+//! produces the mode + per-worker accelerator specs the paper uses:
+//!
+//! * **time-sharing** — `k` bare bindings (the NVIDIA default);
+//! * **MPS equal** — `k` entries of `⌊100/k⌋ %` (the paper's 50/50,
+//!   33/33/33, 25×4);
+//! * **MPS weighted** — caller-provided percentages (Listing 2's
+//!   50/25/30);
+//! * **MIG equal** — the largest profile allowing `k` instances: 7g for
+//!   one, 3g each for two, 2g each for three, 1g each for 4–7 (§5.2);
+//! * **vGPU** — `k` homogeneous slots.
+//!
+//! [`apply_plan`] pushes the plan into the device (mode switch, MPS
+//! daemon, MIG instance creation) and returns the resolved specs for the
+//! executor config.
+
+use parfait_faas::AcceleratorSpec;
+use parfait_gpu::host::GpuFleet;
+use parfait_gpu::mig::profile_catalog;
+use parfait_gpu::{DeviceMode, GpuError, GpuId, GpuSpec};
+use serde::Serialize;
+
+/// Sharing strategy for one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Strategy {
+    /// Default time-sharing (no spatial partitioning).
+    TimeSharing,
+    /// Default MPS (co-scheduling, no caps).
+    MpsDefault,
+    /// MPS with equal percentages.
+    MpsEqual,
+    /// MPS with explicit percentages (one per worker).
+    MpsWeighted(Vec<u32>),
+    /// MIG with equal instances.
+    MigEqual,
+    /// vGPU with equal slots.
+    Vgpu,
+}
+
+/// A synthesized plan for one GPU.
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionPlan {
+    /// Target GPU fleet index.
+    pub gpu: u32,
+    /// Device mode the plan requires.
+    pub mode: DeviceMode,
+    /// Worker bindings *before* MIG resolution (MIG entries carry the
+    /// profile name; [`apply_plan`] substitutes real UUIDs).
+    pub workers: Vec<PlannedWorker>,
+}
+
+/// One worker slot of a plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PlannedWorker {
+    /// Bare binding.
+    Bare,
+    /// MPS percentage.
+    Percentage(u32),
+    /// MIG instance of this profile (created at apply time).
+    MigProfile(&'static str),
+    /// vGPU slot index.
+    VgpuSlot(u32),
+}
+
+/// Planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// `k` must be ≥ 1.
+    NoWorkers,
+    /// MIG cannot host this many equal instances (max 7).
+    TooManyMigInstances(usize),
+    /// Weighted percentages list length ≠ worker count.
+    WeightLengthMismatch,
+    /// Percentage outside 1..=100.
+    BadPercentage(u32),
+    /// Device rejected the plan.
+    Device(GpuError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoWorkers => write!(f, "plan needs at least one worker"),
+            PlanError::TooManyMigInstances(k) => {
+                write!(f, "MIG supports at most 7 equal instances, asked for {k}")
+            }
+            PlanError::WeightLengthMismatch => {
+                write!(f, "weighted percentages must match worker count")
+            }
+            PlanError::BadPercentage(p) => write!(f, "percentage {p} outside 1..=100"),
+            PlanError::Device(e) => write!(f, "device rejected plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<GpuError> for PlanError {
+    fn from(e: GpuError) -> Self {
+        PlanError::Device(e)
+    }
+}
+
+/// The MIG profile giving `k` equal instances on `spec` (§5.2's mapping).
+pub fn equal_mig_profile(spec: &GpuSpec, k: usize) -> Result<&'static str, PlanError> {
+    if k == 0 {
+        return Err(PlanError::NoWorkers);
+    }
+    if k > 7 {
+        return Err(PlanError::TooManyMigInstances(k));
+    }
+    let slices = (7 / k) as u8;
+    profile_catalog(spec)
+        .into_iter()
+        .filter(|p| p.compute_slices <= slices)
+        // Memory-slice feasibility: k instances must fit 8 memory slices.
+        .filter(|p| p.memory_slices as usize * k <= 8)
+        .max_by_key(|p| p.compute_slices)
+        .map(|p| p.name)
+        .ok_or(PlanError::TooManyMigInstances(k))
+}
+
+/// Synthesize a plan for `k` workers on GPU `gpu`.
+///
+/// ```
+/// use parfait_core::{plan, apply_plan, Strategy};
+/// use parfait_faas::AcceleratorSpec;
+/// use parfait_gpu::{host::GpuFleet, GpuSpec};
+///
+/// // The paper's §5.2 four-way split: 25% of the SMs per chatbot.
+/// let spec = GpuSpec::a100_80gb();
+/// let mut fleet = GpuFleet::new();
+/// fleet.add(spec.clone());
+/// let p = plan(&spec, 0, 4, &Strategy::MpsEqual).unwrap();
+/// let specs = apply_plan(&mut fleet, &p).unwrap();
+/// assert_eq!(specs, vec![AcceleratorSpec::GpuPercentage(0, 25); 4]);
+/// ```
+pub fn plan(spec: &GpuSpec, gpu: u32, k: usize, strategy: &Strategy) -> Result<PartitionPlan, PlanError> {
+    if k == 0 {
+        return Err(PlanError::NoWorkers);
+    }
+    let (mode, workers) = match strategy {
+        Strategy::TimeSharing => (
+            DeviceMode::TimeSharing,
+            vec![PlannedWorker::Bare; k],
+        ),
+        Strategy::MpsDefault => (DeviceMode::MpsDefault, vec![PlannedWorker::Bare; k]),
+        Strategy::MpsEqual => {
+            let pct = (100 / k as u32).max(1);
+            (
+                DeviceMode::MpsPartitioned,
+                vec![PlannedWorker::Percentage(pct); k],
+            )
+        }
+        Strategy::MpsWeighted(ws) => {
+            if ws.len() != k {
+                return Err(PlanError::WeightLengthMismatch);
+            }
+            for &p in ws {
+                if !(1..=100).contains(&p) {
+                    return Err(PlanError::BadPercentage(p));
+                }
+            }
+            (
+                DeviceMode::MpsPartitioned,
+                ws.iter().map(|&p| PlannedWorker::Percentage(p)).collect(),
+            )
+        }
+        Strategy::MigEqual => {
+            let profile = equal_mig_profile(spec, k)?;
+            (
+                DeviceMode::Mig,
+                vec![PlannedWorker::MigProfile(profile); k],
+            )
+        }
+        Strategy::Vgpu => (
+            DeviceMode::Vgpu { slots: k as u32 },
+            (0..k as u32).map(PlannedWorker::VgpuSlot).collect(),
+        ),
+    };
+    Ok(PartitionPlan { gpu, mode, workers })
+}
+
+/// Apply a plan to the fleet: set the device mode, start the MPS daemon
+/// where needed, create MIG instances, and return the per-worker
+/// [`AcceleratorSpec`]s for the executor configuration.
+///
+/// The device must be idle (no contexts); reconfiguring a live GPU goes
+/// through [`crate::reconfig`].
+pub fn apply_plan(fleet: &mut GpuFleet, plan: &PartitionPlan) -> Result<Vec<AcceleratorSpec>, PlanError> {
+    let dev = fleet.device_mut(GpuId(plan.gpu));
+    if matches!(
+        plan.mode,
+        DeviceMode::MpsDefault | DeviceMode::MpsPartitioned
+    ) {
+        dev.mps.start();
+    }
+    dev.set_mode(plan.mode)?;
+    let mut specs = Vec::with_capacity(plan.workers.len());
+    for w in &plan.workers {
+        let spec = match w {
+            PlannedWorker::Bare => AcceleratorSpec::Gpu(plan.gpu),
+            PlannedWorker::Percentage(p) => AcceleratorSpec::GpuPercentage(plan.gpu, *p),
+            PlannedWorker::MigProfile(profile) => {
+                let iid = dev.mig_create(profile)?;
+                let uuid = dev.mig.get(iid).expect("just created").uuid.clone();
+                AcceleratorSpec::Mig(uuid)
+            }
+            PlannedWorker::VgpuSlot(s) => AcceleratorSpec::VgpuSlot(plan.gpu, *s),
+        };
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Plan `workers` across several GPUs (the Listing-2 situation: one
+/// executor spanning GPUs 1, 2 and 4). Workers are spread as evenly as
+/// possible; each GPU gets its own equal-share plan for its local worker
+/// count. Returns one plan per GPU, in `gpus` order, skipping GPUs that
+/// received zero workers.
+pub fn plan_fleet(
+    spec: &GpuSpec,
+    gpus: &[u32],
+    workers: usize,
+    strategy: &Strategy,
+) -> Result<Vec<PartitionPlan>, PlanError> {
+    if workers == 0 {
+        return Err(PlanError::NoWorkers);
+    }
+    assert!(!gpus.is_empty(), "plan_fleet needs at least one GPU");
+    let base = workers / gpus.len();
+    let extra = workers % gpus.len();
+    let mut plans = Vec::new();
+    for (i, &g) in gpus.iter().enumerate() {
+        let k = base + usize::from(i < extra);
+        if k == 0 {
+            continue;
+        }
+        plans.push(plan(spec, g, k, strategy)?);
+    }
+    Ok(plans)
+}
+
+/// Apply a fleet of plans, concatenating the per-worker specs in plan
+/// order (the executor cycles through them).
+pub fn apply_fleet(
+    fleet: &mut GpuFleet,
+    plans: &[PartitionPlan],
+) -> Result<Vec<AcceleratorSpec>, PlanError> {
+    let mut specs = Vec::new();
+    for p in plans {
+        specs.extend(apply_plan(fleet, p)?);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100_80gb()
+    }
+
+    #[test]
+    fn paper_mig_mapping() {
+        // §5.2: 2 → 3/7 each, 3 → 2/7 each, 4 → 1/7 each.
+        let s = spec();
+        assert_eq!(equal_mig_profile(&s, 1).unwrap(), "7g.80gb");
+        assert_eq!(equal_mig_profile(&s, 2).unwrap(), "3g.40gb");
+        assert_eq!(equal_mig_profile(&s, 3).unwrap(), "2g.20gb");
+        assert_eq!(equal_mig_profile(&s, 4).unwrap(), "1g.10gb");
+        assert_eq!(equal_mig_profile(&s, 7).unwrap(), "1g.10gb");
+        assert!(matches!(
+            equal_mig_profile(&s, 8),
+            Err(PlanError::TooManyMigInstances(8))
+        ));
+    }
+
+    #[test]
+    fn mig_memory_slices_constrain_two_way() {
+        // Two 3g.40gb instances take 8 memory slices — allowed. A 4g
+        // profile would need 4 slices × 2 = 8 as well, but only one 4g
+        // fits compute-wise, so 3g is the right answer (covered above).
+        // Three instances cannot use 3g (12 memory slices): planner must
+        // step down to 2g.
+        let s = spec();
+        assert_eq!(equal_mig_profile(&s, 2).unwrap(), "3g.40gb");
+    }
+
+    #[test]
+    fn mps_equal_percentages() {
+        let p = plan(&spec(), 0, 4, &Strategy::MpsEqual).unwrap();
+        assert_eq!(p.mode, DeviceMode::MpsPartitioned);
+        assert_eq!(p.workers, vec![PlannedWorker::Percentage(25); 4]);
+        let p3 = plan(&spec(), 0, 3, &Strategy::MpsEqual).unwrap();
+        assert_eq!(p3.workers[0], PlannedWorker::Percentage(33));
+    }
+
+    #[test]
+    fn weighted_validation() {
+        assert!(matches!(
+            plan(&spec(), 0, 3, &Strategy::MpsWeighted(vec![50, 25])),
+            Err(PlanError::WeightLengthMismatch)
+        ));
+        assert!(matches!(
+            plan(&spec(), 0, 2, &Strategy::MpsWeighted(vec![50, 0])),
+            Err(PlanError::BadPercentage(0))
+        ));
+        let p = plan(&spec(), 1, 3, &Strategy::MpsWeighted(vec![50, 25, 30])).unwrap();
+        assert_eq!(p.workers.len(), 3);
+    }
+
+    #[test]
+    fn apply_mig_plan_creates_instances() {
+        let mut fleet = GpuFleet::new();
+        let g = fleet.add(spec());
+        let p = plan(&spec(), 0, 3, &Strategy::MigEqual).unwrap();
+        let specs = apply_plan(&mut fleet, &p).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(fleet.device(g).mig.instance_count(), 3);
+        for s in &specs {
+            assert!(matches!(s, AcceleratorSpec::Mig(u) if u.contains("2g.20gb")));
+        }
+    }
+
+    #[test]
+    fn apply_mps_plan_starts_daemon() {
+        let mut fleet = GpuFleet::new();
+        let g = fleet.add(spec());
+        let p = plan(&spec(), 0, 2, &Strategy::MpsEqual).unwrap();
+        let specs = apply_plan(&mut fleet, &p).unwrap();
+        assert!(fleet.device(g).mps.running());
+        assert_eq!(
+            specs,
+            vec![
+                AcceleratorSpec::GpuPercentage(0, 50),
+                AcceleratorSpec::GpuPercentage(0, 50)
+            ]
+        );
+    }
+
+    #[test]
+    fn vgpu_plan_slots() {
+        let mut fleet = GpuFleet::new();
+        let _ = fleet.add(spec());
+        let p = plan(&spec(), 0, 4, &Strategy::Vgpu).unwrap();
+        let specs = apply_plan(&mut fleet, &p).unwrap();
+        assert_eq!(specs[3], AcceleratorSpec::VgpuSlot(0, 3));
+    }
+
+    #[test]
+    fn fleet_plan_balances_across_gpus() {
+        // 5 workers over 2 GPUs → 3 + 2, each with its own MPS split.
+        let s = spec();
+        let plans = plan_fleet(&s, &[0, 1], 5, &Strategy::MpsEqual).unwrap();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].workers.len(), 3);
+        assert_eq!(plans[1].workers.len(), 2);
+        assert_eq!(plans[0].workers[0], PlannedWorker::Percentage(33));
+        assert_eq!(plans[1].workers[0], PlannedWorker::Percentage(50));
+    }
+
+    #[test]
+    fn fleet_apply_spans_devices() {
+        let s = spec();
+        let mut fleet = GpuFleet::new();
+        let g0 = fleet.add(s.clone());
+        let g1 = fleet.add(s.clone());
+        let plans = plan_fleet(&s, &[0, 1], 4, &Strategy::MigEqual).unwrap();
+        let specs = apply_fleet(&mut fleet, &plans).unwrap();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(fleet.device(g0).mig.instance_count(), 2);
+        assert_eq!(fleet.device(g1).mig.instance_count(), 2);
+    }
+
+    #[test]
+    fn fleet_skips_surplus_gpus() {
+        let s = spec();
+        let plans = plan_fleet(&s, &[0, 1, 2, 3], 2, &Strategy::TimeSharing).unwrap();
+        assert_eq!(plans.len(), 2, "two GPUs get one worker each, two get none");
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(matches!(
+            plan(&spec(), 0, 0, &Strategy::TimeSharing),
+            Err(PlanError::NoWorkers)
+        ));
+    }
+}

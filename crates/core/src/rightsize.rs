@@ -1,0 +1,188 @@
+//! Right-sizing GPU partitions — the §7 "understanding GPU resource
+//! requirement" tool.
+//!
+//! Fig. 2's message is that LLaMa2 stops benefiting beyond ~20 SMs; the
+//! paper's future work wants a tool that recommends how big a partition a
+//! function actually needs. We implement the offline-profile variant:
+//! sweep a latency profile over SM allocations (analytically or from
+//! simulation), find the **knee** — the smallest allocation whose latency
+//! is within a tolerance of the best achievable — and map it to an MPS
+//! percentage or the smallest adequate MIG profile (also checking the
+//! instance's memory against the model footprint).
+
+use parfait_gpu::mig::profile_catalog;
+use parfait_gpu::GpuSpec;
+use serde::Serialize;
+
+/// One point of an allocation→latency profile.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ProfilePoint {
+    /// SMs made available.
+    pub sms: f64,
+    /// Observed latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Build a profile by sweeping `latency(sms)` over `grid`.
+pub fn profile(latency: impl Fn(f64) -> f64, grid: impl IntoIterator<Item = f64>) -> Vec<ProfilePoint> {
+    grid.into_iter()
+        .map(|sms| ProfilePoint {
+            sms,
+            latency_s: latency(sms),
+        })
+        .collect()
+}
+
+/// The standard sweep grid for a device: every SM count from 2 to full.
+pub fn full_grid(spec: &GpuSpec) -> Vec<f64> {
+    (2..=spec.sms).map(|s| s as f64).collect()
+}
+
+/// Smallest allocation whose latency is within `(1 + tolerance)` of the
+/// profile's minimum. `None` on an empty profile.
+///
+/// ```
+/// use parfait_core::rightsize::{knee, profile};
+///
+/// // Latency improves to 20 SMs, flat beyond — Fig. 2's shape.
+/// let pts = profile(|s| if s < 20.0 { 10.0 / s } else { 0.5 },
+///                   (1..=108).map(|s| s as f64));
+/// assert_eq!(knee(&pts, 0.05), Some(20.0));
+/// ```
+pub fn knee(points: &[ProfilePoint], tolerance: f64) -> Option<f64> {
+    let best = points
+        .iter()
+        .map(|p| p.latency_s)
+        .fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return None;
+    }
+    let limit = best * (1.0 + tolerance);
+    points
+        .iter()
+        .filter(|p| p.latency_s <= limit)
+        .map(|p| p.sms)
+        .fold(None, |acc: Option<f64>, s| {
+            Some(acc.map_or(s, |a| a.min(s)))
+        })
+}
+
+/// A partition recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Recommendation {
+    /// SMs at the knee.
+    pub knee_sms: f64,
+    /// MPS active-thread percentage to request (rounded up).
+    pub mps_percentage: u32,
+    /// Smallest adequate MIG profile, if any satisfies both the SM knee
+    /// and the memory footprint.
+    pub mig_profile: Option<&'static str>,
+}
+
+/// Recommend a partition for a function with the given latency profile
+/// and resident-memory footprint.
+pub fn recommend(
+    spec: &GpuSpec,
+    points: &[ProfilePoint],
+    footprint_bytes: u64,
+    tolerance: f64,
+) -> Option<Recommendation> {
+    let knee_sms = knee(points, tolerance)?;
+    let mps_percentage = ((knee_sms / spec.sms as f64) * 100.0).ceil() as u32;
+    let mig_profile = profile_catalog(spec)
+        .into_iter()
+        .filter(|p| {
+            let sms = (p.compute_slices as u32 * spec.mig_slice_sms) as f64;
+            let mem = spec.memory_bytes / 8 * p.memory_slices as u64;
+            sms >= knee_sms && mem >= footprint_bytes
+        })
+        .min_by_key(|p| p.compute_slices)
+        .map(|p| p.name);
+    Some(Recommendation {
+        knee_sms,
+        mps_percentage: mps_percentage.clamp(1, 100),
+        mig_profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait_workloads::LlmSpec;
+
+    #[test]
+    fn knee_of_synthetic_elbow() {
+        // latency = 10/sms for sms < 20, flat 0.5 beyond.
+        let pts = profile(
+            |s| if s < 20.0 { 10.0 / s } else { 0.5 },
+            (1..=108).map(|s| s as f64),
+        );
+        let k = knee(&pts, 0.05).unwrap();
+        assert_eq!(k, 20.0);
+    }
+
+    #[test]
+    fn knee_tolerance_widens_choice() {
+        let pts = profile(|s| 1.0 + 10.0 / s, (1..=100).map(|s| s as f64));
+        // min at s=100 → 1.1; tol 0.2 → limit 1.32 → 10/s ≤ 0.32 → s ≥ 31.25.
+        let k = knee(&pts, 0.2).unwrap();
+        assert_eq!(k, 32.0);
+        let tight = knee(&pts, 0.0).unwrap();
+        assert_eq!(tight, 100.0);
+    }
+
+    #[test]
+    fn empty_profile_is_none() {
+        assert_eq!(knee(&[], 0.1), None);
+    }
+
+    #[test]
+    fn llama7b_recommendation_matches_fig2() {
+        // Profile the calibrated LLaMa2-7B model; the knee should land
+        // near the paper's ~20 SMs and the MPS percentage near 19 %.
+        let spec = GpuSpec::a100_40gb();
+        let llm = LlmSpec::llama2_7b(4);
+        let pts = profile(
+            |sms| llm.solo_completion_seconds(&spec, sms, 16, 27),
+            full_grid(&spec),
+        );
+        let rec = recommend(&spec, &pts, llm.footprint_bytes(), 0.10).unwrap();
+        assert!(
+            (14.0..=27.0).contains(&rec.knee_sms),
+            "knee at {} SMs",
+            rec.knee_sms
+        );
+        assert!(rec.mps_percentage <= 25, "pct {}", rec.mps_percentage);
+    }
+
+    #[test]
+    fn mig_profile_respects_memory() {
+        let spec = GpuSpec::a100_80gb();
+        // Tiny compute knee but a 35 GiB footprint: 1g.10gb and 2g.20gb
+        // are too small; needs 3g.40gb.
+        let pts = profile(|s| 1.0 / s.min(10.0), full_grid(&spec));
+        let rec = recommend(&spec, &pts, 35 * parfait_gpu::GIB, 0.05).unwrap();
+        assert_eq!(rec.mig_profile, Some("3g.40gb"));
+    }
+
+    #[test]
+    fn impossible_memory_yields_no_mig() {
+        let spec = GpuSpec::a100_80gb();
+        let pts = profile(|s| 1.0 / s, full_grid(&spec));
+        let rec = recommend(&spec, &pts, 100 * parfait_gpu::GIB, 0.05).unwrap();
+        assert_eq!(rec.mig_profile, None, "nothing holds 100 GiB");
+    }
+
+    #[test]
+    fn resnet_needs_fewer_sms_than_full() {
+        // Batch-1 ResNet-50 cannot fill an A100 (§3.4), so the knee must
+        // be well under 108 SMs.
+        use parfait_workloads::dnn::{exec, models};
+        let spec = GpuSpec::a100_80gb();
+        let m = models::resnet50();
+        let pts = profile(|sms| exec::solo_latency(&m, &spec, 1, sms), full_grid(&spec));
+        let rec = recommend(&spec, &pts, m.weight_bytes(4), 0.10).unwrap();
+        assert!(rec.knee_sms < 108.0, "knee {}", rec.knee_sms);
+        assert!(rec.mig_profile.is_some());
+    }
+}

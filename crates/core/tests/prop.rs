@@ -1,0 +1,120 @@
+//! Property-based tests for the partitioning layer.
+
+use parfait_core::accel::format_accelerators;
+use parfait_core::{apply_plan, equal_mig_profile, parse_accelerators, plan, Strategy};
+use parfait_faas::AcceleratorSpec;
+use parfait_gpu::host::GpuFleet;
+use parfait_gpu::GpuSpec;
+use parfait_core::rightsize;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any list of valid GPU indices with valid percentages parses into
+    /// the same number of specs, preserving order and values.
+    #[test]
+    fn accelerator_parse_preserves_order(
+        gpus in proptest::collection::vec(0u32..8, 1..10),
+        pcts in proptest::collection::vec(1u32..=50, 10),
+    ) {
+        let entries: Vec<String> = gpus.iter().map(|g| g.to_string()).collect();
+        let entry_refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
+        let pcts = &pcts[..gpus.len()];
+        let specs = parse_accelerators(&entry_refs, Some(pcts)).unwrap();
+        prop_assert_eq!(specs.len(), gpus.len());
+        for ((spec, g), p) in specs.iter().zip(&gpus).zip(pcts) {
+            prop_assert_eq!(spec, &AcceleratorSpec::GpuPercentage(*g, *p));
+        }
+    }
+
+    /// format ∘ parse is the identity on valid percentage lists.
+    #[test]
+    fn accelerator_format_parse_roundtrip(
+        gpus in proptest::collection::vec(0u32..8, 1..8),
+        pcts in proptest::collection::vec(1u32..=25, 8),
+    ) {
+        let entries: Vec<String> = gpus.iter().map(|g| g.to_string()).collect();
+        let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
+        let specs = parse_accelerators(&refs, Some(&pcts[..gpus.len()])).unwrap();
+        let (e2, p2) = format_accelerators(&specs);
+        let refs2: Vec<&str> = e2.iter().map(|s| s.as_str()).collect();
+        let reparsed = parse_accelerators(&refs2, p2.as_deref()).unwrap();
+        prop_assert_eq!(reparsed, specs);
+    }
+
+    /// Equal-split plans always apply cleanly to an idle device, and the
+    /// resulting spec count equals the worker count, for every strategy
+    /// and every feasible k.
+    #[test]
+    fn plans_always_apply(k in 1usize..8, strat_sel in 0usize..5) {
+        let strategy = match strat_sel {
+            0 => Strategy::TimeSharing,
+            1 => Strategy::MpsDefault,
+            2 => Strategy::MpsEqual,
+            3 => Strategy::MigEqual,
+            _ => Strategy::Vgpu,
+        };
+        let spec = GpuSpec::a100_80gb();
+        let mut fleet = GpuFleet::new();
+        let g = fleet.add(spec.clone());
+        let p = plan(&spec, 0, k, &strategy).unwrap();
+        let specs = apply_plan(&mut fleet, &p).unwrap();
+        prop_assert_eq!(specs.len(), k);
+        if matches!(strategy, Strategy::MigEqual) {
+            prop_assert_eq!(fleet.device(g).mig.instance_count(), k);
+        }
+        if matches!(strategy, Strategy::MpsEqual) {
+            // Equal percentages never oversubscribe.
+            let total: u32 = specs
+                .iter()
+                .map(|s| match s {
+                    AcceleratorSpec::GpuPercentage(_, p) => *p,
+                    _ => 0,
+                })
+                .sum();
+            prop_assert!(total <= 100);
+        }
+    }
+
+    /// The equal MIG profile for k always fits k instances within 7
+    /// compute and 8 memory slices.
+    #[test]
+    fn equal_mig_profile_feasible(k in 1usize..8) {
+        let spec = GpuSpec::a100_80gb();
+        let name = equal_mig_profile(&spec, k).unwrap();
+        let catalog = parfait_gpu::mig::profile_catalog(&spec);
+        let p = catalog.iter().find(|p| p.name == name).unwrap();
+        prop_assert!(p.compute_slices as usize * k <= 7);
+        prop_assert!(p.memory_slices as usize * k <= 8);
+    }
+
+    /// Knee detection: for any decreasing-then-flat profile, the knee is
+    /// within the flat region's tolerance band and never below the first
+    /// point satisfying it.
+    #[test]
+    fn knee_is_minimal_satisfying_point(
+        flat_from in 5u32..80,
+        tol in 0.01f64..0.5,
+    ) {
+        let pts = rightsize::profile(
+            |s| {
+                if s < flat_from as f64 {
+                    100.0 / s
+                } else {
+                    100.0 / flat_from as f64
+                }
+            },
+            (1..=108).map(|s| s as f64),
+        );
+        let k = rightsize::knee(&pts, tol).unwrap();
+        let best = 100.0 / flat_from as f64;
+        let limit = best * (1.0 + tol);
+        // The knee satisfies the tolerance...
+        prop_assert!(100.0 / k.min(flat_from as f64) <= limit + 1e-9);
+        // ...and the point just below it does not (when it exists).
+        if k > 1.5 {
+            let prev = k - 1.0;
+            let lat_prev = if prev < flat_from as f64 { 100.0 / prev } else { best };
+            prop_assert!(lat_prev > limit - 1e-9, "knee {k} not minimal");
+        }
+    }
+}

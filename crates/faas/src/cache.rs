@@ -1,0 +1,135 @@
+//! GPU-resident model weight cache — the §7 "re-configuring GPU resources
+//! faster" apparatus.
+//!
+//! The paper's future-work proposal: when an MPS resize forces a function
+//! process to restart, the dominant cost is re-loading model weights into
+//! GPU memory (10–20 s for LLaMa2). If the weights stay resident in a
+//! cache that *outlives the process*, the restarted instance re-binds to
+//! them in milliseconds.
+//!
+//! This module is the mechanism (lookup table + accounting); the policy
+//! layer (enabling it around reconfigurations, eviction, ablations) lives
+//! in `parfait-core::weightcache`. Cache memory is allocated on the
+//! device under a synthetic owner (`GpuDevice::cache_alloc`), so it
+//! survives context teardown but is wiped by a GPU reset — exactly the
+//! semantics a CUDA IPC / driver-pinned region would have.
+
+use std::collections::HashMap;
+
+/// Weight-cache state for the whole node (keyed by GPU index + model id).
+#[derive(Debug, Default)]
+pub struct WeightCache {
+    enabled: bool,
+    entries: HashMap<(u32, u64), u64>,
+    /// Re-bind count.
+    pub hits: u64,
+    /// Cold-load count (cache populated on miss while enabled).
+    pub misses: u64,
+}
+
+impl WeightCache {
+    /// Disabled cache (stock Parsl behaviour).
+    pub fn new() -> Self {
+        WeightCache::default()
+    }
+
+    /// Turn the cache on/off (existing entries are kept; disabling only
+    /// stops lookups).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is the cache consulted on model loads?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Are these weights resident on this GPU?
+    pub fn contains(&self, gpu: u32, model: u64) -> bool {
+        self.entries.contains_key(&(gpu, model))
+    }
+
+    /// Record newly resident weights.
+    pub fn insert(&mut self, gpu: u32, model: u64, shared_bytes: u64) {
+        self.entries.insert((gpu, model), shared_bytes);
+    }
+
+    /// Forget an entry; returns its byte size (caller must `cache_free`
+    /// on the device).
+    pub fn remove(&mut self, gpu: u32, model: u64) -> Option<u64> {
+        self.entries.remove(&(gpu, model))
+    }
+
+    /// Drop all entries of one GPU (after a reset wiped its memory);
+    /// returns the total bytes that were pinned.
+    pub fn clear_gpu(&mut self, gpu: u32) -> u64 {
+        let keys: Vec<(u32, u64)> = self
+            .entries
+            .keys()
+            .filter(|(g, _)| *g == gpu)
+            .copied()
+            .collect();
+        keys.iter().map(|k| self.entries.remove(k).unwrap_or(0)).sum()
+    }
+
+    /// Bytes pinned on one GPU.
+    pub fn bytes_on(&self, gpu: u32) -> u64 {
+        self.entries
+            .iter()
+            .filter(|((g, _), _)| *g == gpu)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate over all lookups (0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut c = WeightCache::new();
+        assert!(!c.enabled());
+        c.set_enabled(true);
+        assert!(!c.contains(0, 7));
+        c.insert(0, 7, 100);
+        c.insert(1, 7, 100);
+        c.insert(0, 8, 50);
+        assert!(c.contains(0, 7));
+        assert_eq!(c.bytes_on(0), 150);
+        assert_eq!(c.remove(0, 8), Some(50));
+        assert_eq!(c.remove(0, 8), None);
+        assert_eq!(c.clear_gpu(0), 100);
+        assert!(c.contains(1, 7), "other GPU untouched");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = WeightCache::new();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.hits = 3;
+        c.misses = 1;
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! Runtime configuration, mirroring the paper's Listings 1–3.
+//!
+//! A [`Config`] holds one or more executor definitions. The GPU-visible
+//! surface matches the enhanced Parsl of §4: `available_accelerators` may
+//! repeat a GPU to multiplex it (Listing 2), an optional parallel
+//! `gpu_percentage` list caps each worker's SMs through MPS, and entries
+//! may be MIG UUIDs (Listing 3). String parsing and plan synthesis live in
+//! `parfait-core` (the paper's contribution); this layer consumes the
+//! resolved [`AcceleratorSpec`]s.
+
+use crate::wire::WireCodec;
+use parfait_gpu::context::ColdStartModel;
+use parfait_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A resolved accelerator binding for one worker slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcceleratorSpec {
+    /// Whole GPU by fleet index (`CUDA_VISIBLE_DEVICES=<n>`), sharing per
+    /// the device's current mode.
+    Gpu(u32),
+    /// GPU index with an MPS active-thread percentage
+    /// (`CUDA_MPS_ACTIVE_THREAD_PERCENTAGE=<pct>`).
+    GpuPercentage(u32, u32),
+    /// A MIG instance by UUID (`CUDA_VISIBLE_DEVICES=MIG-...`).
+    Mig(String),
+    /// A vGPU slot on a GPU.
+    VgpuSlot(u32, u32),
+}
+
+impl AcceleratorSpec {
+    /// Fleet index of the underlying physical GPU, when directly named.
+    /// MIG UUIDs resolve at worker start via the fleet.
+    pub fn gpu_index(&self) -> Option<u32> {
+        match self {
+            AcceleratorSpec::Gpu(i)
+            | AcceleratorSpec::GpuPercentage(i, _)
+            | AcceleratorSpec::VgpuSlot(i, _) => Some(*i),
+            AcceleratorSpec::Mig(_) => None,
+        }
+    }
+}
+
+/// How workers are provisioned (Parsl execution providers, §2.2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProviderConfig {
+    /// `LocalProvider`: fork worker processes on the local node.
+    Local {
+        /// Process fork+exec delay before cold start begins.
+        spawn_delay: SimDuration,
+    },
+    /// `SlurmProvider`: batch-queue wait then remote launch.
+    Slurm {
+        /// Mean queue wait (exponential).
+        queue_wait_mean: SimDuration,
+        /// srun launch delay once scheduled.
+        spawn_delay: SimDuration,
+    },
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        ProviderConfig::Local {
+            spawn_delay: SimDuration::from_millis(150),
+        }
+    }
+}
+
+/// Executor flavours (§2.2.1: Parsl "supports Executors designed to
+/// support different use cases; from extreme-scale to low latency").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorKind {
+    /// The pilot-job `HighThroughputExecutor`: provider-spawned worker
+    /// processes with full cold starts — the executor this paper extends.
+    HighThroughput,
+    /// Python's `ThreadPoolExecutor`: threads of the already-running
+    /// submitting process — no provider delay, no cold start, CPU-only.
+    ThreadPool,
+}
+
+/// One executor definition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Label tasks route by (Listing 1's `label='cpu'` / `label="gpu"`).
+    pub label: String,
+    /// Worker process count (`max_workers`).
+    pub max_workers: usize,
+    /// Accelerator bound to each worker slot, cycled Parsl-style: worker
+    /// `i` takes `accelerators[i % len]`. Empty = CPU-only workers.
+    pub accelerators: Vec<AcceleratorSpec>,
+    /// Provider used to provision the workers.
+    pub provider: ProviderConfig,
+    /// Executor flavour.
+    pub kind: ExecutorKind,
+}
+
+impl ExecutorConfig {
+    /// CPU-only executor (Listing 1's first entry).
+    pub fn cpu(label: impl Into<String>, max_workers: usize) -> Self {
+        ExecutorConfig {
+            label: label.into(),
+            max_workers,
+            accelerators: Vec::new(),
+            provider: ProviderConfig::default(),
+            kind: ExecutorKind::HighThroughput,
+        }
+    }
+
+    /// `ThreadPoolExecutor`-style in-process thread pool (§2.2.1):
+    /// CPU-only, instantly warm, no provider.
+    pub fn thread_pool(label: impl Into<String>, threads: usize) -> Self {
+        ExecutorConfig {
+            label: label.into(),
+            max_workers: threads,
+            accelerators: Vec::new(),
+            provider: ProviderConfig::Local {
+                spawn_delay: SimDuration::ZERO,
+            },
+            kind: ExecutorKind::ThreadPool,
+        }
+    }
+
+    /// GPU executor with explicit accelerator slots; `max_workers`
+    /// defaults to one worker per slot, as the paper's multiplexing
+    /// configurations do.
+    pub fn gpu(label: impl Into<String>, accelerators: Vec<AcceleratorSpec>) -> Self {
+        let n = accelerators.len();
+        ExecutorConfig {
+            label: label.into(),
+            max_workers: n,
+            accelerators,
+            provider: ProviderConfig::default(),
+            kind: ExecutorKind::HighThroughput,
+        }
+    }
+
+    /// Accelerator for worker slot `i` (cycled).
+    pub fn accelerator_for(&self, worker_index: usize) -> Option<&AcceleratorSpec> {
+        if self.accelerators.is_empty() {
+            None
+        } else {
+            Some(&self.accelerators[worker_index % self.accelerators.len()])
+        }
+    }
+}
+
+/// Top-level configuration (Listing 1's `Config`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Executor definitions.
+    pub executors: Vec<ExecutorConfig>,
+    /// Task retry budget on failure (`retries=1` in Listing 1).
+    pub retries: u32,
+    /// Cold-start model applied to new worker processes.
+    pub cold_start: ColdStartModel,
+    /// Task-dispatch serialization/transport model.
+    pub wire: WireCodec,
+    /// Physical cores on the node (the paper's testbed has 24 Xeon
+    /// cores). CPU steps slow down proportionally when more workers are
+    /// simultaneously compute-bound than there are cores.
+    pub node_cores: usize,
+    /// Sampling period for node/GPU monitoring records (None = off).
+    pub monitoring_period: Option<SimDuration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            executors: Vec::new(),
+            retries: 1,
+            cold_start: ColdStartModel::default(),
+            wire: WireCodec::default(),
+            node_cores: 24,
+            monitoring_period: Some(SimDuration::from_millis(500)),
+        }
+    }
+}
+
+impl Config {
+    /// Config with the given executors and Listing-1 defaults.
+    pub fn new(executors: Vec<ExecutorConfig>) -> Self {
+        Config {
+            executors,
+            ..Config::default()
+        }
+    }
+
+    /// Find an executor index by label.
+    pub fn executor_index(&self, label: &str) -> Option<usize> {
+        self.executors.iter().position(|e| e.label == label)
+    }
+
+    /// Validate the configuration against a fleet of `gpu_count` devices.
+    /// Returns every problem found (empty = valid). Run before `boot`;
+    /// a worker with a bad binding otherwise dies at cold-start time.
+    pub fn validate(&self, gpu_count: u32) -> Vec<ConfigIssue> {
+        let mut issues = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (ei, e) in self.executors.iter().enumerate() {
+            if !seen.insert(e.label.clone()) {
+                issues.push(ConfigIssue::DuplicateLabel(e.label.clone()));
+            }
+            if e.max_workers == 0 {
+                issues.push(ConfigIssue::NoWorkers(e.label.clone()));
+            }
+            if e.kind == ExecutorKind::ThreadPool && !e.accelerators.is_empty() {
+                issues.push(ConfigIssue::ThreadPoolWithAccelerators(e.label.clone()));
+            }
+            let mut pct_by_gpu: std::collections::BTreeMap<u32, u32> =
+                std::collections::BTreeMap::new();
+            for a in &e.accelerators {
+                match a {
+                    AcceleratorSpec::Gpu(g)
+                    | AcceleratorSpec::GpuPercentage(g, _)
+                    | AcceleratorSpec::VgpuSlot(g, _)
+                        if *g >= gpu_count =>
+                    {
+                        issues.push(ConfigIssue::UnknownGpu {
+                            executor: ei,
+                            gpu: *g,
+                        });
+                    }
+                    AcceleratorSpec::GpuPercentage(g, p) => {
+                        if !(1..=100).contains(p) {
+                            issues.push(ConfigIssue::BadPercentage {
+                                executor: ei,
+                                pct: *p,
+                            });
+                        }
+                        *pct_by_gpu.entry(*g).or_insert(0) += p;
+                    }
+                    _ => {}
+                }
+            }
+            for (gpu, total) in pct_by_gpu {
+                if total > 200 {
+                    issues.push(ConfigIssue::Oversubscribed {
+                        executor: ei,
+                        gpu,
+                        total,
+                    });
+                }
+            }
+        }
+        issues
+    }
+
+    /// The paper's Listing-1 shape: 16 CPU workers + one whole-GPU worker.
+    pub fn hsc() -> Self {
+        Config::new(vec![
+            ExecutorConfig::cpu("cpu", 16),
+            ExecutorConfig::gpu("gpu", vec![AcceleratorSpec::Gpu(0)]),
+        ])
+    }
+}
+
+/// A problem found by [`Config::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ConfigIssue {
+    /// Two executors share a label; task routing would be ambiguous.
+    DuplicateLabel(String),
+    /// Executor has zero workers.
+    NoWorkers(String),
+    /// ThreadPool executors are CPU-only (§2.2.1).
+    ThreadPoolWithAccelerators(String),
+    /// Accelerator names a GPU index the fleet does not have.
+    UnknownGpu {
+        /// Executor index.
+        executor: usize,
+        /// Offending GPU index.
+        gpu: u32,
+    },
+    /// MPS percentage outside 1..=100.
+    BadPercentage {
+        /// Executor index.
+        executor: usize,
+        /// Offending percentage.
+        pct: u32,
+    },
+    /// Percentages on one GPU exceed the 200% oversubscription guard.
+    Oversubscribed {
+        /// Executor index.
+        executor: usize,
+        /// GPU index.
+        gpu: u32,
+        /// Sum of percentages.
+        total: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsc_matches_listing1() {
+        let c = Config::hsc();
+        assert_eq!(c.executors.len(), 2);
+        assert_eq!(c.executors[0].label, "cpu");
+        assert_eq!(c.executors[0].max_workers, 16);
+        assert!(c.executors[0].accelerators.is_empty());
+        assert_eq!(c.executors[1].label, "gpu");
+        assert_eq!(c.executors[1].max_workers, 1);
+        assert_eq!(c.retries, 1);
+    }
+
+    #[test]
+    fn accelerators_cycle_across_workers() {
+        // Listing 2: GPUs 1, 2, 4 with percentages; 6 workers cycle.
+        let mut e = ExecutorConfig::gpu(
+            "gpu",
+            vec![
+                AcceleratorSpec::GpuPercentage(1, 50),
+                AcceleratorSpec::GpuPercentage(2, 25),
+                AcceleratorSpec::GpuPercentage(4, 30),
+            ],
+        );
+        e.max_workers = 6;
+        assert_eq!(e.accelerator_for(0), Some(&AcceleratorSpec::GpuPercentage(1, 50)));
+        assert_eq!(e.accelerator_for(4), Some(&AcceleratorSpec::GpuPercentage(2, 25)));
+        assert_eq!(ExecutorConfig::cpu("c", 2).accelerator_for(0), None);
+    }
+
+    #[test]
+    fn duplicated_gpu_entries_multiplex() {
+        // Listing 2's trick: list a GPU twice to give it to two workers.
+        let e = ExecutorConfig::gpu(
+            "gpu",
+            vec![
+                AcceleratorSpec::GpuPercentage(0, 50),
+                AcceleratorSpec::GpuPercentage(0, 50),
+            ],
+        );
+        assert_eq!(e.max_workers, 2);
+        assert_eq!(e.accelerator_for(0).unwrap().gpu_index(), Some(0));
+        assert_eq!(e.accelerator_for(1).unwrap().gpu_index(), Some(0));
+    }
+
+    #[test]
+    fn executor_lookup() {
+        let c = Config::hsc();
+        assert_eq!(c.executor_index("gpu"), Some(1));
+        assert_eq!(c.executor_index("nope"), None);
+    }
+
+    #[test]
+    fn validate_catches_misconfigurations() {
+        let mut c = Config::new(vec![
+            ExecutorConfig::cpu("dup", 2),
+            ExecutorConfig::cpu("dup", 0),
+            ExecutorConfig::gpu(
+                "gpu",
+                vec![
+                    AcceleratorSpec::GpuPercentage(5, 50),
+                    AcceleratorSpec::GpuPercentage(0, 90),
+                    AcceleratorSpec::GpuPercentage(0, 90),
+                    AcceleratorSpec::GpuPercentage(0, 90),
+                ],
+            ),
+        ]);
+        let mut tp = ExecutorConfig::thread_pool("tp", 2);
+        tp.accelerators.push(AcceleratorSpec::Gpu(0));
+        c.executors.push(tp);
+        let issues = c.validate(1);
+        assert!(issues.contains(&ConfigIssue::DuplicateLabel("dup".into())));
+        assert!(issues.contains(&ConfigIssue::NoWorkers("dup".into())));
+        assert!(issues.contains(&ConfigIssue::UnknownGpu { executor: 2, gpu: 5 }));
+        assert!(issues.contains(&ConfigIssue::Oversubscribed {
+            executor: 2,
+            gpu: 0,
+            total: 270
+        }));
+        assert!(issues.contains(&ConfigIssue::ThreadPoolWithAccelerators("tp".into())));
+    }
+
+    #[test]
+    fn hsc_validates_clean() {
+        assert!(Config::hsc().validate(1).is_empty());
+        // ...but not against an empty fleet.
+        assert!(!Config::hsc().validate(0).is_empty());
+    }
+
+    #[test]
+    fn mig_spec_has_no_direct_index() {
+        let s = AcceleratorSpec::Mig("MIG-GPU0-0-3g.40gb".into());
+        assert_eq!(s.gpu_index(), None);
+    }
+}

@@ -1,0 +1,434 @@
+//! The DataFlowKernel: task table, dependency graph, retries.
+//!
+//! Parsl's DFK interposes between app invocations and executors: it tracks
+//! each task's lifecycle, releases tasks whose dependencies completed, and
+//! re-queues failed tasks while retries remain. This module is the pure
+//! state machine; event wiring lives in [`crate::world`].
+
+use crate::app::{AppCall, BodyFactory, TaskId};
+use parfait_simcore::SimTime;
+use serde::Serialize;
+
+/// Task lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TaskState {
+    /// Waiting on dependencies.
+    Waiting,
+    /// Dependencies met; queued at its executor.
+    Ready,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Failed permanently (retries exhausted or dependency failed).
+    Failed,
+}
+
+/// One task's record (Parsl monitoring-DB style).
+pub struct TaskRecord {
+    /// Task id.
+    pub id: TaskId,
+    /// App (function) name.
+    pub app: String,
+    /// Executor index in the config.
+    pub executor: usize,
+    /// Current state.
+    pub state: TaskState,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// When a worker picked it up (per attempt; last attempt wins).
+    pub dispatched: Option<SimTime>,
+    /// When the body began executing (after model load).
+    pub started: Option<SimTime>,
+    /// Completion or permanent failure time.
+    pub finished: Option<SimTime>,
+    /// Worker that ran the final attempt.
+    pub worker: Option<usize>,
+    /// Remaining retry budget.
+    pub retries_left: u32,
+    /// Failure reason, if failed.
+    pub error: Option<String>,
+    /// Dependencies.
+    pub depends_on: Vec<TaskId>,
+    /// Unmet dependency count.
+    pending_deps: usize,
+    /// Reverse edges.
+    dependents: Vec<TaskId>,
+    /// Serialized payload size for wire-dispatch latency.
+    pub payload_bytes: usize,
+    /// Per-attempt walltime limit.
+    pub walltime: Option<parfait_simcore::SimDuration>,
+    /// Recreates the body for each attempt.
+    pub(crate) factory: BodyFactory,
+}
+
+/// Outcome of reporting a task failure to the DFK.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// The task should be re-queued (retry budget remained).
+    Retry,
+    /// Permanent failure; listed dependents failed transitively.
+    Fatal {
+        /// Tasks that can now never run.
+        cascade: Vec<TaskId>,
+    },
+}
+
+/// The task table.
+#[derive(Default)]
+pub struct Dfk {
+    tasks: Vec<TaskRecord>,
+    done: u64,
+    failed: u64,
+}
+
+impl Dfk {
+    /// Empty kernel.
+    pub fn new() -> Self {
+        Dfk::default()
+    }
+
+    /// Register a call. Returns the id and whether it is immediately ready
+    /// (no unmet dependencies).
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        call: AppCall,
+        executor: usize,
+        retries: u32,
+    ) -> (TaskId, bool) {
+        let id = TaskId(self.tasks.len() as u64);
+        let mut pending = 0;
+        for dep in &call.depends_on {
+            let d = &mut self.tasks[dep.0 as usize];
+            match d.state {
+                TaskState::Done => {}
+                TaskState::Failed => pending = usize::MAX, // can never run
+                _ => {
+                    d.dependents.push(id);
+                    pending += 1;
+                }
+            }
+            if pending == usize::MAX {
+                break;
+            }
+        }
+        let ready = pending == 0;
+        let failed_dep = pending == usize::MAX;
+        self.tasks.push(TaskRecord {
+            id,
+            app: call.app,
+            executor,
+            state: if failed_dep {
+                TaskState::Failed
+            } else if ready {
+                TaskState::Ready
+            } else {
+                TaskState::Waiting
+            },
+            submitted: now,
+            dispatched: None,
+            started: None,
+            finished: if failed_dep { Some(now) } else { None },
+            worker: None,
+            retries_left: retries,
+            error: failed_dep.then(|| "dependency failed before submission".to_string()),
+            depends_on: call.depends_on,
+            pending_deps: if failed_dep { 0 } else { pending },
+            dependents: Vec::new(),
+            payload_bytes: call.payload_bytes,
+            walltime: call.walltime,
+            factory: call.make_body,
+        });
+        if failed_dep {
+            self.failed += 1;
+        }
+        (id, ready && !failed_dep)
+    }
+
+    /// Borrow a record.
+    pub fn task(&self, id: TaskId) -> &TaskRecord {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Mutably borrow a record.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut TaskRecord {
+        &mut self.tasks[id.0 as usize]
+    }
+
+    /// All records.
+    pub fn tasks(&self) -> &[TaskRecord] {
+        &self.tasks
+    }
+
+    /// Number of tasks ever submitted.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Completed-successfully count.
+    pub fn done_count(&self) -> u64 {
+        self.done
+    }
+
+    /// Permanently-failed count.
+    pub fn failed_count(&self) -> u64 {
+        self.failed
+    }
+
+    /// All tasks reached a terminal state.
+    pub fn all_settled(&self) -> bool {
+        self.done + self.failed == self.tasks.len() as u64
+    }
+
+    /// A worker picked the task up.
+    pub fn mark_dispatched(&mut self, id: TaskId, now: SimTime, worker: usize) {
+        let t = self.task_mut(id);
+        debug_assert!(matches!(t.state, TaskState::Ready));
+        t.state = TaskState::Running;
+        t.dispatched = Some(now);
+        t.worker = Some(worker);
+    }
+
+    /// The body began executing (model resident).
+    pub fn mark_started(&mut self, id: TaskId, now: SimTime) {
+        let t = self.task_mut(id);
+        if t.started.is_none() {
+            t.started = Some(now);
+        }
+    }
+
+    /// Successful completion. Returns dependents that became ready.
+    pub fn mark_done(&mut self, id: TaskId, now: SimTime) -> Vec<TaskId> {
+        let deps = {
+            let t = self.task_mut(id);
+            debug_assert!(matches!(t.state, TaskState::Running));
+            t.state = TaskState::Done;
+            t.finished = Some(now);
+            std::mem::take(&mut t.dependents)
+        };
+        self.done += 1;
+        let mut ready = Vec::new();
+        for d in deps {
+            let t = self.task_mut(d);
+            if t.state == TaskState::Waiting {
+                t.pending_deps -= 1;
+                if t.pending_deps == 0 {
+                    t.state = TaskState::Ready;
+                    ready.push(d);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Failure of the current attempt. Either re-queues (`Retry`, caller
+    /// puts it back on the executor queue) or fails permanently,
+    /// cascading to dependents.
+    pub fn mark_failed(&mut self, id: TaskId, now: SimTime, error: &str) -> FailureOutcome {
+        {
+            let t = self.task_mut(id);
+            if t.retries_left > 0 {
+                t.retries_left -= 1;
+                t.state = TaskState::Ready;
+                t.error = Some(error.to_string());
+                return FailureOutcome::Retry;
+            }
+        }
+        let mut cascade = Vec::new();
+        let mut stack = vec![(id, error.to_string())];
+        while let Some((tid, err)) = stack.pop() {
+            let deps = {
+                let t = self.task_mut(tid);
+                if t.state == TaskState::Failed {
+                    continue;
+                }
+                t.state = TaskState::Failed;
+                t.finished = Some(now);
+                t.error = Some(err);
+                std::mem::take(&mut t.dependents)
+            };
+            self.failed += 1;
+            if tid != id {
+                cascade.push(tid);
+            }
+            for d in deps {
+                stack.push((d, format!("dependency task {} failed", tid.0)));
+            }
+        }
+        FailureOutcome::Fatal { cascade }
+    }
+
+    /// Cancel a task that has not started running. `Waiting` and `Ready`
+    /// tasks become `Failed` with a cancellation error (cascading to
+    /// dependents); running or settled tasks are not cancellable and
+    /// return `false` — matching `concurrent.futures` semantics, where
+    /// `Future.cancel()` only succeeds before execution begins.
+    pub fn cancel(&mut self, id: TaskId, now: SimTime) -> bool {
+        match self.task(id).state {
+            TaskState::Waiting | TaskState::Ready => {
+                // Exhaust retries so mark_failed is terminal.
+                self.task_mut(id).retries_left = 0;
+                // mark_failed expects any non-terminal state; it cascades.
+                let _ = self.mark_failed(id, now, "cancelled");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Instantiate a fresh body for an attempt of `id`.
+    pub fn make_body(&self, id: TaskId, rng: &mut parfait_simcore::SimRng) -> Box<dyn crate::app::TaskBody> {
+        (self.task(id).factory)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::bodies::CpuBurn;
+    use parfait_simcore::{SimDuration, SimRng};
+
+    fn call(app: &str) -> AppCall {
+        AppCall::new(app, "cpu", |_| Box::new(CpuBurn::new(SimDuration::from_secs(1))))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn submit_without_deps_is_ready() {
+        let mut dfk = Dfk::new();
+        let (id, ready) = dfk.submit(t(0), call("a"), 0, 1);
+        assert!(ready);
+        assert_eq!(dfk.task(id).state, TaskState::Ready);
+        assert_eq!(dfk.len(), 1);
+    }
+
+    #[test]
+    fn dependency_chain_releases_in_order() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        let (b, ready_b) = dfk.submit(t(0), call("b").after(&[a]), 0, 0);
+        let (c, ready_c) = dfk.submit(t(0), call("c").after(&[a, b]), 0, 0);
+        assert!(!ready_b && !ready_c);
+        dfk.mark_dispatched(a, t(1), 0);
+        dfk.mark_started(a, t(1));
+        let ready = dfk.mark_done(a, t(2));
+        assert_eq!(ready, vec![b]);
+        assert_eq!(dfk.task(c).state, TaskState::Waiting);
+        dfk.mark_dispatched(b, t(2), 0);
+        let ready = dfk.mark_done(b, t(3));
+        assert_eq!(ready, vec![c]);
+    }
+
+    #[test]
+    fn dependency_on_done_task_is_satisfied() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        dfk.mark_dispatched(a, t(0), 0);
+        dfk.mark_done(a, t(1));
+        let (_b, ready) = dfk.submit(t(2), call("b").after(&[a]), 0, 0);
+        assert!(ready);
+    }
+
+    #[test]
+    fn retry_then_fatal() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 1);
+        dfk.mark_dispatched(a, t(0), 0);
+        assert_eq!(dfk.mark_failed(a, t(1), "oom"), FailureOutcome::Retry);
+        assert_eq!(dfk.task(a).state, TaskState::Ready);
+        assert_eq!(dfk.task(a).retries_left, 0);
+        dfk.mark_dispatched(a, t(1), 0);
+        match dfk.mark_failed(a, t(2), "oom again") {
+            FailureOutcome::Fatal { cascade } => assert!(cascade.is_empty()),
+            other => panic!("expected fatal, got {other:?}"),
+        }
+        assert_eq!(dfk.failed_count(), 1);
+        assert_eq!(dfk.task(a).error.as_deref(), Some("oom again"));
+    }
+
+    #[test]
+    fn failure_cascades_to_dependents() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        let (b, _) = dfk.submit(t(0), call("b").after(&[a]), 0, 0);
+        let (c, _) = dfk.submit(t(0), call("c").after(&[b]), 0, 0);
+        dfk.mark_dispatched(a, t(0), 0);
+        match dfk.mark_failed(a, t(1), "boom") {
+            FailureOutcome::Fatal { mut cascade } => {
+                cascade.sort();
+                assert_eq!(cascade, vec![b, c]);
+            }
+            other => panic!("expected fatal, got {other:?}"),
+        }
+        assert_eq!(dfk.failed_count(), 3);
+        assert!(dfk.all_settled());
+        assert!(dfk.task(c).error.as_deref().unwrap().contains("dependency"));
+    }
+
+    #[test]
+    fn submit_after_failed_dep_fails_immediately() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        dfk.mark_dispatched(a, t(0), 0);
+        dfk.mark_failed(a, t(1), "boom");
+        let (b, ready) = dfk.submit(t(2), call("b").after(&[a]), 0, 0);
+        assert!(!ready);
+        assert_eq!(dfk.task(b).state, TaskState::Failed);
+        assert_eq!(dfk.failed_count(), 2);
+    }
+
+    #[test]
+    fn settled_accounting() {
+        let mut dfk = Dfk::new();
+        assert!(dfk.all_settled(), "vacuously settled when empty");
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        assert!(!dfk.all_settled());
+        dfk.mark_dispatched(a, t(0), 0);
+        dfk.mark_done(a, t(1));
+        assert!(dfk.all_settled());
+        assert_eq!(dfk.done_count(), 1);
+    }
+
+    #[test]
+    fn cancel_only_before_execution() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 3);
+        let (b, _) = dfk.submit(t(0), call("b").after(&[a]), 0, 3);
+        assert!(dfk.cancel(b, t(1)), "waiting task cancellable");
+        assert_eq!(dfk.task(b).state, TaskState::Failed);
+        assert_eq!(dfk.task(b).error.as_deref(), Some("cancelled"));
+        dfk.mark_dispatched(a, t(1), 0);
+        assert!(!dfk.cancel(a, t(2)), "running task not cancellable");
+        dfk.mark_done(a, t(3));
+        assert!(!dfk.cancel(a, t(4)), "done task not cancellable");
+        assert!(dfk.all_settled());
+    }
+
+    #[test]
+    fn cancel_cascades_to_dependents() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 0);
+        let (b, _) = dfk.submit(t(0), call("b").after(&[a]), 0, 0);
+        assert!(dfk.cancel(a, t(1)));
+        assert_eq!(dfk.task(b).state, TaskState::Failed);
+        assert_eq!(dfk.failed_count(), 2);
+    }
+
+    #[test]
+    fn body_factory_runs_per_attempt() {
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(t(0), call("a"), 0, 3);
+        let mut rng = SimRng::new(0);
+        let _b1 = dfk.make_body(a, &mut rng);
+        let _b2 = dfk.make_body(a, &mut rng);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # parfait-faas
+//!
+//! A Parsl-workalike FaaS runtime over the PARFAIT discrete-event
+//! simulator — the substrate the paper's contribution plugs into.
+//!
+//! The shape mirrors Parsl/Globus Compute (§2.2 of the paper):
+//!
+//! * [`app`] — apps, task bodies ([`app::TaskStep`] programs), futures'
+//!   moral equivalent via task ids.
+//! * [`config`] — `Config`/executor definitions matching Listings 1–3,
+//!   including duplicated `available_accelerators` entries, per-worker
+//!   `gpu_percentage`, and MIG UUIDs.
+//! * [`dfk`] — the DataFlowKernel: dependencies, retries, lifecycle.
+//! * [`world`] — the HighThroughputExecutor pilot model: providers spawn
+//!   worker processes, workers cold-start (§6 decomposition), bind GPU
+//!   contexts from their environment, pull tasks, and interpret task
+//!   bodies against the simulated node.
+//! * [`monitoring`] — Parsl-monitoring-style records feeding the figures.
+
+pub mod app;
+pub mod cache;
+pub mod config;
+pub mod dfk;
+pub mod monitoring;
+pub mod strategy;
+pub mod wire;
+pub mod world;
+
+pub use app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
+pub use cache::WeightCache;
+pub use config::{AcceleratorSpec, Config, ExecutorConfig, ProviderConfig};
+pub use dfk::{Dfk, FailureOutcome, TaskRecord, TaskState};
+pub use world::{
+    boot, cancel, kick_executor, kill_worker, respawn_worker, resume_sampling, run, shutdown,
+    submit, Driver, FaasWorld, Worker, WorkerState,
+};

@@ -1,0 +1,301 @@
+//! Monitoring records (Parsl's monitoring database, in memory).
+//!
+//! Two record streams feed the figure harness:
+//!
+//! * [`UtilSample`] — periodic per-GPU utilization/memory samples, the
+//!   source of the "GPU is idle between inference bursts" observation
+//!   behind Fig. 3;
+//! * [`WorkerEvent`] — worker lifecycle (spawn, cold-start done, task
+//!   start/end, kill), the source of cold-start decompositions (§6).
+//!
+//! Task-level records live in the DFK itself; [`task_rows`] flattens them
+//! for export.
+
+use crate::dfk::{Dfk, TaskState};
+use parfait_simcore::SimTime;
+use serde::Serialize;
+
+/// One periodic GPU sample.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct UtilSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Device index.
+    pub gpu: u32,
+    /// Busy SMs at the sample instant.
+    pub busy_sms: f64,
+    /// Occupancy in `[0,1]`.
+    pub utilization: f64,
+    /// Allocated bytes across all memory domains.
+    pub memory_used: u64,
+}
+
+/// Worker lifecycle event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WorkerEventKind {
+    /// Process forked (provider handed it over).
+    Spawned,
+    /// Cold start finished; worker idle.
+    Ready,
+    /// Picked up a task.
+    TaskStart,
+    /// Finished a task (success or failure).
+    TaskEnd,
+    /// Killed (shutdown or reconfiguration).
+    Killed,
+}
+
+/// One worker lifecycle event.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerEvent {
+    /// Event time.
+    pub t: SimTime,
+    /// Worker index.
+    pub worker: usize,
+    /// Kind.
+    pub kind: WorkerEventKind,
+    /// Free-form detail (task id, kill reason...).
+    pub detail: String,
+}
+
+/// Flattened task row for export.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskRow {
+    /// Task id.
+    pub id: u64,
+    /// App name.
+    pub app: String,
+    /// Executor index.
+    pub executor: usize,
+    /// Terminal state name.
+    pub state: &'static str,
+    /// Submit → finish latency in seconds (None if unfinished).
+    pub turnaround_s: Option<f64>,
+    /// Start → finish execution time in seconds.
+    pub exec_s: Option<f64>,
+    /// Worker index.
+    pub worker: Option<usize>,
+    /// Error, if failed.
+    pub error: Option<String>,
+}
+
+/// One periodic executor-queue sample.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueueSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Executor index.
+    pub executor: usize,
+    /// Ready tasks waiting in the queue.
+    pub depth: usize,
+}
+
+/// In-memory monitoring store.
+#[derive(Debug, Default)]
+pub struct Monitoring {
+    /// GPU samples, in time order.
+    pub samples: Vec<UtilSample>,
+    /// Executor queue-depth samples, in time order.
+    pub queue_samples: Vec<QueueSample>,
+    /// Worker events, in time order.
+    pub worker_events: Vec<WorkerEvent>,
+}
+
+impl Monitoring {
+    /// Empty store.
+    pub fn new() -> Self {
+        Monitoring::default()
+    }
+
+    /// Append a worker event.
+    pub fn worker_event(&mut self, t: SimTime, worker: usize, kind: WorkerEventKind, detail: impl Into<String>) {
+        self.worker_events.push(WorkerEvent {
+            t,
+            worker,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Mean utilization of `gpu` over all samples.
+    pub fn mean_utilization(&self, gpu: u32) -> f64 {
+        let xs: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.gpu == gpu)
+            .map(|s| s.utilization)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Mean queue depth of an executor over all samples.
+    pub fn mean_queue_depth(&self, executor: usize) -> f64 {
+        let xs: Vec<usize> = self
+            .queue_samples
+            .iter()
+            .filter(|s| s.executor == executor)
+            .map(|s| s.depth)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<usize>() as f64 / xs.len() as f64
+        }
+    }
+
+    /// Peak sampled queue depth of an executor.
+    pub fn peak_queue_depth(&self, executor: usize) -> usize {
+        self.queue_samples
+            .iter()
+            .filter(|s| s.executor == executor)
+            .map(|s| s.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of samples where `gpu` was fully idle.
+    pub fn idle_fraction(&self, gpu: u32) -> f64 {
+        let xs: Vec<&UtilSample> = self.samples.iter().filter(|s| s.gpu == gpu).collect();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().filter(|s| s.utilization <= f64::EPSILON).count() as f64 / xs.len() as f64
+    }
+}
+
+/// Name a task state.
+fn state_name(s: TaskState) -> &'static str {
+    match s {
+        TaskState::Waiting => "waiting",
+        TaskState::Ready => "ready",
+        TaskState::Running => "running",
+        TaskState::Done => "done",
+        TaskState::Failed => "failed",
+    }
+}
+
+/// Serialize a full monitoring snapshot (task rows + GPU samples +
+/// worker events) as pretty JSON — the moral equivalent of dumping
+/// Parsl's monitoring database for offline analysis.
+pub fn export_json(dfk: &Dfk, monitor: &Monitoring) -> String {
+    #[derive(Serialize)]
+    struct Snapshot<'a> {
+        tasks: Vec<TaskRow>,
+        samples: &'a [UtilSample],
+        queue_samples: &'a [QueueSample],
+        worker_events: &'a [WorkerEvent],
+    }
+    serde_json::to_string_pretty(&Snapshot {
+        tasks: task_rows(dfk),
+        samples: &monitor.samples,
+        queue_samples: &monitor.queue_samples,
+        worker_events: &monitor.worker_events,
+    })
+    .expect("monitoring snapshot serializes")
+}
+
+/// Flatten the DFK task table for export.
+pub fn task_rows(dfk: &Dfk) -> Vec<TaskRow> {
+    dfk.tasks()
+        .iter()
+        .map(|t| TaskRow {
+            id: t.id.0,
+            app: t.app.clone(),
+            executor: t.executor,
+            state: state_name(t.state),
+            turnaround_s: t
+                .finished
+                .map(|f| f.duration_since(t.submitted).as_secs_f64()),
+            exec_s: match (t.started, t.finished) {
+                (Some(s), Some(f)) => Some(f.duration_since(s).as_secs_f64()),
+                _ => None,
+            },
+            worker: t.worker,
+            error: t.error.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_aggregates() {
+        let mut m = Monitoring::new();
+        for (t, u) in [(1u64, 0.0), (2, 1.0), (3, 0.5), (4, 0.0)] {
+            m.samples.push(UtilSample {
+                t: SimTime::from_secs(t),
+                gpu: 0,
+                busy_sms: u * 108.0,
+                utilization: u,
+                memory_used: 0,
+            });
+        }
+        assert!((m.mean_utilization(0) - 0.375).abs() < 1e-12);
+        assert!((m.idle_fraction(0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.mean_utilization(1), 0.0);
+    }
+
+    #[test]
+    fn export_json_roundtrips_through_serde() {
+        use crate::app::AppCall;
+        use crate::app::bodies::CpuBurn;
+        use parfait_simcore::SimDuration;
+        let mut dfk = Dfk::new();
+        let (a, _) = dfk.submit(
+            SimTime::ZERO,
+            AppCall::new("demo", "cpu", |_| {
+                Box::new(CpuBurn::new(SimDuration::from_secs(1)))
+            }),
+            0,
+            0,
+        );
+        dfk.mark_dispatched(a, SimTime::ZERO, 0);
+        dfk.mark_started(a, SimTime::ZERO);
+        dfk.mark_done(a, SimTime::from_secs(1));
+        let mut m = Monitoring::new();
+        m.worker_event(SimTime::ZERO, 0, WorkerEventKind::Ready, "");
+        m.samples.push(UtilSample {
+            t: SimTime::from_secs(1),
+            gpu: 0,
+            busy_sms: 54.0,
+            utilization: 0.5,
+            memory_used: 1024,
+        });
+        let json = export_json(&dfk, &m);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["tasks"][0]["app"], "demo");
+        assert_eq!(v["tasks"][0]["state"], "done");
+        assert_eq!(v["samples"][0]["utilization"], 0.5);
+        assert_eq!(v["worker_events"][0]["kind"], "Ready");
+    }
+
+    #[test]
+    fn queue_depth_aggregates() {
+        let mut m = Monitoring::new();
+        for (t, d) in [(1u64, 0usize), (2, 4), (3, 8), (4, 0)] {
+            m.queue_samples.push(QueueSample {
+                t: SimTime::from_secs(t),
+                executor: 0,
+                depth: d,
+            });
+        }
+        assert!((m.mean_queue_depth(0) - 3.0).abs() < 1e-12);
+        assert_eq!(m.peak_queue_depth(0), 8);
+        assert_eq!(m.peak_queue_depth(5), 0);
+    }
+
+    #[test]
+    fn worker_events_record() {
+        let mut m = Monitoring::new();
+        m.worker_event(SimTime::ZERO, 3, WorkerEventKind::Spawned, "");
+        m.worker_event(SimTime::from_secs(2), 3, WorkerEventKind::Ready, "cold=2s");
+        assert_eq!(m.worker_events.len(), 2);
+        assert_eq!(m.worker_events[1].kind, WorkerEventKind::Ready);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The running platform: executors, workers, and event wiring.
+//!
+//! [`FaasWorld`] is the simulation world type — it owns the GPU fleet, the
+//! DataFlowKernel, the worker pool, monitoring and timeline stores, and an
+//! optional experiment [`Driver`]. Free functions ([`boot`], [`submit`],
+//! [`kill_worker`], ...) mutate it under an `Engine<FaasWorld>`.
+//!
+//! ## Worker lifecycle (HighThroughputExecutor pilot model)
+//!
+//! ```text
+//! Provisioning --provider delay--> ColdStart --fi+ctx init--> Idle
+//!     Idle --task assigned--> Busy --steps/kernels--> Idle ...
+//!     any --kill_worker--> Dead --respawn_worker--> Provisioning
+//! ```
+//!
+//! Cold start covers §6 parts (1) function init and (2) GPU context init;
+//! part (3), model load, is paid by the first task whose
+//! [`crate::app::ModelProfile`] is not yet resident on the worker —
+//! subsequent tasks reuse the warm model exactly like a warmed serverless
+//! function instance.
+
+use crate::app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
+use crate::cache::WeightCache;
+use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig};
+use crate::dfk::{Dfk, FailureOutcome};
+use crate::monitoring::{Monitoring, QueueSample, UtilSample, WorkerEventKind};
+use parfait_gpu::context::ColdStartBreakdown;
+use parfait_gpu::host::{launch_kernel, resync, GpuFleet, GpuHost};
+use parfait_gpu::mps::MPS_ENV_VAR;
+use parfait_gpu::{CtxBinding, GpuId, KernelDone};
+use parfait_simcore::resource::{PsJobId, PsPool};
+use parfait_simcore::timeline::{SpanId, Timeline};
+use parfait_simcore::{Engine, EventId, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Kernel tags carry (worker, launch-sequence) so completions of aborted
+/// or superseded launches cannot resume the wrong task. 20 bits of worker
+/// id leave 44 bits of sequence.
+fn pack_kernel_tag(wid: usize, seq: u64) -> u64 {
+    debug_assert!(wid < (1 << 20), "worker id overflows tag packing");
+    (wid as u64) | (seq << 20)
+}
+
+fn unpack_kernel_tag(tag: u64) -> (usize, u64) {
+    ((tag & 0xF_FFFF) as usize, tag >> 20)
+}
+
+/// Worker lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Waiting for the provider to hand over a process slot.
+    Provisioning,
+    /// Function + GPU context initialization in progress.
+    ColdStart,
+    /// Ready for a task.
+    Idle,
+    /// Executing a task.
+    Busy,
+    /// Terminated.
+    Dead,
+}
+
+struct Running {
+    task: TaskId,
+    body: Option<Box<dyn TaskBody>>,
+    span: Option<SpanId>,
+    /// Bytes allocated by the task body, auto-released at task end.
+    task_allocs: u64,
+    /// Model load in progress for this profile.
+    loading: Option<ModelProfile>,
+}
+
+/// One worker process.
+pub struct Worker {
+    /// Index in `FaasWorld::workers`.
+    pub id: usize,
+    /// Owning executor index.
+    pub executor: usize,
+    /// Display name, e.g. `"gpu.w0"`.
+    pub label: String,
+    /// Accelerator slot assigned by the executor config.
+    pub accel: Option<AcceleratorSpec>,
+    /// Resolved GPU binding once the context exists.
+    pub gpu: Option<(GpuId, parfait_gpu::CtxId)>,
+    /// The environment the executor exported to this process (§4's
+    /// `CUDA_VISIBLE_DEVICES` / `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`).
+    pub env: BTreeMap<String, String>,
+    /// Lifecycle state.
+    pub state: WorkerState,
+    /// Cold-start decomposition of the most recent start.
+    pub cold_breakdown: Option<ColdStartBreakdown>,
+    /// When the current incarnation was spawned.
+    pub spawned_at: SimTime,
+    /// When it became idle (cold start complete).
+    pub ready_at: Option<SimTime>,
+    /// Tasks completed over all incarnations.
+    pub tasks_completed: u64,
+    /// Models resident in this worker's GPU memory.
+    loaded_models: HashSet<u64>,
+    /// Bytes held by resident models.
+    model_bytes: u64,
+    current: Option<Running>,
+    /// When the worker last became idle (None while busy/dead) — drives
+    /// elastic scale-in decisions.
+    pub idle_since: Option<SimTime>,
+    /// Monotone kernel-launch sequence; completions only resume the
+    /// launch they belong to (stale/orphaned kernels are ignored).
+    kernel_seq: u64,
+    /// The sequence number the worker is currently blocked on.
+    awaiting_kernel: Option<u64>,
+    /// Incarnation counter; timers from older incarnations are ignored.
+    epoch: u64,
+    rng: SimRng,
+}
+
+impl Worker {
+    /// Task currently running, if any.
+    pub fn current_task(&self) -> Option<TaskId> {
+        self.current.as_ref().map(|r| r.task)
+    }
+
+    /// Incarnation number (bumped by kill/respawn).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Is a model resident?
+    pub fn has_model(&self, id: u64) -> bool {
+        self.loaded_models.contains(&id)
+    }
+}
+
+/// Experiment logic hooked into the platform.
+pub trait Driver: 'static {
+    /// Called once at boot (submit initial tasks here).
+    fn on_start(&mut self, _w: &mut FaasWorld, _eng: &mut Engine<FaasWorld>) {}
+    /// Called when a task reaches a terminal state (done or failed).
+    fn on_task_done(&mut self, _w: &mut FaasWorld, _eng: &mut Engine<FaasWorld>, _task: TaskId) {}
+}
+
+/// The platform state (the DES world type).
+pub struct FaasWorld {
+    /// Static configuration.
+    pub config: Config,
+    /// GPUs on the node.
+    pub fleet: GpuFleet,
+    /// All workers across executors.
+    pub workers: Vec<Worker>,
+    /// Per-executor ready queues.
+    pub queues: Vec<VecDeque<TaskId>>,
+    /// Task table.
+    pub dfk: Dfk,
+    /// Span recorder (Fig. 3 source).
+    pub timeline: Timeline,
+    /// Monitoring store.
+    pub monitor: Monitoring,
+    /// Root RNG.
+    pub rng: SimRng,
+    /// §7 GPU-resident model weight cache (disabled by default).
+    pub weight_cache: WeightCache,
+    /// Processor-sharing pool over the node's cores: every CPU step is a
+    /// job; oversubscription slows all compute-bound workers exactly
+    /// proportionally (the testbed has 24 Xeons).
+    cpu_pool: PsPool,
+    /// Pool job → (worker, epoch) for resuming the right incarnation.
+    cpu_jobs: BTreeMap<PsJobId, (usize, u64)>,
+    /// Single armed wake event for the CPU pool.
+    cpu_event: Option<EventId>,
+    driver: Option<Box<dyn Driver>>,
+    sampler_armed: bool,
+}
+
+impl GpuHost for FaasWorld {
+    fn fleet_mut(&mut self) -> &mut GpuFleet {
+        &mut self.fleet
+    }
+    fn on_kernel_done(&mut self, eng: &mut Engine<Self>, done: KernelDone) {
+        let (wid, seq) = unpack_kernel_tag(done.tag);
+        if wid < self.workers.len()
+            && self.workers[wid].state == WorkerState::Busy
+            && self.workers[wid].awaiting_kernel == Some(seq)
+        {
+            self.workers[wid].awaiting_kernel = None;
+            advance_worker(self, eng, wid);
+        }
+    }
+}
+
+impl FaasWorld {
+    /// Build the platform. Workers are created in `Provisioning`; call
+    /// [`boot`] to start them.
+    pub fn new(config: Config, fleet: GpuFleet, seed: u64) -> Self {
+        let config_cores = config.node_cores.max(1);
+        let rng = SimRng::new(seed);
+        let mut workers = Vec::new();
+        let mut queues = Vec::new();
+        for (ei, ex) in config.executors.iter().enumerate() {
+            queues.push(VecDeque::new());
+            for wi in 0..ex.max_workers {
+                let id = workers.len();
+                workers.push(Worker {
+                    id,
+                    executor: ei,
+                    label: format!("{}.w{}", ex.label, wi),
+                    accel: ex.accelerator_for(wi).cloned(),
+                    gpu: None,
+                    env: BTreeMap::new(),
+                    state: WorkerState::Provisioning,
+                    cold_breakdown: None,
+                    spawned_at: SimTime::ZERO,
+                    ready_at: None,
+                    tasks_completed: 0,
+                    loaded_models: HashSet::new(),
+                    model_bytes: 0,
+                    current: None,
+                    idle_since: None,
+                    kernel_seq: 0,
+                    awaiting_kernel: None,
+                    epoch: 0,
+                    rng: rng.split(1000 + id as u64),
+                });
+            }
+        }
+        FaasWorld {
+            config,
+            fleet,
+            workers,
+            queues,
+            dfk: Dfk::new(),
+            timeline: Timeline::new(),
+            monitor: Monitoring::new(),
+            rng,
+            weight_cache: WeightCache::new(),
+            cpu_pool: PsPool::new(config_cores, SimTime::ZERO),
+            cpu_jobs: BTreeMap::new(),
+            cpu_event: None,
+            driver: None,
+            sampler_armed: false,
+        }
+    }
+
+    /// Install the experiment driver.
+    pub fn set_driver(&mut self, d: impl Driver) {
+        self.driver = Some(Box::new(d));
+    }
+
+    /// Are all workers of an executor dead?
+    pub fn executor_dead(&self, exec: usize) -> bool {
+        self.workers
+            .iter()
+            .filter(|w| w.executor == exec)
+            .all(|w| w.state == WorkerState::Dead)
+    }
+
+    fn with_driver(
+        &mut self,
+        eng: &mut Engine<FaasWorld>,
+        f: impl FnOnce(&mut dyn Driver, &mut FaasWorld, &mut Engine<FaasWorld>),
+    ) {
+        if let Some(mut d) = self.driver.take() {
+            f(d.as_mut(), self, eng);
+            // A driver installed during dispatch would be overwritten;
+            // drivers installing drivers is not supported.
+            debug_assert!(self.driver.is_none());
+            self.driver = Some(d);
+        }
+    }
+}
+
+/// Start the platform: spawn every worker through its provider, arm the
+/// monitoring sampler, and run the driver's `on_start`.
+pub fn boot(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    for wid in 0..world.workers.len() {
+        schedule_spawn(world, eng, wid);
+    }
+    if world.config.monitoring_period.is_some() && !world.sampler_armed {
+        world.sampler_armed = true;
+        sample_monitors(world, eng);
+    }
+    world.with_driver(eng, |d, w, e| d.on_start(w, e));
+}
+
+fn provider_delay(world: &mut FaasWorld, wid: usize) -> SimDuration {
+    let exec = world.workers[wid].executor;
+    match &world.config.executors[exec].provider {
+        ProviderConfig::Local { spawn_delay } => *spawn_delay,
+        ProviderConfig::Slurm {
+            queue_wait_mean,
+            spawn_delay,
+        } => {
+            let q = world.workers[wid].rng.exp(queue_wait_mean.as_secs_f64());
+            *spawn_delay + SimDuration::from_secs_f64(q)
+        }
+    }
+}
+
+fn schedule_spawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    // ThreadPool executors are threads of the already-warm submitting
+    // process: ready immediately, no provider round-trip, no cold start.
+    let exec = world.workers[wid].executor;
+    if world.config.executors[exec].kind == ExecutorKind::ThreadPool {
+        let now = eng.now();
+        {
+            let w = &mut world.workers[wid];
+            w.state = WorkerState::Idle;
+            w.spawned_at = now;
+            w.ready_at = Some(now);
+            w.idle_since = Some(now);
+        }
+        world
+            .monitor
+            .worker_event(now, wid, WorkerEventKind::Ready, "thread-pool");
+        kick_executor(world, eng, exec);
+        return;
+    }
+    let delay = provider_delay(world, wid);
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(delay, move |w: &mut FaasWorld, e| {
+        if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Provisioning {
+            return;
+        }
+        begin_cold_start(w, e, wid);
+    });
+}
+
+fn begin_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    let has_gpu = world.workers[wid].accel.is_some();
+    let spec = if has_gpu {
+        // Spec only sets the context-init constant; any device works.
+        Some(world.fleet.device(GpuId(0)).spec.clone())
+    } else {
+        None
+    };
+    let breakdown = {
+        let w = &mut world.workers[wid];
+        w.state = WorkerState::ColdStart;
+        w.spawned_at = now;
+        let b = world.config.cold_start.sample(&mut w.rng, spec.as_ref(), 0);
+        w.cold_breakdown = Some(b);
+        b
+    };
+    world
+        .monitor
+        .worker_event(now, wid, WorkerEventKind::Spawned, "");
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(
+        breakdown.function_init + breakdown.gpu_context_init,
+        move |w: &mut FaasWorld, e| {
+            if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::ColdStart {
+                return;
+            }
+            finish_cold_start(w, e, wid);
+        },
+    );
+}
+
+/// Resolve an accelerator spec into a device + binding and build the
+/// environment the worker process would see.
+fn resolve_accel(
+    fleet: &GpuFleet,
+    spec: &AcceleratorSpec,
+) -> Result<(GpuId, CtxBinding, BTreeMap<String, String>), String> {
+    let mut env = BTreeMap::new();
+    match spec {
+        AcceleratorSpec::Gpu(i) => {
+            env.insert("CUDA_VISIBLE_DEVICES".into(), i.to_string());
+            Ok((GpuId(*i), CtxBinding::Bare, env))
+        }
+        AcceleratorSpec::GpuPercentage(i, pct) => {
+            env.insert("CUDA_VISIBLE_DEVICES".into(), i.to_string());
+            env.insert(MPS_ENV_VAR.into(), pct.to_string());
+            Ok((GpuId(*i), CtxBinding::MpsPercentage(*pct), env))
+        }
+        AcceleratorSpec::Mig(uuid) => {
+            env.insert("CUDA_VISIBLE_DEVICES".into(), uuid.clone());
+            for gi in 0..fleet.len() as u32 {
+                if fleet.device(GpuId(gi)).mig.by_uuid(uuid).is_some() {
+                    return Ok((GpuId(gi), CtxBinding::MigInstance(uuid.clone()), env));
+                }
+            }
+            Err(format!("MIG instance {uuid} not found on any device"))
+        }
+        AcceleratorSpec::VgpuSlot(i, s) => {
+            env.insert("CUDA_VISIBLE_DEVICES".into(), format!("vgpu{i}:{s}"));
+            Ok((GpuId(*i), CtxBinding::VgpuSlot(*s), env))
+        }
+    }
+}
+
+fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    if let Some(spec) = world.workers[wid].accel.clone() {
+        match resolve_accel(&world.fleet, &spec) {
+            Ok((gpu, binding, env)) => {
+                let label = world.workers[wid].label.clone();
+                match world
+                    .fleet
+                    .device_mut(gpu)
+                    .create_context(now, &label, binding)
+                {
+                    Ok(ctx) => {
+                        let w = &mut world.workers[wid];
+                        w.gpu = Some((gpu, ctx));
+                        w.env = env;
+                        resync(world, eng, gpu);
+                    }
+                    Err(e) => {
+                        let w = &mut world.workers[wid];
+                        w.state = WorkerState::Dead;
+                        world.monitor.worker_event(
+                            now,
+                            wid,
+                            WorkerEventKind::Killed,
+                            format!("context creation failed: {e}"),
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                world.workers[wid].state = WorkerState::Dead;
+                world
+                    .monitor
+                    .worker_event(now, wid, WorkerEventKind::Killed, e);
+                return;
+            }
+        }
+    }
+    {
+        let w = &mut world.workers[wid];
+        w.state = WorkerState::Idle;
+        w.ready_at = Some(now);
+        w.idle_since = Some(now);
+    }
+    let cold = world.workers[wid]
+        .cold_breakdown
+        .map(|b| format!("cold={:.3}s", b.total().as_secs_f64()))
+        .unwrap_or_default();
+    world
+        .monitor
+        .worker_event(now, wid, WorkerEventKind::Ready, cold);
+    kick_executor(world, eng, world.workers[wid].executor);
+}
+
+/// Submit an app call; returns its task id.
+///
+/// # Panics
+/// Panics if the call names an unknown executor label.
+pub fn submit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, call: AppCall) -> TaskId {
+    let exec = world
+        .config
+        .executor_index(&call.executor)
+        .unwrap_or_else(|| panic!("unknown executor label {:?}", call.executor));
+    let retries = world.config.retries;
+    let (id, ready) = world.dfk.submit(eng.now(), call, exec, retries);
+    if ready {
+        world.queues[exec].push_back(id);
+        kick_executor(world, eng, exec);
+    }
+    id
+}
+
+/// Cancel a task that has not started running (queued or waiting on
+/// dependencies). Returns `true` on success; running/settled tasks are
+/// not cancellable. Cancellation cascades to dependents, and the task is
+/// removed from its executor queue.
+pub fn cancel(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId) -> bool {
+    let now = eng.now();
+    if !world.dfk.cancel(task, now) {
+        return false;
+    }
+    for q in &mut world.queues {
+        q.retain(|t| *t != task);
+    }
+    world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
+    true
+}
+
+/// Hand queued tasks to idle workers of an executor.
+pub fn kick_executor(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: usize) {
+    loop {
+        if world.queues[exec].is_empty() {
+            return;
+        }
+        let Some(wid) = world
+            .workers
+            .iter()
+            .position(|w| w.executor == exec && w.state == WorkerState::Idle)
+        else {
+            return;
+        };
+        let task = world.queues[exec].pop_front().expect("non-empty");
+        assign_task(world, eng, wid, task);
+    }
+}
+
+fn assign_task(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
+    let now = eng.now();
+    world.dfk.mark_dispatched(task, now, wid);
+    let body = {
+        let w = &mut world.workers[wid];
+        w.state = WorkerState::Busy;
+        w.idle_since = None;
+        world.dfk.make_body(task, &mut w.rng)
+    };
+    world.monitor.worker_event(
+        now,
+        wid,
+        WorkerEventKind::TaskStart,
+        format!("task {}", task.0),
+    );
+    world.workers[wid].current = Some(Running {
+        task,
+        body: Some(body),
+        span: None,
+        task_allocs: 0,
+        loading: None,
+    });
+    // Wire dispatch (interchange -> manager -> worker serialization).
+    let delay = world
+        .config
+        .wire
+        .dispatch_latency(world.dfk.task(task).payload_bytes);
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(delay, move |w: &mut FaasWorld, e| {
+        if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Busy {
+            return;
+        }
+        after_dispatch(w, e, wid);
+    });
+}
+
+fn after_dispatch(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    // Model load (§6 part 3) if this worker hasn't it resident.
+    let model = world.workers[wid]
+        .current
+        .as_ref()
+        .and_then(|r| r.body.as_ref())
+        .and_then(|b| b.model());
+    if let Some(m) = model {
+        if !world.workers[wid].has_model(m.id) {
+            begin_model_load(world, eng, wid, m);
+            return;
+        }
+    }
+    start_body(world, eng, wid);
+}
+
+fn begin_model_load(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, m: ModelProfile) {
+    let Some((gpu, ctx)) = world.workers[wid].gpu else {
+        finish_task(world, eng, wid, Err("model load requires a GPU worker".into()));
+        return;
+    };
+    // Decide the load path: stock (whole blob into the process context)
+    // or through the §7 GPU-resident weight cache (shared weights pinned
+    // device-wide, only private KV/workspace per process).
+    let use_cache = world.weight_cache.enabled() && m.shared_bytes > 0;
+    let (ctx_bytes, cache_bytes, secs) = if use_cache {
+        if world.weight_cache.contains(gpu.0, m.id) {
+            world.weight_cache.hits += 1;
+            // Re-bind: pointer fix-up, no weight copy.
+            (m.private_bytes(), 0, world.config.cold_start.cached_attach_s)
+        } else {
+            world.weight_cache.misses += 1;
+            let full = world.fleet.device(gpu).spec.model_load_seconds(m.bytes);
+            (m.private_bytes(), m.shared_bytes, full)
+        }
+    } else {
+        let full = world.fleet.device(gpu).spec.model_load_seconds(m.bytes);
+        (m.bytes, 0, full)
+    };
+    if cache_bytes > 0 {
+        if let Err(e) = world.fleet.device_mut(gpu).cache_alloc(cache_bytes) {
+            finish_task(world, eng, wid, Err(format!("model alloc failed: {e}")));
+            return;
+        }
+        world.weight_cache.insert(gpu.0, m.id, cache_bytes);
+    }
+    if ctx_bytes > 0 {
+        if let Err(e) = world.fleet.device_mut(gpu).alloc_memory(ctx, ctx_bytes) {
+            if cache_bytes > 0 {
+                let _ = world.fleet.device_mut(gpu).cache_free(cache_bytes);
+                world.weight_cache.remove(gpu.0, m.id);
+            }
+            finish_task(world, eng, wid, Err(format!("model alloc failed: {e}")));
+            return;
+        }
+    }
+    resync(world, eng, gpu);
+    if let Some(r) = world.workers[wid].current.as_mut() {
+        r.loading = Some(m);
+    }
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(SimDuration::from_secs_f64(secs), move |w: &mut FaasWorld, e| {
+        if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Busy {
+            return;
+        }
+        {
+            let wk = &mut w.workers[wid];
+            wk.loaded_models.insert(m.id);
+            wk.model_bytes += ctx_bytes;
+            if let Some(r) = wk.current.as_mut() {
+                r.loading = None;
+            }
+        }
+        start_body(w, e, wid);
+    });
+}
+
+fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    let task = world.workers[wid].current.as_ref().expect("running").task;
+    world.dfk.mark_started(task, now);
+    // Parsl's `walltime` option: the attempt is killed when the limit
+    // expires (the worker survives; the task fails and may retry).
+    if let Some(limit) = world.dfk.task(task).walltime {
+        let epoch = world.workers[wid].epoch;
+        eng.schedule_in(limit, move |w: &mut FaasWorld, e| {
+            let still_on_it = w.workers[wid].epoch == epoch
+                && w.workers[wid].state == WorkerState::Busy
+                && w.workers[wid].current_task() == Some(task);
+            if still_on_it {
+                // Abort the in-flight kernel so it stops burning SMs and
+                // its completion can never fire.
+                if let (Some((gpu, _ctx)), Some(seq)) =
+                    (w.workers[wid].gpu, w.workers[wid].awaiting_kernel)
+                {
+                    w.fleet
+                        .device_mut(gpu)
+                        .abort_tagged(e.now(), pack_kernel_tag(wid, seq));
+                    resync(w, e, gpu);
+                }
+                w.workers[wid].awaiting_kernel = None;
+                finish_task(w, e, wid, Err("walltime exceeded".into()));
+            }
+        });
+    }
+    let app = world.dfk.task(task).app.clone();
+    let span = world
+        .timeline
+        .start(&app, &format!("task-{}", task.0), now);
+    if let Some(r) = world.workers[wid].current.as_mut() {
+        r.span = Some(span);
+    }
+    advance_worker(world, eng, wid);
+}
+
+/// Drive the current task body until it blocks or finishes.
+fn advance_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    loop {
+        let now = eng.now();
+        let mut body = match world.workers[wid]
+            .current
+            .as_mut()
+            .and_then(|r| r.body.take())
+        {
+            Some(b) => b,
+            None => return, // spurious resume
+        };
+        let step = {
+            let w = &mut world.workers[wid];
+            let mut ctx = TaskCtx {
+                rng: &mut w.rng,
+                now,
+            };
+            body.next(&mut ctx)
+        };
+        if let Some(r) = world.workers[wid].current.as_mut() {
+            r.body = Some(body);
+        }
+        match step {
+            TaskStep::Cpu(d) => {
+                // Core contention via exact egalitarian processor
+                // sharing: the step is a job of `d` core-seconds in the
+                // node's pool; with more compute-bound workers than
+                // cores, everyone slows proportionally (and speeds back
+                // up as the pool drains).
+                let epoch = world.workers[wid].epoch;
+                let job = world.cpu_pool.add(now, d.as_secs_f64());
+                world.cpu_jobs.insert(job, (wid, epoch));
+                cpu_resync(world, eng);
+                return;
+            }
+            TaskStep::Gpu(desc) => {
+                let Some((gpu, ctx)) = world.workers[wid].gpu else {
+                    finish_task(world, eng, wid, Err("GPU step on CPU-only worker".into()));
+                    return;
+                };
+                let seq = {
+                    let w = &mut world.workers[wid];
+                    w.kernel_seq += 1;
+                    w.awaiting_kernel = Some(w.kernel_seq);
+                    w.kernel_seq
+                };
+                match launch_kernel(world, eng, gpu, ctx, desc, pack_kernel_tag(wid, seq)) {
+                    Ok(_) => return, // resumed by on_kernel_done
+                    Err(e) => {
+                        world.workers[wid].awaiting_kernel = None;
+                        finish_task(world, eng, wid, Err(format!("kernel launch failed: {e}")));
+                        return;
+                    }
+                }
+            }
+            TaskStep::AllocGpu(bytes) => {
+                let Some((gpu, ctx)) = world.workers[wid].gpu else {
+                    finish_task(world, eng, wid, Err("GPU alloc on CPU-only worker".into()));
+                    return;
+                };
+                match world.fleet.device_mut(gpu).alloc_memory(ctx, bytes) {
+                    Ok(()) => {
+                        if let Some(r) = world.workers[wid].current.as_mut() {
+                            r.task_allocs += bytes;
+                        }
+                        resync(world, eng, gpu);
+                    }
+                    Err(e) => {
+                        finish_task(world, eng, wid, Err(format!("allocation failed: {e}")));
+                        return;
+                    }
+                }
+            }
+            TaskStep::FreeGpu(bytes) => {
+                let Some((gpu, ctx)) = world.workers[wid].gpu else {
+                    finish_task(world, eng, wid, Err("GPU free on CPU-only worker".into()));
+                    return;
+                };
+                match world.fleet.device_mut(gpu).free_memory(ctx, bytes) {
+                    Ok(()) => {
+                        if let Some(r) = world.workers[wid].current.as_mut() {
+                            r.task_allocs = r.task_allocs.saturating_sub(bytes);
+                        }
+                        resync(world, eng, gpu);
+                    }
+                    Err(e) => {
+                        finish_task(world, eng, wid, Err(format!("free failed: {e}")));
+                        return;
+                    }
+                }
+            }
+            TaskStep::Done => {
+                finish_task(world, eng, wid, Ok(()));
+                return;
+            }
+        }
+    }
+}
+
+/// Re-arm the single wake event for the CPU processor-sharing pool.
+fn cpu_resync(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    if let Some(ev) = world.cpu_event.take() {
+        eng.cancel(ev);
+    }
+    let now = eng.now();
+    if let Some((_, at)) = world.cpu_pool.next_completion(now) {
+        let at = at.saturating_add(SimDuration::from_nanos(1));
+        world.cpu_event = Some(eng.schedule_at(at, cpu_tick));
+    }
+}
+
+/// Pool wake: resume every worker whose CPU step finished.
+fn cpu_tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    world.cpu_event = None;
+    let now = eng.now();
+    let done = world.cpu_pool.take_finished(now);
+    for job in done {
+        if let Some((wid, epoch)) = world.cpu_jobs.remove(&job) {
+            if world.workers[wid].epoch == epoch && world.workers[wid].state == WorkerState::Busy {
+                advance_worker(world, eng, wid);
+            }
+        }
+    }
+    cpu_resync(world, eng);
+}
+
+/// Drop any CPU-pool jobs belonging to `wid` (its task ended or the
+/// worker died); remaining workers speed up accordingly.
+fn cancel_cpu_jobs(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    let mine: Vec<PsJobId> = world
+        .cpu_jobs
+        .iter()
+        .filter(|(_, (w, _))| *w == wid)
+        .map(|(j, _)| *j)
+        .collect();
+    if mine.is_empty() {
+        return;
+    }
+    for j in mine {
+        world.cpu_jobs.remove(&j);
+        let _ = world.cpu_pool.remove(now, j);
+    }
+    cpu_resync(world, eng);
+}
+
+fn finish_task(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    result: Result<(), String>,
+) {
+    let now = eng.now();
+    world.workers[wid].awaiting_kernel = None;
+    cancel_cpu_jobs(world, eng, wid);
+    let Some(run) = world.workers[wid].current.take() else {
+        return;
+    };
+    if let Some(span) = run.span {
+        world.timeline.end(span, now);
+    }
+    // Release the task's scratch allocations (a well-behaved function
+    // frees per-request tensors; the worker enforces it on failure too).
+    if run.task_allocs > 0 {
+        if let Some((gpu, ctx)) = world.workers[wid].gpu {
+            let _ = world.fleet.device_mut(gpu).free_memory(ctx, run.task_allocs);
+            resync(world, eng, gpu);
+        }
+    }
+    world.monitor.worker_event(
+        now,
+        wid,
+        WorkerEventKind::TaskEnd,
+        format!(
+            "task {} {}",
+            run.task.0,
+            if result.is_ok() { "ok" } else { "failed" }
+        ),
+    );
+    // Only a live worker returns to Idle; a worker being torn down
+    // (kill_worker marks it Dead before failing its task) must stay Dead
+    // so the requeued task cannot land back on it.
+    if world.workers[wid].state == WorkerState::Busy {
+        world.workers[wid].state = WorkerState::Idle;
+        world.workers[wid].idle_since = Some(now);
+    }
+    let exec = world.workers[wid].executor;
+    let terminal = match result {
+        Ok(()) => {
+            world.workers[wid].tasks_completed += 1;
+            let ready = world.dfk.mark_done(run.task, now);
+            for r in ready {
+                let rexec = world.dfk.task(r).executor;
+                world.queues[rexec].push_back(r);
+            }
+            true
+        }
+        Err(e) => match world.dfk.mark_failed(run.task, now, &e) {
+            FailureOutcome::Retry => {
+                world.queues[exec].push_back(run.task);
+                false
+            }
+            FailureOutcome::Fatal { cascade } => {
+                for c in &cascade {
+                    let task = *c;
+                    world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
+                }
+                true
+            }
+        },
+    };
+    if terminal {
+        let task = run.task;
+        world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
+    }
+    // Kick every executor: completions may have released tasks elsewhere.
+    for e in 0..world.queues.len() {
+        kick_executor(world, eng, e);
+    }
+}
+
+/// Kill a worker process (shutdown or §6 reconfiguration). The in-flight
+/// task, if any, fails with `reason` (and retries elsewhere).
+pub fn kill_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, reason: &str) {
+    let now = eng.now();
+    if world.workers[wid].state == WorkerState::Dead {
+        return;
+    }
+    // Mark the worker Dead *before* failing its task: finish_task kicks
+    // the executor queues, and the retried task must not be re-assigned
+    // to the very worker being torn down.
+    world.workers[wid].state = WorkerState::Dead;
+    if world.workers[wid].current.is_some() {
+        finish_task(world, eng, wid, Err(format!("worker killed: {reason}")));
+    }
+    let w = &mut world.workers[wid];
+    debug_assert!(w.current.is_none(), "teardown leaves no task behind");
+    w.epoch += 1;
+    w.loaded_models.clear();
+    w.model_bytes = 0;
+    w.ready_at = None;
+    w.idle_since = None;
+    let gpu_binding = w.gpu.take();
+    if let Some((gpu, ctx)) = gpu_binding {
+        let _ = world.fleet.device_mut(gpu).destroy_context(now, ctx);
+        resync(world, eng, gpu);
+    }
+    world
+        .monitor
+        .worker_event(now, wid, WorkerEventKind::Killed, reason.to_string());
+}
+
+/// Restart a dead worker, optionally with a new accelerator binding — the
+/// §6 MPS-resize path (process restart to change the GPU percentage).
+pub fn respawn_worker(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    new_accel: Option<AcceleratorSpec>,
+) {
+    {
+        let w = &mut world.workers[wid];
+        assert_eq!(w.state, WorkerState::Dead, "respawn requires a dead worker");
+        if let Some(a) = new_accel {
+            w.accel = Some(a);
+        }
+        w.state = WorkerState::Provisioning;
+    }
+    schedule_spawn(world, eng, wid);
+}
+
+/// Add a brand-new worker to an executor at runtime (elastic scale-out;
+/// §2.1's "rapid spin up of function instances"). The accelerator slot is
+/// taken from the executor config's list, cycled by worker index, unless
+/// `accel` overrides it. Returns the new worker's id.
+pub fn add_worker(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    exec: usize,
+    accel: Option<AcceleratorSpec>,
+) -> usize {
+    let id = world.workers.len();
+    let within = world.workers.iter().filter(|w| w.executor == exec).count();
+    let ex = &world.config.executors[exec];
+    let slot = accel.or_else(|| ex.accelerator_for(within).cloned());
+    let rng = world.rng.split(1000 + id as u64);
+    world.workers.push(Worker {
+        id,
+        executor: exec,
+        label: format!("{}.w{}", ex.label, within),
+        accel: slot,
+        gpu: None,
+        env: BTreeMap::new(),
+        state: WorkerState::Provisioning,
+        cold_breakdown: None,
+        spawned_at: eng.now(),
+        ready_at: None,
+        tasks_completed: 0,
+        loaded_models: HashSet::new(),
+        model_bytes: 0,
+        current: None,
+        idle_since: None,
+        kernel_seq: 0,
+        awaiting_kernel: None,
+        epoch: 0,
+        rng,
+    });
+    schedule_spawn(world, eng, id);
+    id
+}
+
+/// Kill every worker (platform shutdown).
+pub fn shutdown(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    for wid in 0..world.workers.len() {
+        kill_worker(world, eng, wid, "shutdown");
+    }
+}
+
+fn sample_monitors(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    let Some(period) = world.config.monitoring_period else {
+        return;
+    };
+    let now = eng.now();
+    for gi in 0..world.fleet.len() as u32 {
+        let d = world.fleet.device(GpuId(gi));
+        world.monitor.samples.push(UtilSample {
+            t: now,
+            gpu: gi,
+            busy_sms: d.busy_sms(),
+            utilization: d.busy_sms() / d.spec.sms as f64,
+            memory_used: d.memory_used(),
+        });
+    }
+    for (ei, q) in world.queues.iter().enumerate() {
+        world.monitor.queue_samples.push(QueueSample {
+            t: now,
+            executor: ei,
+            depth: q.len(),
+        });
+    }
+    // Keep sampling while work remains or workers are still coming up.
+    let active = !world.dfk.all_settled()
+        || world.workers.iter().any(|w| {
+            matches!(
+                w.state,
+                WorkerState::Provisioning | WorkerState::ColdStart | WorkerState::Busy
+            )
+        });
+    if active {
+        eng.schedule_in(period, |w: &mut FaasWorld, e| sample_monitors(w, e));
+    } else {
+        world.sampler_armed = false;
+    }
+}
+
+/// Re-arm the monitoring sampler after it stopped (it stops itself when
+/// all tasks settle and no worker is active). Multi-phase experiments
+/// call this when submitting a new phase of work.
+pub fn resume_sampling(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    if world.config.monitoring_period.is_some() && !world.sampler_armed {
+        world.sampler_armed = true;
+        sample_monitors(world, eng);
+    }
+}
+
+/// Convenience: boot and run until the event queue drains.
+pub fn run(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    boot(world, eng);
+    eng.run(world);
+}

@@ -1,0 +1,1196 @@
+//! The simulated GPU device: contexts, kernel execution, SM arbitration.
+//!
+//! [`GpuDevice`] is a *passive* state machine over virtual time. The owner
+//! calls [`GpuDevice::launch`], [`GpuDevice::collect_finished`] and
+//! [`GpuDevice::next_wake`]; the engine glue in [`crate::host`] turns those
+//! into discrete events.
+//!
+//! ## Execution model
+//!
+//! Between events every active kernel `k` progresses at a constant rate
+//! `rate_k` (effective SMs). Rates are recomputed on every change (launch,
+//! completion, context churn, time-sharing rotation) in three steps:
+//!
+//! 1. **SM shares** — each context gets at most its cap (MPS percentage,
+//!    MIG instance size, vGPU slot, or the whole device); kernels inside a
+//!    context split the cap proportionally to their block demand; the
+//!    domain (device or MIG slice) then scales everyone down if
+//!    oversubscribed.
+//! 2. **Wave quantization** — shares are pushed through
+//!    [`KernelDesc::effective_sms`], producing the staircase that makes
+//!    small-grid LLM kernels insensitive to SMs beyond ~20 (Fig. 2).
+//! 3. **Bandwidth contention** — aggregate HBM demand above the domain's
+//!    bandwidth scales all rates down proportionally. This is what MPS/
+//!    time-sharing share (no isolation) and MIG partitions (isolation),
+//!    quantifying Table 1's utilization-vs-isolation trade-off.
+
+use crate::error::{GpuError, Result};
+use crate::kernel::KernelDesc;
+use crate::memory::MemoryPool;
+use crate::mig::MigManager;
+use crate::mps::MpsDaemon;
+use crate::sharing::{CtxBinding, DeviceMode, ShareConfig};
+use crate::spec::{GpuSpec, Vendor};
+use parfait_simcore::stats::TimeWeighted;
+use parfait_simcore::{EventId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Fleet-level device index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub u32);
+
+/// Device-local context (process) id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub u32);
+
+/// Device-local kernel id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(pub u64);
+
+/// Work left below this many SM-seconds counts as finished (absorbs f64
+/// integration error; ≈1 µs of a single SM).
+const WORK_EPS: f64 = 1e-6;
+
+/// vGPU mediation efficiency: vGPU multiplexes at VM rather than process
+/// level (Table 1), paying hypervisor scheduling overhead on every slot.
+const VGPU_SCHED_EFFICIENCY: f64 = 0.88;
+
+/// Completion record handed to [`crate::host::GpuHost::on_kernel_done`].
+#[derive(Debug, Clone)]
+pub struct KernelDone {
+    /// Device the kernel ran on.
+    pub gpu: GpuId,
+    /// Owning context.
+    pub ctx: CtxId,
+    /// Kernel id.
+    pub kernel: KernelId,
+    /// Caller-provided correlation tag.
+    pub tag: u64,
+    /// Kernel name.
+    pub name: &'static str,
+    /// Launch time.
+    pub launched: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+/// A process's CUDA context on this device.
+#[derive(Debug, Clone)]
+pub struct GpuContext {
+    /// Context id.
+    pub id: CtxId,
+    /// Process label (worker name) for monitoring.
+    pub label: String,
+    /// How it was bound at creation.
+    pub binding: CtxBinding,
+    /// Resolved MIG instance (when `binding` is `MigInstance`).
+    pub mig_instance: Option<u32>,
+    /// Resolved vGPU slot.
+    pub vgpu_slot: Option<u32>,
+    /// MPS SM cap percentage.
+    pub mps_pct: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveKernel {
+    ctx: u32,
+    desc: KernelDesc,
+    remaining: f64,
+    rate: f64,
+    tag: u64,
+    launched: SimTime,
+}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct GpuDevice {
+    /// Fleet index of this device.
+    pub id: GpuId,
+    /// Hardware spec.
+    pub spec: GpuSpec,
+    mode: DeviceMode,
+    cfg: ShareConfig,
+    allow_uvm: bool,
+
+    ctxs: BTreeMap<u32, GpuContext>,
+    next_ctx: u32,
+    kernels: BTreeMap<u64, ActiveKernel>,
+    next_kernel: u64,
+
+    /// Device-wide memory (used in non-MIG, non-vGPU modes).
+    mem: MemoryPool,
+    /// Per-MIG-instance memory.
+    mig_mem: BTreeMap<u32, MemoryPool>,
+    /// Per-vGPU-slot memory.
+    vgpu_mem: Vec<MemoryPool>,
+
+    /// MIG instance manager.
+    pub mig: MigManager,
+    /// MPS control daemon.
+    pub mps: MpsDaemon,
+
+    // Time-sharing rotation state.
+    ts_current: Option<u32>,
+    ts_pending: Option<u32>,
+    ts_quantum_end: SimTime,
+    ts_switch_end: SimTime,
+
+    last: SimTime,
+    busy_sms: TimeWeighted,
+    kernels_completed: u64,
+    /// SM-seconds of service attained per context (DCGM-style
+    /// accounting; survives kernel completion, cleared with the context).
+    attained: BTreeMap<u32, f64>,
+    pending_event: Option<EventId>,
+}
+
+impl GpuDevice {
+    /// New device in [`DeviceMode::TimeSharing`] (the NVIDIA default).
+    pub fn new(id: GpuId, spec: GpuSpec) -> Self {
+        let mem = MemoryPool::new(spec.memory_bytes);
+        GpuDevice {
+            id,
+            spec,
+            mode: DeviceMode::TimeSharing,
+            cfg: ShareConfig::default(),
+            allow_uvm: false,
+            ctxs: BTreeMap::new(),
+            next_ctx: 0,
+            kernels: BTreeMap::new(),
+            next_kernel: 0,
+            mem,
+            mig_mem: BTreeMap::new(),
+            vgpu_mem: Vec::new(),
+            mig: MigManager::new(),
+            mps: MpsDaemon::new(),
+            ts_current: None,
+            ts_pending: None,
+            ts_quantum_end: SimTime::ZERO,
+            ts_switch_end: SimTime::ZERO,
+            last: SimTime::ZERO,
+            busy_sms: TimeWeighted::new(SimTime::ZERO, 0.0),
+            kernels_completed: 0,
+            attained: BTreeMap::new(),
+            pending_event: None,
+        }
+    }
+
+    /// Override arbitration tunables.
+    pub fn set_share_config(&mut self, cfg: ShareConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Enable CUDA unified-memory oversubscription on all memory pools.
+    pub fn set_uvm(&mut self, allow: bool) {
+        self.allow_uvm = allow;
+        self.mem.set_oversubscription(allow);
+        for p in self.mig_mem.values_mut() {
+            p.set_oversubscription(allow);
+        }
+        for p in &mut self.vgpu_mem {
+            p.set_oversubscription(allow);
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> DeviceMode {
+        self.mode
+    }
+
+    /// Change the sharing mode. Requires an idle device (no contexts) —
+    /// in hardware this is a GPU reset; its *cost* is modelled by the
+    /// reconfiguration engine in `parfait-core`.
+    pub fn set_mode(&mut self, mode: DeviceMode) -> Result<()> {
+        if !self.ctxs.is_empty() {
+            return Err(GpuError::DeviceBusy {
+                contexts: self.ctxs.len(),
+            });
+        }
+        match mode {
+            DeviceMode::Mig => {
+                if !self.spec.mig_capable {
+                    return Err(GpuError::WrongMode {
+                        expected: "MIG-capable device",
+                        actual: self.spec.name,
+                    });
+                }
+                self.mig.set_enabled(true)?;
+            }
+            DeviceMode::Vgpu { slots } => {
+                if slots == 0 {
+                    return Err(GpuError::BadPercentage(0));
+                }
+                let per = self.spec.memory_bytes / slots as u64;
+                self.vgpu_mem = (0..slots)
+                    .map(|_| {
+                        let mut p = MemoryPool::new(per);
+                        p.set_oversubscription(self.allow_uvm);
+                        p
+                    })
+                    .collect();
+            }
+            DeviceMode::TimeSharing | DeviceMode::MpsDefault | DeviceMode::MpsPartitioned => {
+                if self.mig.enabled() {
+                    self.mig.destroy_all();
+                    self.mig.set_enabled(false)?;
+                }
+            }
+        }
+        if !matches!(mode, DeviceMode::Vgpu { .. }) {
+            self.vgpu_mem.clear();
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Create a MIG instance (device must be in MIG mode).
+    pub fn mig_create(&mut self, profile: &str) -> Result<u32> {
+        if self.mode != DeviceMode::Mig {
+            return Err(GpuError::WrongMode {
+                expected: "MIG",
+                actual: self.mode.name(),
+            });
+        }
+        let gpu = self.id.0;
+        let iid = self.mig.create(&self.spec.clone(), gpu, profile)?;
+        let inst = self.mig.get(iid).expect("just created");
+        let mut pool = MemoryPool::new(inst.memory_bytes);
+        pool.set_oversubscription(self.allow_uvm);
+        self.mig_mem.insert(iid, pool);
+        Ok(iid)
+    }
+
+    /// Destroy a MIG instance; fails while any context is bound to it.
+    pub fn mig_destroy(&mut self, instance: u32) -> Result<()> {
+        if self.ctxs.values().any(|c| c.mig_instance == Some(instance)) {
+            return Err(GpuError::DeviceBusy {
+                contexts: self
+                    .ctxs
+                    .values()
+                    .filter(|c| c.mig_instance == Some(instance))
+                    .count(),
+            });
+        }
+        self.mig.destroy(instance)?;
+        self.mig_mem.remove(&instance);
+        Ok(())
+    }
+
+    /// Live contexts.
+    pub fn contexts(&self) -> impl Iterator<Item = &GpuContext> {
+        self.ctxs.values()
+    }
+
+    /// Context count.
+    pub fn context_count(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Look up a context.
+    pub fn context(&self, ctx: CtxId) -> Option<&GpuContext> {
+        self.ctxs.get(&ctx.0)
+    }
+
+    /// Create a process context with the given binding.
+    pub fn create_context(&mut self, now: SimTime, label: &str, binding: CtxBinding) -> Result<CtxId> {
+        let (mig_instance, vgpu_slot, mps_pct) = match (&self.mode, &binding) {
+            (DeviceMode::TimeSharing, CtxBinding::Bare) => (None, None, None),
+            (DeviceMode::MpsDefault, CtxBinding::Bare) => (None, None, None),
+            (DeviceMode::MpsPartitioned, CtxBinding::MpsPercentage(p)) => {
+                if !(1..=100).contains(p) {
+                    return Err(GpuError::BadPercentage(*p));
+                }
+                (None, None, Some(*p))
+            }
+            (DeviceMode::MpsPartitioned, CtxBinding::Bare) => (None, None, None),
+            (DeviceMode::Mig, CtxBinding::MigInstance(uuid)) => {
+                let inst = self
+                    .mig
+                    .by_uuid(uuid)
+                    .ok_or_else(|| GpuError::MigProfileUnknown(uuid.clone()))?;
+                (Some(inst.id), None, None)
+            }
+            (DeviceMode::Vgpu { slots }, CtxBinding::VgpuSlot(s)) => {
+                if *s >= *slots {
+                    return Err(GpuError::UnknownInstance(*s));
+                }
+                (None, Some(*s), None)
+            }
+            _ => {
+                return Err(GpuError::WrongMode {
+                    expected: "binding compatible with device mode",
+                    actual: self.mode.name(),
+                })
+            }
+        };
+        // MPS modes require the control daemon (§4.1: it must be launched
+        // on the node before any GPU function runs).
+        if matches!(self.mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned)
+            && !self.mps.running() {
+                return Err(GpuError::WrongMode {
+                    expected: "MPS daemon running",
+                    actual: "MPS daemon stopped",
+                });
+            }
+        let id = self.next_ctx;
+        self.next_ctx += 1;
+        if matches!(self.mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned) {
+            self.mps.connect(id, mps_pct)?;
+        }
+        self.ctxs.insert(
+            id,
+            GpuContext {
+                id: CtxId(id),
+                label: label.to_string(),
+                binding,
+                mig_instance,
+                vgpu_slot,
+                mps_pct,
+            },
+        );
+        self.advance(now);
+        self.recompute(now);
+        Ok(CtxId(id))
+    }
+
+    /// Destroy a context: abort its kernels, free its memory, disconnect
+    /// from MPS. Returns the number of aborted kernels.
+    pub fn destroy_context(&mut self, now: SimTime, ctx: CtxId) -> Result<usize> {
+        let c = self.ctxs.remove(&ctx.0).ok_or(GpuError::UnknownContext(ctx.0))?;
+        self.advance(now);
+        let before = self.kernels.len();
+        self.kernels.retain(|_, k| k.ctx != ctx.0);
+        let aborted = before - self.kernels.len();
+        self.mem_pool_for(&c).release_owner(ctx.0);
+        self.attained.remove(&ctx.0);
+        self.mps.disconnect(ctx.0);
+        if self.ts_current == Some(ctx.0) {
+            self.ts_current = None;
+        }
+        if self.ts_pending == Some(ctx.0) {
+            self.ts_pending = None;
+        }
+        self.recompute(now);
+        Ok(aborted)
+    }
+
+    fn mem_pool_for(&mut self, c: &GpuContext) -> &mut MemoryPool {
+        if let Some(i) = c.mig_instance {
+            self.mig_mem.get_mut(&i).expect("instance pool exists")
+        } else if let Some(s) = c.vgpu_slot {
+            &mut self.vgpu_mem[s as usize]
+        } else {
+            &mut self.mem
+        }
+    }
+
+    fn pool_overcommitted(&self, c: &GpuContext) -> bool {
+        if let Some(i) = c.mig_instance {
+            self.mig_mem.get(&i).map(|p| p.overcommitted()).unwrap_or(false)
+        } else if let Some(s) = c.vgpu_slot {
+            self.vgpu_mem[s as usize].overcommitted()
+        } else {
+            self.mem.overcommitted()
+        }
+    }
+
+    /// Allocate device memory on behalf of `ctx`.
+    pub fn alloc_memory(&mut self, ctx: CtxId, bytes: u64) -> Result<()> {
+        let c = self
+            .ctxs
+            .get(&ctx.0)
+            .ok_or(GpuError::UnknownContext(ctx.0))?
+            .clone();
+        self.mem_pool_for(&c).alloc(ctx.0, bytes)
+    }
+
+    /// Free device memory held by `ctx`.
+    pub fn free_memory(&mut self, ctx: CtxId, bytes: u64) -> Result<()> {
+        let c = self
+            .ctxs
+            .get(&ctx.0)
+            .ok_or(GpuError::UnknownContext(ctx.0))?
+            .clone();
+        self.mem_pool_for(&c).freeb(ctx.0, bytes)
+    }
+
+    /// Reserve device-wide memory for the GPU-resident model weight cache
+    /// (the paper's §7 future-work apparatus). Cache memory belongs to no
+    /// process context and survives context teardown.
+    pub fn cache_alloc(&mut self, bytes: u64) -> Result<()> {
+        self.mem.alloc(Self::CACHE_OWNER, bytes)
+    }
+
+    /// Release weight-cache memory.
+    pub fn cache_free(&mut self, bytes: u64) -> Result<()> {
+        self.mem.freeb(Self::CACHE_OWNER, bytes)
+    }
+
+    /// Bytes currently pinned by the weight cache.
+    pub fn cache_used(&self) -> u64 {
+        self.mem.owner_usage(Self::CACHE_OWNER)
+    }
+
+    /// Synthetic owner id for cache allocations.
+    const CACHE_OWNER: u32 = u32::MAX;
+
+    /// Bytes used across all memory domains.
+    pub fn memory_used(&self) -> u64 {
+        self.mem.used()
+            + self.mig_mem.values().map(|p| p.used()).sum::<u64>()
+            + self.vgpu_mem.iter().map(|p| p.used()).sum::<u64>()
+    }
+
+    /// Device-wide memory pool (non-MIG/vGPU domains).
+    pub fn memory(&self) -> &MemoryPool {
+        &self.mem
+    }
+
+    /// Memory pool of one MIG instance.
+    pub fn mig_memory(&self, instance: u32) -> Option<&MemoryPool> {
+        self.mig_mem.get(&instance)
+    }
+
+    /// Launch a kernel for `ctx`. `tag` is echoed in the completion.
+    pub fn launch(&mut self, now: SimTime, ctx: CtxId, desc: KernelDesc, tag: u64) -> Result<KernelId> {
+        if !self.ctxs.contains_key(&ctx.0) {
+            return Err(GpuError::UnknownContext(ctx.0));
+        }
+        self.advance(now);
+        let id = self.next_kernel;
+        self.next_kernel += 1;
+        self.kernels.insert(
+            id,
+            ActiveKernel {
+                ctx: ctx.0,
+                desc,
+                remaining: 0.0,
+                rate: 0.0,
+                tag,
+                launched: now,
+            },
+        );
+        // remaining initialised after insert so zero-work kernels still
+        // complete through the normal path.
+        let k = self.kernels.get_mut(&id).expect("just inserted");
+        k.remaining = k.desc.work_sm_s.max(0.0);
+        self.recompute(now);
+        Ok(KernelId(id))
+    }
+
+    /// Abort every in-flight kernel carrying `tag` (a walltime-killed
+    /// task's launches). Returns how many were removed. The owner should
+    /// `resync` afterwards.
+    pub fn abort_tagged(&mut self, now: SimTime, tag: u64) -> usize {
+        self.advance(now);
+        let before = self.kernels.len();
+        self.kernels.retain(|_, k| k.tag != tag);
+        let removed = before - self.kernels.len();
+        if removed > 0 {
+            self.recompute(now);
+        }
+        removed
+    }
+
+    /// Number of in-flight kernels.
+    pub fn active_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Lifetime completed-kernel count.
+    pub fn kernels_completed(&self) -> u64 {
+        self.kernels_completed
+    }
+
+    /// Instantaneous busy SMs (sum of kernel rates).
+    pub fn busy_sms(&self) -> f64 {
+        self.busy_sms.current()
+    }
+
+    /// Instantaneous busy SMs of one context's kernels.
+    pub fn ctx_busy_sms(&self, ctx: CtxId) -> f64 {
+        self.kernels
+            .values()
+            .filter(|k| k.ctx == ctx.0)
+            .map(|k| k.rate)
+            .sum()
+    }
+
+    /// Instantaneous busy SMs inside one MIG instance.
+    pub fn instance_busy_sms(&self, instance: u32) -> f64 {
+        self.kernels
+            .values()
+            .filter(|k| {
+                self.ctxs
+                    .get(&k.ctx)
+                    .map(|c| c.mig_instance == Some(instance))
+                    .unwrap_or(false)
+            })
+            .map(|k| k.rate)
+            .sum()
+    }
+
+    /// Bytes of device memory held by one context (its memory domain's
+    /// per-owner ledger).
+    pub fn ctx_memory_used(&self, ctx: CtxId) -> u64 {
+        let Some(c) = self.ctxs.get(&ctx.0) else {
+            return 0;
+        };
+        if let Some(i) = c.mig_instance {
+            self.mig_mem.get(&i).map(|p| p.owner_usage(ctx.0)).unwrap_or(0)
+        } else if let Some(sl) = c.vgpu_slot {
+            self.vgpu_mem[sl as usize].owner_usage(ctx.0)
+        } else {
+            self.mem.owner_usage(ctx.0)
+        }
+    }
+
+    /// Time-averaged SM utilization in `[0,1]` since device creation.
+    pub fn average_utilization(&self, now: SimTime) -> f64 {
+        self.busy_sms.average(now) / self.spec.sms as f64
+    }
+
+    /// Integrate kernel progress up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            for k in self.kernels.values_mut() {
+                if k.rate > 0.0 {
+                    let served = (k.rate * dt).min(k.remaining);
+                    k.remaining -= served;
+                    *self.attained.entry(k.ctx).or_insert(0.0) += served;
+                }
+            }
+        }
+        self.last = now;
+    }
+
+    /// SM-seconds of service a context has attained (DCGM-style
+    /// accounting). Quantifies Table 1's "resource starved due to
+    /// contention" drawback of default MPS: compare attained service
+    /// across tenants.
+    pub fn attained_service(&self, ctx: CtxId) -> f64 {
+        self.attained.get(&ctx.0).copied().unwrap_or(0.0)
+    }
+
+    fn active_ctx_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .kernels
+            .values()
+            .map(|k| k.ctx)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Time-sharing rotation bookkeeping; called from `recompute`.
+    fn ts_housekeeping(&mut self, now: SimTime) {
+        // Complete an in-flight switch.
+        if self.ts_pending.is_some() && now >= self.ts_switch_end {
+            self.ts_current = self.ts_pending.take();
+            self.ts_quantum_end = now + self.cfg.quantum;
+        }
+        if self.ts_pending.is_some() {
+            return; // mid-switch: nothing runs
+        }
+        let active = self.active_ctx_ids();
+        if active.is_empty() {
+            return;
+        }
+        let current_active = self
+            .ts_current
+            .map(|c| active.contains(&c))
+            .unwrap_or(false);
+        let next_after = |cur: Option<u32>| -> u32 {
+            match cur {
+                Some(c) => *active.iter().find(|&&a| a > c).unwrap_or(&active[0]),
+                None => active[0],
+            }
+        };
+        if !current_active {
+            let nxt = next_after(self.ts_current);
+            if self.ts_current.is_none() {
+                // GPU was idle: adopt immediately, no switch cost.
+                self.ts_current = Some(nxt);
+                self.ts_quantum_end = now + self.cfg.quantum;
+            } else {
+                // Current process went host-side; rotate with penalty.
+                self.ts_pending = Some(nxt);
+                self.ts_switch_end = now + self.cfg.switch_penalty;
+                self.ts_current = None;
+            }
+        } else if now >= self.ts_quantum_end {
+            if active.len() >= 2 {
+                let nxt = next_after(self.ts_current);
+                self.ts_pending = Some(nxt);
+                self.ts_switch_end = now + self.cfg.switch_penalty;
+                self.ts_current = None;
+            } else {
+                self.ts_quantum_end = now + self.cfg.quantum;
+            }
+        }
+    }
+
+    /// Recompute all kernel rates for the regime starting at `now`.
+    /// Callers must have `advance`d to `now` first.
+    pub fn recompute(&mut self, now: SimTime) {
+        if self.mode == DeviceMode::TimeSharing {
+            self.ts_housekeeping(now);
+        }
+        // Build (domain key, ctx cap) per context. Domain key: MIG
+        // instance / vGPU slot index, or 0 for the whole device.
+        #[derive(Clone, Copy)]
+        struct Dom {
+            sms: f64,
+            bw: f64,
+        }
+        let whole = Dom {
+            sms: self.spec.sms as f64,
+            bw: 1.0,
+        };
+        let mut rates: BTreeMap<u64, f64> = BTreeMap::new();
+
+        // Group kernel ids by domain.
+        let mut domains: BTreeMap<u32, (Dom, Vec<u64>)> = BTreeMap::new();
+        for (&kid, k) in &self.kernels {
+            let c = &self.ctxs[&k.ctx];
+            let (dom_key, dom) = match self.mode {
+                DeviceMode::Mig => {
+                    let inst = self
+                        .mig
+                        .get(c.mig_instance.expect("mig ctx bound"))
+                        .expect("instance exists");
+                    (
+                        1 + inst.id,
+                        Dom {
+                            sms: inst.sms as f64,
+                            bw: inst.bandwidth_fraction,
+                        },
+                    )
+                }
+                DeviceMode::Vgpu { slots } => {
+                    let s = c.vgpu_slot.expect("vgpu ctx bound");
+                    (
+                        1 + s,
+                        Dom {
+                            sms: self.spec.sms as f64 / slots as f64,
+                            bw: 1.0 / slots as f64,
+                        },
+                    )
+                }
+                _ => (0, whole),
+            };
+            // Time-sharing: only the current context's kernels run.
+            if self.mode == DeviceMode::TimeSharing && Some(k.ctx) != self.ts_current {
+                rates.insert(kid, 0.0);
+                continue;
+            }
+            domains.entry(dom_key).or_insert((dom, Vec::new())).1.push(kid);
+        }
+
+        let mps_mode = matches!(
+            self.mode,
+            DeviceMode::MpsDefault | DeviceMode::MpsPartitioned
+        );
+        for (_, (dom, kids)) in domains {
+            // Per-context provisional shares.
+            let mut shares: BTreeMap<u64, f64> = BTreeMap::new();
+            let mut by_ctx: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+            for &kid in &kids {
+                by_ctx.entry(self.kernels[&kid].ctx).or_default().push(kid);
+            }
+            // MPS co-residency interference (L2/scheduler contention).
+            let mut interference = if mps_mode && self.cfg.mps_interference > 0.0 {
+                1.0 / (1.0 + self.cfg.mps_interference * (by_ctx.len().saturating_sub(1)) as f64)
+            } else {
+                1.0
+            };
+            if matches!(self.mode, DeviceMode::Vgpu { .. }) {
+                interference *= VGPU_SCHED_EFFICIENCY;
+            }
+            for (ctx, ctx_kids) in &by_ctx {
+                let c = &self.ctxs[ctx];
+                let cap = match (self.mode, c.mps_pct) {
+                    (DeviceMode::MpsPartitioned, Some(p)) => {
+                        (self.spec.sms as f64 * p as f64 / 100.0).min(dom.sms)
+                    }
+                    _ => dom.sms,
+                };
+                let demands: Vec<f64> = ctx_kids
+                    .iter()
+                    .map(|kid| self.kernels[kid].desc.peak_parallelism() as f64)
+                    .collect();
+                let total: f64 = demands.iter().sum();
+                for (kid, d) in ctx_kids.iter().zip(demands) {
+                    let s = if total > cap { d * cap / total } else { d };
+                    shares.insert(*kid, s);
+                }
+            }
+            // Domain-wide overload.
+            let total: f64 = shares.values().sum();
+            let scale = if total > dom.sms { dom.sms / total } else { 1.0 };
+            // Wave quantization + bandwidth.
+            let mut effs: BTreeMap<u64, f64> = BTreeMap::new();
+            let mut bw_total = 0.0;
+            for (&kid, &s) in &shares {
+                let eff = self.kernels[&kid].desc.effective_sms(s * scale);
+                bw_total += self.kernels[&kid].desc.bandwidth_demand(eff);
+                effs.insert(kid, eff);
+            }
+            let bw_scale = if bw_total > dom.bw { dom.bw / bw_total } else { 1.0 };
+            for (kid, eff) in effs {
+                let k = &self.kernels[&kid];
+                let c = &self.ctxs[&k.ctx];
+                let mut rate = eff * bw_scale * interference;
+                if self.pool_overcommitted(c) {
+                    rate *= self.spec.uvm_penalty;
+                }
+                rates.insert(kid, rate);
+            }
+        }
+
+        let mut busy = 0.0;
+        for (kid, k) in self.kernels.iter_mut() {
+            k.rate = rates.get(kid).copied().unwrap_or(0.0);
+            busy += k.rate;
+        }
+        self.busy_sms.set(now, busy);
+    }
+
+    /// When should the engine next wake this device? `None` = nothing
+    /// scheduled (fully idle or permanently blocked).
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        let mut t = SimTime::MAX;
+        for k in self.kernels.values() {
+            if k.rate > 0.0 {
+                let secs = k.remaining / k.rate;
+                let at = now
+                    .saturating_add(SimDuration::from_secs_f64(secs))
+                    .saturating_add(SimDuration::from_nanos(1));
+                t = t.min(at);
+            }
+        }
+        if self.mode == DeviceMode::TimeSharing {
+            if self.ts_pending.is_some() {
+                t = t.min(self.ts_switch_end.max(now));
+            } else if self.active_ctx_ids().len() >= 2 {
+                t = t.min(self.ts_quantum_end.max(now));
+            }
+        }
+        (t < SimTime::MAX).then_some(t)
+    }
+
+    /// Advance to `now`, pop finished kernels, and recompute rates
+    /// (handling any due time-sharing rotation).
+    pub fn collect_finished(&mut self, now: SimTime) -> Vec<KernelDone> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let finished: Vec<u64> = self
+            .kernels
+            .iter()
+            .filter(|(_, k)| k.remaining <= WORK_EPS && (k.rate > 0.0 || k.desc.work_sm_s <= WORK_EPS))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let k = self.kernels.remove(&id).expect("listed");
+            self.kernels_completed += 1;
+            done.push(KernelDone {
+                gpu: self.id,
+                ctx: CtxId(k.ctx),
+                kernel: KernelId(id),
+                tag: k.tag,
+                name: k.desc.name,
+                launched: k.launched,
+                finished: now,
+            });
+        }
+        self.recompute(now);
+        done
+    }
+
+    /// Hard reset: drops every context, kernel, allocation and MIG
+    /// instance. Used for MIG reconfiguration (§6: "to reallocate MIG, we
+    /// must shut down all the applications running on the GPU").
+    pub fn reset(&mut self, now: SimTime) {
+        self.advance(now);
+        self.kernels.clear();
+        for (_, c) in std::mem::take(&mut self.ctxs) {
+            self.mps.disconnect(c.id.0);
+        }
+        self.mem = MemoryPool::new(self.spec.memory_bytes);
+        self.mem.set_oversubscription(self.allow_uvm);
+        self.mig_mem.clear();
+        self.mig.destroy_all();
+        self.attained.clear();
+        self.ts_current = None;
+        self.ts_pending = None;
+        self.recompute(now);
+    }
+
+    /// Swap out the stored wake event id, if any.
+    pub fn take_pending_event(&mut self) -> Option<EventId> {
+        self.pending_event.take()
+    }
+
+    /// Store the wake event id.
+    pub fn set_pending_event(&mut self, ev: EventId) {
+        self.pending_event = Some(ev);
+    }
+
+    /// Vendor passthrough.
+    pub fn vendor(&self) -> Vendor {
+        self.spec.vendor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs_f: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs_f)
+    }
+
+    fn dev(mode: DeviceMode) -> GpuDevice {
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+        if matches!(mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned) {
+            d.mps.start();
+        }
+        d.set_mode(mode).unwrap();
+        d
+    }
+
+    fn big_kernel(work: f64) -> KernelDesc {
+        KernelDesc::new("big", work, 75_600, 75_600, 0.0)
+    }
+
+    fn small_kernel(work: f64) -> KernelDesc {
+        // Decode-style kernel that can use at most 20 SMs.
+        KernelDesc::new("small", work, 20, 20, 0.0)
+    }
+
+    #[test]
+    fn single_kernel_runs_at_full_speed() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(108.0), 1).unwrap();
+        // 108 SM-seconds on 108 SMs → 1 second.
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6, "wake {wake}");
+        let done = d.collect_finished(wake);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+    }
+
+    #[test]
+    fn small_kernel_capped_at_its_parallelism() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c, small_kernel(20.0), 0).unwrap();
+        // 20 SM-seconds at 20 effective SMs → 1 second even with 108 SMs.
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((d.busy_sms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timesharing_serializes_two_contexts() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c0, big_kernel(108.0), 0).unwrap();
+        d.launch(SimTime::ZERO, c1, big_kernel(108.0), 1).unwrap();
+        // Only c0 runs initially.
+        let rates: Vec<f64> = d.kernels.values().map(|k| k.rate).collect();
+        assert_eq!(rates.iter().filter(|r| **r > 0.0).count(), 1);
+        // Work conservation: 216 SM-s of work on 108 SMs ≥ 2 s wall, plus
+        // switch penalties. Run to completion via the wake loop.
+        let mut now = SimTime::ZERO;
+        let mut done = 0;
+        for _ in 0..10_000 {
+            match d.next_wake(now) {
+                Some(w) => {
+                    now = w;
+                    done += d.collect_finished(now).len();
+                    if done == 2 {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        assert_eq!(done, 2);
+        let wall = now.as_secs_f64();
+        assert!(wall >= 2.0, "wall {wall} < work lower bound");
+        assert!(wall < 2.2, "switch overhead exploded: {wall}");
+    }
+
+    #[test]
+    fn timesharing_single_context_pays_no_switches() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let mut now = SimTime::ZERO;
+        for i in 0..5 {
+            d.launch(now, c, big_kernel(10.8), i).unwrap();
+            now = d.next_wake(now).unwrap();
+            assert_eq!(d.collect_finished(now).len(), 1);
+        }
+        assert!((now.as_secs_f64() - 0.5).abs() < 1e-5, "5×0.1 s, got {now}");
+    }
+
+    #[test]
+    fn mps_default_runs_contexts_concurrently() {
+        let mut d = dev(DeviceMode::MpsDefault);
+        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        // Two 20-SM kernels fit side by side on 108 SMs.
+        d.launch(SimTime::ZERO, c0, small_kernel(20.0), 0).unwrap();
+        d.launch(SimTime::ZERO, c1, small_kernel(20.0), 1).unwrap();
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6, "parallel, not 2 s");
+        assert_eq!(d.collect_finished(wake).len(), 2);
+    }
+
+    #[test]
+    fn mps_default_overload_is_proportional() {
+        let mut d = dev(DeviceMode::MpsDefault);
+        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c0, big_kernel(108.0), 0).unwrap();
+        d.launch(SimTime::ZERO, c1, big_kernel(108.0), 1).unwrap();
+        // Each demands 75 600 blocks (divisible by 54); proportional split → 54 SMs each.
+        for k in d.kernels.values() {
+            assert!((k.rate - 54.0).abs() < 1.0, "rate {}", k.rate);
+        }
+    }
+
+    #[test]
+    fn mps_percentage_caps_context() {
+        let mut d = dev(DeviceMode::MpsPartitioned);
+        let c = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::MpsPercentage(50))
+            .unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(54.0), 0).unwrap();
+        // 50% of 108 = 54 SMs → 1 second.
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6, "wake {wake}");
+    }
+
+    #[test]
+    fn mps_needs_daemon() {
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+        d.set_mode(DeviceMode::MpsPartitioned).unwrap();
+        let err = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::MpsPercentage(50))
+            .unwrap_err();
+        assert!(matches!(err, GpuError::WrongMode { .. }));
+    }
+
+    #[test]
+    fn mig_contexts_are_isolated() {
+        let mut d = dev(DeviceMode::Mig);
+        let i0 = d.mig_create("3g.40gb").unwrap();
+        let i1 = d.mig_create("3g.40gb").unwrap();
+        let u0 = d.mig.get(i0).unwrap().uuid.clone();
+        let u1 = d.mig.get(i1).unwrap().uuid.clone();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::MigInstance(u0))
+            .unwrap();
+        let c1 = d
+            .create_context(SimTime::ZERO, "p1", CtxBinding::MigInstance(u1))
+            .unwrap();
+        // Each instance has 42 SMs; a big kernel takes 42 SM-s / 42 = 1 s,
+        // regardless of the neighbour.
+        d.launch(SimTime::ZERO, c0, big_kernel(42.0), 0).unwrap();
+        d.launch(SimTime::ZERO, c1, big_kernel(42.0), 1).unwrap();
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(d.collect_finished(wake).len(), 2);
+    }
+
+    #[test]
+    fn mig_memory_is_per_instance() {
+        let mut d = dev(DeviceMode::Mig);
+        let i0 = d.mig_create("1g.10gb").unwrap();
+        let u0 = d.mig.get(i0).unwrap().uuid.clone();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::MigInstance(u0))
+            .unwrap();
+        let cap = d.mig_memory(i0).unwrap().capacity();
+        assert_eq!(cap, 10 * crate::spec::GIB);
+        assert!(d.alloc_memory(c0, cap + 1).is_err(), "exceeds slice");
+        d.alloc_memory(c0, cap).unwrap();
+    }
+
+    #[test]
+    fn mig_uvm_oversubscription_slows_kernels() {
+        let mut d = dev(DeviceMode::Mig);
+        d.set_uvm(true);
+        let i0 = d.mig_create("1g.10gb").unwrap();
+        let u0 = d.mig.get(i0).unwrap().uuid.clone();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::MigInstance(u0))
+            .unwrap();
+        d.alloc_memory(c0, 16 * crate::spec::GIB).unwrap(); // > 10 GiB slice
+        d.launch(SimTime::ZERO, c0, big_kernel(14.0), 0).unwrap();
+        // 14 SMs × 0.90 penalty → rate 12.6.
+        let k = d.kernels.values().next().unwrap();
+        assert!((k.rate - 14.0 * 0.90).abs() < 1e-9, "rate {}", k.rate);
+    }
+
+    #[test]
+    fn bandwidth_contention_scales_rates() {
+        let mut d = dev(DeviceMode::MpsDefault);
+        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        let hungry = KernelDesc::new("bw", 20.0, 20, 20, 0.8);
+        d.launch(SimTime::ZERO, c0, hungry.clone(), 0).unwrap();
+        d.launch(SimTime::ZERO, c1, hungry, 1).unwrap();
+        // Σ bandwidth demand = 1.6 > 1.0 → all rates × 1/1.6.
+        for k in d.kernels.values() {
+            assert!((k.rate - 20.0 / 1.6).abs() < 1e-9, "rate {}", k.rate);
+        }
+    }
+
+    #[test]
+    fn vgpu_slots_split_statically() {
+        let mut d = dev(DeviceMode::Vgpu { slots: 4 });
+        let c0 = d.create_context(SimTime::ZERO, "vm0", CtxBinding::VgpuSlot(0)).unwrap();
+        d.launch(SimTime::ZERO, c0, big_kernel(27.0 * 0.88), 0).unwrap();
+        // 108/4 = 27 SMs × 0.88 hypervisor mediation → 1 s, even with the
+        // rest of the GPU idle.
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 1.0).abs() < 1e-6);
+        // Slot memory = 20 GiB.
+        assert!(d.alloc_memory(c0, 21 * crate::spec::GIB).is_err());
+    }
+
+    #[test]
+    fn mode_change_requires_idle() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let _c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        assert!(matches!(
+            d.set_mode(DeviceMode::MpsDefault),
+            Err(GpuError::DeviceBusy { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_context_aborts_kernels_and_frees_memory() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        d.alloc_memory(c, 1024).unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(100.0), 0).unwrap();
+        let aborted = d.destroy_context(t(0.5), c).unwrap();
+        assert_eq!(aborted, 1);
+        assert_eq!(d.memory_used(), 0);
+        assert_eq!(d.active_kernels(), 0);
+        assert!(d.next_wake(t(0.5)).is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = dev(DeviceMode::Mig);
+        let i = d.mig_create("7g.80gb").unwrap();
+        let u = d.mig.get(i).unwrap().uuid.clone();
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::MigInstance(u)).unwrap();
+        d.alloc_memory(c, 1 << 30).unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(10.0), 0).unwrap();
+        d.reset(t(0.1));
+        assert_eq!(d.context_count(), 0);
+        assert_eq!(d.active_kernels(), 0);
+        assert_eq!(d.mig.instance_count(), 0);
+        assert_eq!(d.memory_used(), 0);
+    }
+
+    #[test]
+    fn zero_work_kernel_completes_immediately() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c, KernelDesc::new("nop", 0.0, 1, 1, 0.0), 7).unwrap();
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        let done = d.collect_finished(wake);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(108.0), 0).unwrap();
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        d.collect_finished(wake);
+        // Busy 108 SMs for 1 s; at t=2 s average = 108/2 /108 = 0.5.
+        let u = d.average_utilization(t(2.0));
+        assert!((u - 0.5).abs() < 1e-3, "util {u}");
+    }
+
+    #[test]
+    fn attained_service_accounting_quantifies_contention() {
+        // Default MPS, one giant-grid tenant vs one small-grid tenant:
+        // the giant grid grabs most SMs (proportional split), and the
+        // accounting exposes the imbalance Table 1 warns about.
+        let mut d = dev(DeviceMode::MpsDefault);
+        let hog = d.create_context(SimTime::ZERO, "hog", CtxBinding::Bare).unwrap();
+        let meek = d.create_context(SimTime::ZERO, "meek", CtxBinding::Bare).unwrap();
+        // The meek tenant only needs 20 SMs; the hog floods the device.
+        d.launch(SimTime::ZERO, hog, KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0), 0)
+            .unwrap();
+        d.launch(SimTime::ZERO, meek, KernelDesc::new("meek", 1000.0, 20, 20, 0.0), 1)
+            .unwrap();
+        d.advance(t(10.0));
+        let a_hog = d.attained_service(hog);
+        let a_meek = d.attained_service(meek);
+        // Proportional split of 128 demanded SMs over 108: the meek
+        // tenant is pushed below its 20-SM need (≈169 < 200 SM·s).
+        assert!(a_meek < 0.9 * 200.0, "meek should be starved: {a_meek}");
+        assert!(a_hog > 4.0 * a_meek, "hog {a_hog} vs meek {a_meek}");
+        // Work conservation: total attained never exceeds SMs × time, and
+        // wave quantization loses only a little of it.
+        let total = a_hog + a_meek;
+        assert!(total <= 108.0 * 10.0 + 1e-6);
+        assert!(total > 0.9 * 108.0 * 10.0, "too much lost to waves: {total}");
+        // Context teardown clears the ledger.
+        d.destroy_context(t(10.0), meek).unwrap();
+        assert_eq!(d.attained_service(meek), 0.0);
+    }
+
+    #[test]
+    fn mps_percentage_prevents_starvation() {
+        // Same tenants under partitioned MPS 50/50: caps equalize service.
+        let mut d = dev(DeviceMode::MpsPartitioned);
+        let a = d
+            .create_context(SimTime::ZERO, "a", CtxBinding::MpsPercentage(50))
+            .unwrap();
+        let b = d
+            .create_context(SimTime::ZERO, "b", CtxBinding::MpsPercentage(50))
+            .unwrap();
+        d.launch(SimTime::ZERO, a, KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0), 0)
+            .unwrap();
+        d.launch(SimTime::ZERO, b, KernelDesc::new("meek", 1000.0, 20, 20, 0.0), 1)
+            .unwrap();
+        d.advance(t(10.0));
+        // With a 50% cap on the hog, the meek tenant attains its full
+        // 20-SM demand: no starvation.
+        let a_meek = d.attained_service(b);
+        assert!((a_meek - 200.0).abs() < 1e-6, "meek un-starved: {a_meek}");
+        assert!((d.attained_service(a) - 540.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binding_mode_mismatches_rejected() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        assert!(d
+            .create_context(SimTime::ZERO, "p", CtxBinding::MpsPercentage(50))
+            .is_err());
+        let mut d = dev(DeviceMode::Mig);
+        assert!(d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).is_err());
+        assert!(d
+            .create_context(SimTime::ZERO, "p", CtxBinding::MigInstance("MIG-nope".into()))
+            .is_err());
+        let mut d = dev(DeviceMode::Vgpu { slots: 2 });
+        assert!(d.create_context(SimTime::ZERO, "p", CtxBinding::VgpuSlot(2)).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the GPU simulator.
+
+use std::fmt;
+
+/// Errors returned by device-control and execution operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Allocation exceeds the memory visible to the requesting context.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free in the context's memory domain.
+        available: u64,
+    },
+    /// Referenced context does not exist (or was destroyed).
+    UnknownContext(u32),
+    /// Referenced MIG instance does not exist.
+    UnknownInstance(u32),
+    /// Operation requires a device mode other than the current one, e.g.
+    /// creating a MIG instance while the GPU is not in MIG mode.
+    WrongMode {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What the device was in.
+        actual: &'static str,
+    },
+    /// A MIG instance of the requested profile cannot be placed on the
+    /// remaining slices.
+    MigPlacement {
+        /// Requested profile name, e.g. `"2g.20gb"`.
+        profile: &'static str,
+    },
+    /// The profile name is not in the device's MIG catalog.
+    MigProfileUnknown(String),
+    /// Mode changes and MIG reconfiguration require an idle device.
+    DeviceBusy {
+        /// Number of live contexts blocking the operation.
+        contexts: usize,
+    },
+    /// MPS active-thread percentage outside `1..=100`.
+    BadPercentage(u32),
+    /// Freeing more memory than the context holds.
+    BadFree {
+        /// Bytes requested to free.
+        requested: u64,
+        /// Bytes the context actually holds.
+        held: u64,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, available } => write!(
+                f,
+                "out of device memory: requested {requested} B, {available} B available"
+            ),
+            GpuError::UnknownContext(id) => write!(f, "unknown GPU context {id}"),
+            GpuError::UnknownInstance(id) => write!(f, "unknown MIG instance {id}"),
+            GpuError::WrongMode { expected, actual } => {
+                write!(f, "operation requires {expected} mode, device is in {actual}")
+            }
+            GpuError::MigPlacement { profile } => {
+                write!(f, "no free slice placement for MIG profile {profile}")
+            }
+            GpuError::MigProfileUnknown(p) => write!(f, "unknown MIG profile {p}"),
+            GpuError::DeviceBusy { contexts } => {
+                write!(f, "device busy: {contexts} live context(s) must exit first")
+            }
+            GpuError::BadPercentage(p) => {
+                write!(f, "MPS active-thread percentage {p} outside 1..=100")
+            }
+            GpuError::BadFree { requested, held } => {
+                write!(f, "freeing {requested} B but context holds {held} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GpuError>;

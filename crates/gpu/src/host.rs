@@ -1,0 +1,300 @@
+//! Engine glue: turning [`GpuDevice`] state machines into discrete events.
+//!
+//! Any simulation world that owns GPUs implements [`GpuHost`]; the free
+//! functions here ([`launch_kernel`], [`resync`]) keep exactly one pending
+//! wake event armed per device and deliver completions through
+//! [`GpuHost::on_kernel_done`].
+
+use crate::device::{CtxId, GpuDevice, GpuId, KernelDone, KernelId};
+use crate::error::Result;
+use crate::kernel::KernelDesc;
+use crate::spec::GpuSpec;
+use parfait_simcore::Engine;
+
+/// The machine's set of GPUs.
+#[derive(Debug, Default)]
+pub struct GpuFleet {
+    devices: Vec<GpuDevice>,
+}
+
+impl GpuFleet {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        GpuFleet::default()
+    }
+
+    /// Install a device; returns its fleet id.
+    pub fn add(&mut self, spec: GpuSpec) -> GpuId {
+        let id = GpuId(self.devices.len() as u32);
+        self.devices.push(GpuDevice::new(id, spec));
+        id
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Borrow a device.
+    pub fn device(&self, id: GpuId) -> &GpuDevice {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Borrow a device mutably.
+    pub fn device_mut(&mut self, id: GpuId) -> &mut GpuDevice {
+        &mut self.devices[id.0 as usize]
+    }
+
+    /// Iterate devices.
+    pub fn iter(&self) -> impl Iterator<Item = &GpuDevice> {
+        self.devices.iter()
+    }
+}
+
+/// A simulation world that owns a [`GpuFleet`].
+pub trait GpuHost: Sized + 'static {
+    /// Access the fleet.
+    fn fleet_mut(&mut self) -> &mut GpuFleet;
+    /// A kernel completed. Handlers may launch further kernels, allocate
+    /// memory, destroy contexts — any device mutation is legal here.
+    fn on_kernel_done(&mut self, eng: &mut Engine<Self>, done: KernelDone);
+}
+
+/// Launch a kernel and (re)arm the device's wake event.
+pub fn launch_kernel<W: GpuHost>(
+    world: &mut W,
+    eng: &mut Engine<W>,
+    gpu: GpuId,
+    ctx: CtxId,
+    desc: KernelDesc,
+    tag: u64,
+) -> Result<KernelId> {
+    let now = eng.now();
+    let id = world.fleet_mut().device_mut(gpu).launch(now, ctx, desc, tag)?;
+    resync(world, eng, gpu);
+    Ok(id)
+}
+
+/// Re-arm the single pending wake event for `gpu` after any state change
+/// made directly on the device (context churn, memory ops, mode changes).
+pub fn resync<W: GpuHost>(world: &mut W, eng: &mut Engine<W>, gpu: GpuId) {
+    let now = eng.now();
+    let pending = world.fleet_mut().device_mut(gpu).take_pending_event();
+    if let Some(ev) = pending {
+        eng.cancel(ev);
+    }
+    let wake = world.fleet_mut().device_mut(gpu).next_wake(now);
+    if let Some(at) = wake {
+        let ev = eng.schedule_at(at, move |w: &mut W, e| tick(w, e, gpu));
+        world.fleet_mut().device_mut(gpu).set_pending_event(ev);
+    }
+}
+
+/// Wake handler: pop completions, deliver them, re-arm.
+fn tick<W: GpuHost>(world: &mut W, eng: &mut Engine<W>, gpu: GpuId) {
+    world.fleet_mut().device_mut(gpu).take_pending_event();
+    let done = world.fleet_mut().device_mut(gpu).collect_finished(eng.now());
+    for d in done {
+        world.on_kernel_done(eng, d);
+    }
+    resync(world, eng, gpu);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharing::{CtxBinding, DeviceMode};
+    use parfait_simcore::SimTime;
+
+    struct World {
+        fleet: GpuFleet,
+        completions: Vec<(u64, SimTime)>,
+        chain: u64,
+        chain_ctx: Option<CtxId>,
+    }
+
+    impl GpuHost for World {
+        fn fleet_mut(&mut self) -> &mut GpuFleet {
+            &mut self.fleet
+        }
+        fn on_kernel_done(&mut self, eng: &mut Engine<Self>, done: KernelDone) {
+            self.completions.push((done.tag, done.finished));
+            if self.chain > 0 {
+                self.chain -= 1;
+                let ctx = self.chain_ctx.expect("chain ctx");
+                let next_tag = done.tag + 1;
+                launch_kernel(
+                    self,
+                    eng,
+                    done.gpu,
+                    ctx,
+                    KernelDesc::new("chain", 10.8, 75_600, 75_600, 0.0),
+                    next_tag,
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    fn world(mode: DeviceMode) -> (World, Engine<World>, GpuId, CtxId) {
+        let mut fleet = GpuFleet::new();
+        let gpu = fleet.add(GpuSpec::a100_80gb());
+        {
+            let d = fleet.device_mut(gpu);
+            if matches!(mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned) {
+                d.mps.start();
+            }
+            d.set_mode(mode).unwrap();
+        }
+        let ctx = fleet
+            .device_mut(gpu)
+            .create_context(SimTime::ZERO, "w0", CtxBinding::Bare)
+            .unwrap();
+        (
+            World {
+                fleet,
+                completions: Vec::new(),
+                chain: 0,
+                chain_ctx: None,
+            },
+            Engine::new(),
+            gpu,
+            ctx,
+        )
+    }
+
+    #[test]
+    fn end_to_end_single_kernel() {
+        let (mut w, mut eng, gpu, ctx) = world(DeviceMode::TimeSharing);
+        launch_kernel(
+            &mut w,
+            &mut eng,
+            gpu,
+            ctx,
+            KernelDesc::new("k", 54.0, 75_600, 75_600, 0.0),
+            42,
+        )
+        .unwrap();
+        eng.run(&mut w);
+        assert_eq!(w.completions.len(), 1);
+        let (tag, at) = w.completions[0];
+        assert_eq!(tag, 42);
+        assert!((at.as_secs_f64() - 0.5).abs() < 1e-6, "54/108 SMs = 0.5 s, got {at}");
+    }
+
+    #[test]
+    fn chained_launches_from_completion_handler() {
+        let (mut w, mut eng, gpu, ctx) = world(DeviceMode::TimeSharing);
+        w.chain = 4;
+        w.chain_ctx = Some(ctx);
+        launch_kernel(
+            &mut w,
+            &mut eng,
+            gpu,
+            ctx,
+            KernelDesc::new("chain", 10.8, 75_600, 75_600, 0.0),
+            0,
+        )
+        .unwrap();
+        eng.run(&mut w);
+        assert_eq!(w.completions.len(), 5);
+        let tags: Vec<u64> = w.completions.iter().map(|c| c.0).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+        let last = w.completions.last().unwrap().1;
+        assert!((last.as_secs_f64() - 0.5).abs() < 1e-5, "5 × 0.1 s, got {last}");
+    }
+
+    #[test]
+    fn concurrent_kernels_two_devices() {
+        let mut fleet = GpuFleet::new();
+        let g0 = fleet.add(GpuSpec::a100_40gb());
+        let g1 = fleet.add(GpuSpec::a100_40gb());
+        let c0 = fleet
+            .device_mut(g0)
+            .create_context(SimTime::ZERO, "a", CtxBinding::Bare)
+            .unwrap();
+        let c1 = fleet
+            .device_mut(g1)
+            .create_context(SimTime::ZERO, "b", CtxBinding::Bare)
+            .unwrap();
+        let mut w = World {
+            fleet,
+            completions: Vec::new(),
+            chain: 0,
+            chain_ctx: None,
+        };
+        let mut eng = Engine::new();
+        launch_kernel(&mut w, &mut eng, g0, c0, KernelDesc::new("k0", 108.0, 75_600, 75_600, 0.0), 0).unwrap();
+        launch_kernel(&mut w, &mut eng, g1, c1, KernelDesc::new("k1", 108.0, 75_600, 75_600, 0.0), 1).unwrap();
+        eng.run(&mut w);
+        assert_eq!(w.completions.len(), 2);
+        // Both finish at ~1 s — devices are independent.
+        for (_, at) in &w.completions {
+            assert!((at.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resync_is_idempotent() {
+        let (mut w, mut eng, gpu, ctx) = world(DeviceMode::TimeSharing);
+        launch_kernel(&mut w, &mut eng, gpu, ctx, KernelDesc::new("k", 10.8, 75_600, 75_600, 0.0), 0).unwrap();
+        for _ in 0..5 {
+            resync(&mut w, &mut eng, gpu);
+        }
+        assert_eq!(eng.pending(), 1, "exactly one armed wake event");
+        eng.run(&mut w);
+        assert_eq!(w.completions.len(), 1);
+    }
+
+    #[test]
+    fn timeshared_latency_stretches_with_coresidents() {
+        // The Fig. 5 phenomenon in miniature: a fixed kernel takes ~n×
+        // longer when n equal processes time-share the GPU.
+        let run = |n: usize| -> f64 {
+            let mut fleet = GpuFleet::new();
+            let gpu = fleet.add(GpuSpec::a100_80gb());
+            let ctxs: Vec<CtxId> = (0..n)
+                .map(|i| {
+                    fleet
+                        .device_mut(gpu)
+                        .create_context(SimTime::ZERO, &format!("p{i}"), CtxBinding::Bare)
+                        .unwrap()
+                })
+                .collect();
+            let mut w = World {
+                fleet,
+                completions: Vec::new(),
+                chain: 0,
+                chain_ctx: None,
+            };
+            let mut eng = Engine::new();
+            for (i, &c) in ctxs.iter().enumerate() {
+                launch_kernel(
+                    &mut w,
+                    &mut eng,
+                    gpu,
+                    c,
+                    KernelDesc::new("k", 108.0, 75_600, 75_600, 0.0),
+                    i as u64,
+                )
+                .unwrap();
+            }
+            eng.run(&mut w);
+            w.completions
+                .iter()
+                .map(|(_, at)| at.as_secs_f64())
+                .fold(0.0, f64::max)
+                / w.completions.len() as f64
+                * w.completions.len() as f64 // makespan
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(t4 / t1 > 3.9, "t1={t1} t4={t4}");
+        assert!(t4 / t1 < 4.3, "switch overhead too large: t1={t1} t4={t4}");
+    }
+}

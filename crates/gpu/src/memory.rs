@@ -1,0 +1,186 @@
+//! Device-memory accounting.
+//!
+//! The paper's headline constraint — "due to memory constraints, we could
+//! fit only four concurrent instances of LLaMa2 (7B) in an 80 GB A100" —
+//! is enforced here. A [`MemoryPool`] tracks per-owner allocations against
+//! a capacity; optional **UVM oversubscription** admits allocations beyond
+//! capacity but marks the pool overcommitted, which the execution engine
+//! translates into a paging slowdown (`GpuSpec::uvm_penalty`).
+
+use crate::error::{GpuError, Result};
+use std::collections::HashMap;
+
+/// Byte-accurate allocator keyed by an opaque owner id (GPU context).
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: u64,
+    by_owner: HashMap<u32, u64>,
+    /// Admit allocations beyond capacity (CUDA unified memory).
+    allow_oversubscription: bool,
+    /// High-water mark of `used`.
+    peak: u64,
+}
+
+impl MemoryPool {
+    /// Pool with `capacity` bytes and strict (no-UVM) admission.
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool {
+            capacity,
+            used: 0,
+            by_owner: HashMap::new(),
+            allow_oversubscription: false,
+            peak: 0,
+        }
+    }
+
+    /// Enable/disable UVM oversubscription.
+    pub fn set_oversubscription(&mut self, allow: bool) {
+        self.allow_oversubscription = allow;
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated (may exceed capacity under UVM).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free (zero when overcommitted).
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Highest `used` observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// True when allocations exceed physical capacity.
+    pub fn overcommitted(&self) -> bool {
+        self.used > self.capacity
+    }
+
+    /// Bytes held by one owner.
+    pub fn owner_usage(&self, owner: u32) -> u64 {
+        self.by_owner.get(&owner).copied().unwrap_or(0)
+    }
+
+    /// Allocate `bytes` for `owner`.
+    pub fn alloc(&mut self, owner: u32, bytes: u64) -> Result<()> {
+        if !self.allow_oversubscription && self.used + bytes > self.capacity {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available: self.free(),
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        *self.by_owner.entry(owner).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Free `bytes` for `owner`.
+    pub fn freeb(&mut self, owner: u32, bytes: u64) -> Result<()> {
+        let held = self.by_owner.get_mut(&owner).ok_or(GpuError::BadFree {
+            requested: bytes,
+            held: 0,
+        })?;
+        if *held < bytes {
+            return Err(GpuError::BadFree {
+                requested: bytes,
+                held: *held,
+            });
+        }
+        *held -= bytes;
+        if *held == 0 {
+            self.by_owner.remove(&owner);
+        }
+        self.used -= bytes;
+        Ok(())
+    }
+
+    /// Release everything held by `owner` (context teardown); returns the
+    /// number of bytes released.
+    pub fn release_owner(&mut self, owner: u32) -> u64 {
+        match self.by_owner.remove(&owner) {
+            Some(b) => {
+                self.used -= b;
+                b
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GIB;
+
+    #[test]
+    fn strict_pool_rejects_overflow() {
+        let mut p = MemoryPool::new(10 * GIB);
+        p.alloc(1, 6 * GIB).unwrap();
+        let err = p.alloc(2, 6 * GIB).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        assert_eq!(p.used(), 6 * GIB);
+        assert_eq!(p.free(), 4 * GIB);
+    }
+
+    #[test]
+    fn exactly_four_llama7b_fit_in_80gb() {
+        // fp16 7B ≈ 13.04 GiB weights + ~3.5 GiB KV/context ≈ 16.6 GiB.
+        let per_instance = (16.6 * GIB as f64) as u64;
+        let mut p = MemoryPool::new(80 * GIB);
+        for owner in 0..4 {
+            p.alloc(owner, per_instance).unwrap();
+        }
+        assert!(p.alloc(4, per_instance).is_err(), "fifth instance must not fit");
+    }
+
+    #[test]
+    fn uvm_admits_and_flags_overcommit() {
+        let mut p = MemoryPool::new(10 * GIB);
+        p.set_oversubscription(true);
+        p.alloc(1, 16 * GIB).unwrap();
+        assert!(p.overcommitted());
+        assert_eq!(p.free(), 0);
+        p.freeb(1, 8 * GIB).unwrap();
+        assert!(!p.overcommitted());
+    }
+
+    #[test]
+    fn per_owner_accounting_and_release() {
+        let mut p = MemoryPool::new(100);
+        p.alloc(7, 30).unwrap();
+        p.alloc(7, 20).unwrap();
+        p.alloc(8, 10).unwrap();
+        assert_eq!(p.owner_usage(7), 50);
+        assert_eq!(p.release_owner(7), 50);
+        assert_eq!(p.owner_usage(7), 0);
+        assert_eq!(p.used(), 10);
+        assert_eq!(p.release_owner(7), 0);
+    }
+
+    #[test]
+    fn bad_free_detected() {
+        let mut p = MemoryPool::new(100);
+        p.alloc(1, 10).unwrap();
+        assert!(matches!(p.freeb(1, 20), Err(GpuError::BadFree { held: 10, .. })));
+        assert!(matches!(p.freeb(2, 1), Err(GpuError::BadFree { held: 0, .. })));
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut p = MemoryPool::new(100);
+        p.alloc(1, 60).unwrap();
+        p.freeb(1, 50).unwrap();
+        p.alloc(1, 20).unwrap();
+        assert_eq!(p.peak(), 60);
+        assert_eq!(p.used(), 30);
+    }
+}

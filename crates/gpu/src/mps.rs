@@ -1,0 +1,206 @@
+//! CUDA Multi-Process Service (MPS) control-daemon model.
+//!
+//! `nvidia-cuda-mps-control` lets kernels from *different processes* run
+//! concurrently on one GPU. Two modes matter for the paper:
+//!
+//! * **Default MPS** — clients share all SMs; the scheduler packs kernels
+//!   freely (Table 1: "highest utilization", but "applications can be
+//!   resource starved due to contention").
+//! * **MPS with GPU percentage** — each client process is capped at
+//!   `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE` percent of the SMs. The paper's
+//!   key operational constraint (§6): the percentage is read **when the
+//!   client process starts** and cannot change while it lives — resizing
+//!   a partition means restarting the function process.
+//!
+//! The daemon here owns no scheduling; it validates client registration
+//! and percentage semantics. The SM arbitration itself happens in
+//! [`crate::device`].
+
+use crate::error::{GpuError, Result};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Environment key the paper sets before forking workers (§4.1). The text
+/// introduces it as `CUDA_MPS_ACTIVE_GPU_PERCENTAGE` and then uses the
+/// driver's real name; we use the real one.
+pub const MPS_ENV_VAR: &str = "CUDA_MPS_ACTIVE_THREAD_PERCENTAGE";
+
+/// One registered MPS client (a function process with a CUDA context).
+#[derive(Debug, Clone, Serialize)]
+pub struct MpsClient {
+    /// Device-level context id this client maps to.
+    pub ctx: u32,
+    /// SM cap as a percentage (`None` = default MPS, no cap).
+    pub percentage: Option<u32>,
+}
+
+/// Per-device MPS daemon state.
+#[derive(Debug, Clone, Default)]
+pub struct MpsDaemon {
+    running: bool,
+    clients: BTreeMap<u32, MpsClient>,
+    /// Lifetime connection counter (monitoring).
+    total_served: u64,
+}
+
+impl MpsDaemon {
+    /// Daemon not yet started (`nvidia-cuda-mps-control -d` not run).
+    pub fn new() -> Self {
+        MpsDaemon::default()
+    }
+
+    /// Is the control daemon up?
+    pub fn running(&self) -> bool {
+        self.running
+    }
+
+    /// Start the daemon. Idempotent.
+    pub fn start(&mut self) {
+        self.running = true;
+    }
+
+    /// Stop the daemon. Fails while clients are connected (the real
+    /// control daemon refuses `quit` with active clients).
+    pub fn stop(&mut self) -> Result<()> {
+        if !self.clients.is_empty() {
+            return Err(GpuError::DeviceBusy {
+                contexts: self.clients.len(),
+            });
+        }
+        self.running = false;
+        Ok(())
+    }
+
+    /// Register a client process whose environment carried `percentage`
+    /// (as set from [`MPS_ENV_VAR`]). `None` means default/no cap.
+    pub fn connect(&mut self, ctx: u32, percentage: Option<u32>) -> Result<()> {
+        if !self.running {
+            return Err(GpuError::WrongMode {
+                expected: "MPS daemon running",
+                actual: "MPS daemon stopped",
+            });
+        }
+        if let Some(p) = percentage {
+            if !(1..=100).contains(&p) {
+                return Err(GpuError::BadPercentage(p));
+            }
+        }
+        self.clients.insert(ctx, MpsClient { ctx, percentage });
+        self.total_served += 1;
+        Ok(())
+    }
+
+    /// Client exits.
+    pub fn disconnect(&mut self, ctx: u32) {
+        self.clients.remove(&ctx);
+    }
+
+    /// The percentage cap for a context, if any.
+    pub fn percentage_of(&self, ctx: u32) -> Option<u32> {
+        self.clients.get(&ctx).and_then(|c| c.percentage)
+    }
+
+    /// Attempting to change a live client's percentage models the §6
+    /// constraint: the env var is read at process start, so this always
+    /// fails; the caller must restart the process instead.
+    pub fn try_resize_live_client(&mut self, ctx: u32, _new_pct: u32) -> Result<()> {
+        if self.clients.contains_key(&ctx) {
+            Err(GpuError::DeviceBusy { contexts: 1 })
+        } else {
+            Err(GpuError::UnknownContext(ctx))
+        }
+    }
+
+    /// Connected clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Lifetime connections (monitoring counter).
+    pub fn total_served(&self) -> u64 {
+        self.total_served
+    }
+
+    /// Sum of caps across live clients, treating `None` as 100. The paper
+    /// notes MPS allows oversubscription (sums above 100 are legal).
+    pub fn total_percentage(&self) -> u32 {
+        self.clients
+            .values()
+            .map(|c| c.percentage.unwrap_or(100))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_requires_running_daemon() {
+        let mut d = MpsDaemon::new();
+        assert!(d.connect(1, Some(50)).is_err());
+        d.start();
+        d.connect(1, Some(50)).unwrap();
+        assert_eq!(d.percentage_of(1), Some(50));
+    }
+
+    #[test]
+    fn percentage_validation() {
+        let mut d = MpsDaemon::new();
+        d.start();
+        assert!(matches!(d.connect(1, Some(0)), Err(GpuError::BadPercentage(0))));
+        assert!(matches!(d.connect(1, Some(101)), Err(GpuError::BadPercentage(101))));
+        d.connect(1, Some(100)).unwrap();
+        d.connect(2, None).unwrap();
+        assert_eq!(d.percentage_of(2), None);
+    }
+
+    #[test]
+    fn live_resize_always_fails() {
+        // §6: "Once the GPU% is allocated for a process with MPS, the GPU%
+        // cannot be changed while the process is still alive."
+        let mut d = MpsDaemon::new();
+        d.start();
+        d.connect(1, Some(25)).unwrap();
+        assert!(d.try_resize_live_client(1, 50).is_err());
+        assert!(matches!(
+            d.try_resize_live_client(9, 50),
+            Err(GpuError::UnknownContext(9))
+        ));
+        // Restart path: disconnect, reconnect with the new value.
+        d.disconnect(1);
+        d.connect(1, Some(50)).unwrap();
+        assert_eq!(d.percentage_of(1), Some(50));
+    }
+
+    #[test]
+    fn oversubscription_is_legal() {
+        let mut d = MpsDaemon::new();
+        d.start();
+        d.connect(1, Some(60)).unwrap();
+        d.connect(2, Some(60)).unwrap();
+        assert_eq!(d.total_percentage(), 120);
+    }
+
+    #[test]
+    fn stop_refuses_with_clients() {
+        let mut d = MpsDaemon::new();
+        d.start();
+        d.connect(1, None).unwrap();
+        assert!(d.stop().is_err());
+        d.disconnect(1);
+        d.stop().unwrap();
+        assert!(!d.running());
+    }
+
+    #[test]
+    fn served_counter_is_lifetime() {
+        let mut d = MpsDaemon::new();
+        d.start();
+        d.connect(1, None).unwrap();
+        d.disconnect(1);
+        d.connect(2, None).unwrap();
+        assert_eq!(d.client_count(), 1);
+        assert_eq!(d.total_served(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the GPU arbitration model.
+
+use parfait_gpu::host::{launch_kernel, GpuFleet, GpuHost};
+use parfait_gpu::{CtxBinding, DeviceMode, GpuDevice, GpuId, GpuSpec, KernelDesc, KernelDone};
+use parfait_simcore::{Engine, SimTime};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (0.01f64..50.0, 1u32..500, 1u32..200, 0.0f64..1.0).prop_map(|(work, blocks, max_u, mem)| {
+        KernelDesc::new("prop", work, blocks, max_u, mem)
+    })
+}
+
+proptest! {
+    /// Effective SMs never exceed the allocation, the block count, or the
+    /// usefulness cap, and are monotone non-decreasing in the allocation.
+    #[test]
+    fn effective_sms_invariants(k in arb_kernel(), alloc in 0.0f64..200.0) {
+        let eff = k.effective_sms(alloc);
+        prop_assert!(eff >= 0.0);
+        prop_assert!(eff <= alloc + 1e-9);
+        prop_assert!(eff <= k.blocks as f64 + 1e-9);
+        prop_assert!(eff <= k.max_useful_sms as f64 + 1e-9);
+        let eff_more = k.effective_sms(alloc + 1.0);
+        prop_assert!(eff_more + 1e-9 >= eff, "not monotone at {alloc}");
+    }
+
+    /// Under any mode, the sum of kernel rates never exceeds the device's
+    /// SM count, and each kernel's rate is non-negative.
+    #[test]
+    fn rates_conserve_sms(
+        kernels in proptest::collection::vec(arb_kernel(), 1..12),
+        mode_sel in 0usize..3,
+    ) {
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+        let mode = match mode_sel {
+            0 => DeviceMode::TimeSharing,
+            1 => DeviceMode::MpsDefault,
+            _ => DeviceMode::MpsPartitioned,
+        };
+        if mode_sel > 0 {
+            d.mps.start();
+        }
+        d.set_mode(mode).unwrap();
+        let n = kernels.len().min(4);
+        let ctxs: Vec<_> = (0..n)
+            .map(|i| {
+                let binding = if mode == DeviceMode::MpsPartitioned {
+                    CtxBinding::MpsPercentage(25)
+                } else {
+                    CtxBinding::Bare
+                };
+                d.create_context(SimTime::ZERO, &format!("p{i}"), binding).unwrap()
+            })
+            .collect();
+        for (i, k) in kernels.iter().enumerate() {
+            d.launch(SimTime::ZERO, ctxs[i % n], k.clone(), i as u64).unwrap();
+        }
+        prop_assert!(d.busy_sms() <= 108.0 + 1e-6, "busy {}", d.busy_sms());
+        prop_assert!(d.busy_sms() >= 0.0);
+    }
+
+    /// Work conservation end-to-end: a batch of kernels on one context
+    /// completes in exactly max over kernels of their finishing time, and
+    /// total wall time is at least total work / device SMs.
+    #[test]
+    fn work_conservation(kernels in proptest::collection::vec(arb_kernel(), 1..8)) {
+        struct W {
+            fleet: GpuFleet,
+            done: usize,
+            last: SimTime,
+        }
+        impl GpuHost for W {
+            fn fleet_mut(&mut self) -> &mut GpuFleet {
+                &mut self.fleet
+            }
+            fn on_kernel_done(&mut self, eng: &mut Engine<Self>, _d: KernelDone) {
+                self.done += 1;
+                self.last = eng.now();
+            }
+        }
+        let mut fleet = GpuFleet::new();
+        let g = fleet.add(GpuSpec::a100_80gb());
+        fleet.device_mut(g).mps.start();
+        fleet.device_mut(g).set_mode(DeviceMode::MpsDefault).unwrap();
+        let c = fleet
+            .device_mut(g)
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
+        let mut w = W { fleet, done: 0, last: SimTime::ZERO };
+        let mut eng = Engine::new();
+        let total_work: f64 = kernels.iter().map(|k| k.work_sm_s).sum();
+        for (i, k) in kernels.iter().enumerate() {
+            launch_kernel(&mut w, &mut eng, g, c, k.clone(), i as u64).unwrap();
+        }
+        eng.run(&mut w);
+        prop_assert_eq!(w.done, kernels.len(), "all kernels complete");
+        let wall = w.last.as_secs_f64();
+        prop_assert!(
+            wall + 1e-6 >= total_work / 108.0,
+            "wall {wall} beats the physical bound {}",
+            total_work / 108.0
+        );
+        prop_assert!(w.fleet.device(g).active_kernels() == 0);
+    }
+
+    /// Memory accounting: any sequence of alloc/free on contexts keeps
+    /// used() equal to the running ledger and never exceeds capacity in
+    /// strict mode.
+    #[test]
+    fn memory_ledger(ops in proptest::collection::vec((0u8..2, 0u64..(40u64 << 30)), 1..60)) {
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let mut ledger: u64 = 0;
+        for (op, bytes) in ops {
+            match op {
+                0 => {
+                    if d.alloc_memory(c, bytes).is_ok() {
+                        ledger += bytes;
+                    }
+                }
+                _ => {
+                    if d.free_memory(c, bytes).is_ok() {
+                        ledger -= bytes;
+                    }
+                }
+            }
+            prop_assert_eq!(d.memory_used(), ledger);
+            prop_assert!(d.memory_used() <= 80u64 << 30);
+        }
+    }
+
+    /// MIG placement: any sequence of create/destroy leaves slice
+    /// occupancy consistent (free slices + occupied slices = 7).
+    #[test]
+    fn mig_slice_accounting(ops in proptest::collection::vec((0u8..2, 0usize..5), 1..40)) {
+        let profiles = ["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"];
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+        d.set_mode(DeviceMode::Mig).unwrap();
+        let mut live: Vec<(u32, u8)> = Vec::new(); // (id, slices)
+        for (op, pi) in ops {
+            if op == 0 {
+                if let Ok(id) = d.mig_create(profiles[pi]) {
+                    let g = d.mig.get(id).unwrap().profile.compute_slices;
+                    live.push((id, g));
+                }
+            } else if let Some((id, _)) = live.first().copied() {
+                if d.mig_destroy(id).is_ok() {
+                    live.remove(0);
+                }
+            }
+            let occupied: u8 = live.iter().map(|(_, g)| *g).sum();
+            prop_assert_eq!(d.mig.free_slices() + occupied, 7);
+        }
+    }
+}

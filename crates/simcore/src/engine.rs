@@ -1,0 +1,358 @@
+//! The discrete-event engine.
+//!
+//! [`Engine<W>`] owns a time-ordered heap of events. An event is an
+//! `FnOnce(&mut W, &mut Engine<W>)` closure, where `W` is whatever "world"
+//! state the caller wants to simulate. The engine guarantees:
+//!
+//! * events fire in non-decreasing time order;
+//! * events scheduled for the same instant fire in FIFO (schedule) order —
+//!   a *stable* tie-break, which is what makes runs reproducible;
+//! * a cancelled event never fires.
+//!
+//! The world is passed into [`Engine::step`]/[`Engine::run`] by the caller,
+//! so the engine never borrows it across events and handlers are free to
+//! schedule or cancel further events.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle to a scheduled event; can be used to [`Engine::cancel`] it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    action: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq gives the stable FIFO tie-break.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event scheduler over a world type `W`.
+///
+/// ```
+/// use parfait_simcore::{Engine, SimDuration, SimTime};
+///
+/// let mut eng: Engine<Vec<&str>> = Engine::new();
+/// let mut log = Vec::new();
+/// eng.schedule_at(SimTime::from_secs(2), |w: &mut Vec<&str>, _| w.push("later"));
+/// eng.schedule_at(SimTime::from_secs(1), |w: &mut Vec<&str>, e| {
+///     w.push("first");
+///     e.schedule_in(SimDuration::from_secs(5), |w: &mut Vec<&str>, _| w.push("child"));
+/// });
+/// eng.run(&mut log);
+/// assert_eq!(log, vec!["first", "later", "child"]);
+/// assert_eq!(eng.now(), SimTime::from_secs(6));
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+    /// Ids cancelled but not yet popped from the heap.
+    cancelled: HashSet<u64>,
+    /// Ids currently in the heap and not cancelled.
+    live: HashSet<u64>,
+    fired: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Create an engine at t = 0 with no pending events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `action` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a logic error in a DES.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: now={} at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `action` to fire `after` from now.
+    pub fn schedule_in(
+        &mut self,
+        after: SimDuration,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = self.now.saturating_add(after);
+        self.schedule_at(at, action)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now guaranteed not to fire), `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fire the next event, if any. Returns `false` when idle.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.live.remove(&ev.seq);
+            debug_assert!(ev.time >= self.now, "event heap returned past event");
+            self.now = ev.time;
+            self.fired += 1;
+            (ev.action)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the next event would fire after `deadline` (or idle).
+    /// Leaves `now` at the time of the last fired event (≤ `deadline`); the
+    /// caller may then inspect the world "as of" the deadline.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            let next = loop {
+                match self.heap.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.heap.pop().expect("peeked");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run at most `max_events` events; returns how many fired.
+    pub fn run_steps(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step(world) {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn sec(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(sec(3), |w: &mut World, e| w.log.push((e.now().as_nanos(), "c")));
+        eng.schedule_at(sec(1), |w: &mut World, e| w.log.push((e.now().as_nanos(), "a")));
+        eng.schedule_at(sec(2), |w: &mut World, e| w.log.push((e.now().as_nanos(), "b")));
+        eng.run(&mut w);
+        let labels: Vec<_> = w.log.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        assert_eq!(eng.events_fired(), 3);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for (i, label) in ["first", "second", "third", "fourth"].iter().enumerate() {
+            let label = *label;
+            let _ = i;
+            eng.schedule_at(sec(5), move |w: &mut World, _| w.log.push((0, label)));
+        }
+        eng.run(&mut w);
+        let labels: Vec<_> = w.log.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(sec(1), |_w: &mut World, e| {
+            e.schedule_in(SimDuration::from_secs(1), |w: &mut World, e| {
+                w.log.push((e.now().as_nanos(), "child"));
+            });
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(2 * crate::time::NANOS_PER_SEC, "child")]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let id = eng.schedule_at(sec(1), |w: &mut World, _| w.log.push((0, "nope")));
+        eng.schedule_at(sec(2), |w: &mut World, _| w.log.push((0, "yes")));
+        assert!(eng.cancel(id));
+        assert!(!eng.cancel(id), "double cancel reports false");
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(0, "yes")]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let id = eng.schedule_at(sec(1), |_: &mut World, _| {});
+        eng.run(&mut w);
+        assert!(!eng.cancel(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_past_panics() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(sec(5), |_: &mut World, _| {});
+        eng.run(&mut w);
+        eng.schedule_at(sec(1), |_: &mut World, _| {});
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(sec(1), |w: &mut World, _| w.log.push((0, "in")));
+        eng.schedule_at(sec(10), |w: &mut World, _| w.log.push((0, "out")));
+        eng.run_until(&mut w, sec(5));
+        assert_eq!(w.log, vec![(0, "in")]);
+        assert_eq!(eng.now(), sec(5));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn pending_accounts_for_cancellations() {
+        let mut eng: Engine<World> = Engine::new();
+        let a = eng.schedule_at(sec(1), |_: &mut World, _| {});
+        let _b = eng.schedule_at(sec(2), |_: &mut World, _| {});
+        assert_eq!(eng.pending(), 2);
+        eng.cancel(a);
+        assert_eq!(eng.pending(), 1);
+        assert!(!eng.is_idle());
+    }
+
+    #[test]
+    fn periodic_self_rescheduling_pattern() {
+        // The idiom used by pollers (monitoring, heartbeats).
+        struct Tick {
+            count: Rc<std::cell::Cell<u32>>,
+        }
+        fn tick(w: &mut Tick, e: &mut Engine<Tick>) {
+            w.count.set(w.count.get() + 1);
+            if w.count.get() < 5 {
+                e.schedule_in(SimDuration::from_millis(100), tick);
+            }
+        }
+        let count = Rc::new(std::cell::Cell::new(0));
+        let mut w = Tick { count: count.clone() };
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, tick);
+        eng.run(&mut w);
+        assert_eq!(count.get(), 5);
+        assert_eq!(eng.now(), SimTime::from_nanos(400 * crate::time::NANOS_PER_MILLI));
+    }
+}

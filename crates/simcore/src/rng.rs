@@ -1,0 +1,314 @@
+//! Seeded, splittable pseudo-randomness for the simulation.
+//!
+//! [`SimRng`] is a xoshiro256++ generator seeded through SplitMix64. It is
+//! implemented here (rather than pulling `rand_distr`) so the exact bit
+//! stream — and therefore every experiment — is pinned by this crate alone.
+//!
+//! `split(stream)` derives an independent generator for a subcomponent, so
+//! adding RNG consumers to one part of the system does not perturb the
+//! draws seen elsewhere (a classic reproducibility hazard in simulators).
+
+/// xoshiro256++ generator with distribution helpers.
+///
+/// ```
+/// use parfait_simcore::SimRng;
+///
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+///
+/// // Derived streams are independent of the parent's consumption order.
+/// let mut worker = a.split(1);
+/// assert!(worker.below(10) < 10);
+/// assert!(worker.exp(2.0) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent generator for stream `stream`.
+    ///
+    /// Streams derived with distinct ids from the same parent are
+    /// statistically independent; the parent is not advanced.
+    pub fn split(&self, stream: u64) -> SimRng {
+        let mut sm = self.s[0] ^ self.s[2] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` if the range is empty.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method. `n` must be > 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's unbiased multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64 requires lo <= hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - f64() is in (0, 1], avoiding ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.f64(); // (0, 1]
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "normal sigma must be non-negative");
+        mu + sigma * self.std_normal()
+    }
+
+    /// Log-normal parameterised by the *underlying* normal's `mu`/`sigma`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto with scale `xm > 0` and shape `alpha > 0`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto needs xm > 0 and alpha > 0");
+        xm / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Zipf rank in `[1, n]` with exponent `s >= 0` (inverse-CDF over the
+    /// precomputable harmonic sum is avoided; rejection method by Devroye).
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n >= 1, "zipf needs n >= 1");
+        if n == 1 {
+            return 1;
+        }
+        // Simple inversion on the generalized harmonic CDF. O(log n) via
+        // doubling search would need the partial sums; n is small in our
+        // workloads (model catalog sizes), so linear accumulation is fine.
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let target = self.f64() * h;
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            if acc >= target {
+                return k;
+            }
+        }
+        n
+    }
+
+    /// Uniformly pick an element of a non-empty slice.
+    pub fn choice<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choice of empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_stable() {
+        let root = SimRng::new(7);
+        let mut s1 = root.split(1);
+        let mut s1b = root.split(1);
+        let mut s2 = root.split(2);
+        assert_eq!(s1.next_u64(), s1b.next_u64(), "same stream id reproduces");
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bin expects 10_000; allow ±5%
+            assert!((9_500..=10_500).contains(&c), "bin count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = SimRng::new(11);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn zipf_favors_small_ranks() {
+        let mut r = SimRng::new(19);
+        let mut ones = 0;
+        let mut tens = 0;
+        for _ in 0..50_000 {
+            match r.zipf(10, 1.0) {
+                1 => ones += 1,
+                10 => tens += 1,
+                _ => {}
+            }
+        }
+        assert!(ones > 5 * tens, "ones={ones} tens={tens}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "overwhelmingly likely to move");
+    }
+
+    #[test]
+    fn range_u64_bounds_inclusive() {
+        let mut r = SimRng::new(29);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let x = r.range_u64(3, 5);
+            assert!((3..=5).contains(&x));
+            saw_lo |= x == 3;
+            saw_hi |= x == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

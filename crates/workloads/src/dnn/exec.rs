@@ -1,0 +1,128 @@
+//! Lowering a CNN to a GPU kernel stream.
+//!
+//! Each layer becomes one kernel whose work comes from its analytic FLOPs
+//! (converted through the device's per-SM throughput and a realism factor
+//! for framework efficiency) and whose grid size comes from its output
+//! tensor — which is exactly why Fig. 1's per-layer variability matters:
+//! small layers cannot fill a big GPU, so a ResNet inference leaves most
+//! SMs idle most of the time.
+
+use super::models::CnnModel;
+use parfait_gpu::{GpuSpec, KernelDesc};
+use parfait_simcore::SimDuration;
+
+/// Fraction of peak FLOPs a PyTorch eager fp32 conv actually achieves on
+/// data-center GPUs (cuDNN picked kernels, launch gaps, memory stalls).
+pub const CNN_KERNEL_EFFICIENCY: f64 = 0.22;
+
+/// Output elements handled per thread block (256 threads × ~4 elems).
+const ELEMS_PER_BLOCK: u64 = 1024;
+
+/// Host-side dispatch time per layer (Python + framework overhead).
+pub fn layer_host_overhead() -> SimDuration {
+    SimDuration::from_micros(350)
+}
+
+/// Lower one model inference at `batch` into a kernel stream. Names point
+/// into the model's layer names (kernel names are static, so we use the
+/// model name only).
+pub fn inference_kernels(model: &CnnModel, spec: &GpuSpec, batch: u32) -> Vec<KernelDesc> {
+    model
+        .layers
+        .iter()
+        .map(|l| {
+            let flops = l.flops * batch as f64;
+            let work = spec.flops_to_sm_seconds(flops) / CNN_KERNEL_EFFICIENCY;
+            let out_elems = l.out.elems() * batch as u64;
+            let blocks = out_elems.div_ceil(ELEMS_PER_BLOCK).max(1) as u32;
+            // Convs are compute-heavy; element-wise layers are bandwidth
+            // bound.
+            let mem_intensity = if l.is_conv() { 0.35 } else { 0.85 };
+            KernelDesc::new("cnn.layer", work, blocks, blocks.max(1), mem_intensity)
+        })
+        .collect()
+}
+
+/// Total solo inference latency on a dedicated allocation of `sms` SMs
+/// (kernel time only; add [`layer_host_overhead`] per layer for wall
+/// time). Used by the right-sizing analysis.
+pub fn solo_latency(model: &CnnModel, spec: &GpuSpec, batch: u32, sms: f64) -> f64 {
+    inference_kernels(model, spec, batch)
+        .iter()
+        .map(|k| k.solo_runtime(sms))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnn::models::{resnet50, vgg16};
+
+    #[test]
+    fn kernel_count_matches_layer_count() {
+        let m = resnet50();
+        let ks = inference_kernels(&m, &GpuSpec::a100_80gb(), 1);
+        assert_eq!(ks.len(), m.layers.len());
+    }
+
+    #[test]
+    fn batch_scales_work_and_blocks() {
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let b1 = inference_kernels(&m, &spec, 1);
+        let b16 = inference_kernels(&m, &spec, 16);
+        let w1: f64 = b1.iter().map(|k| k.work_sm_s).sum();
+        let w16: f64 = b16.iter().map(|k| k.work_sm_s).sum();
+        assert!((w16 / w1 - 16.0).abs() < 1e-9);
+        assert!(b16[0].blocks >= 16 * b1[0].blocks / 2);
+    }
+
+    #[test]
+    fn resnet50_batch1_latency_in_plausible_band() {
+        // PyTorch fp32 eager ResNet-50 batch-1 on an A100 runs ~5-15 ms of
+        // kernel time.
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let t = solo_latency(&m, &spec, 1, spec.sms as f64);
+        assert!((0.002..0.030).contains(&t), "latency {t}s");
+    }
+
+    #[test]
+    fn small_batch_cannot_fill_gpu() {
+        // §3.4's underutilization claim: at batch 1 many ResNet layers
+        // have fewer blocks than the A100 has SMs.
+        let m = resnet50();
+        let ks = inference_kernels(&m, &GpuSpec::a100_80gb(), 1);
+        let starved = ks.iter().filter(|k| k.blocks < 108).count();
+        assert!(
+            starved * 2 > ks.len(),
+            "expected most batch-1 kernels unable to fill 108 SMs ({starved}/{})",
+            ks.len()
+        );
+    }
+
+    #[test]
+    fn large_batches_saturate_where_batch1_cannot() {
+        // §3.4: only large batches make the extra SMs pay off. At batch 1
+        // halving the GPU barely hurts; at batch 64 it nearly doubles the
+        // latency.
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let ratio = |batch: u32| {
+            solo_latency(&m, &spec, batch, 54.0) / solo_latency(&m, &spec, batch, 108.0)
+        };
+        assert!(ratio(1) < 1.5, "batch-1 ratio {}", ratio(1));
+        assert!(ratio(64) > 1.8, "batch-64 ratio {}", ratio(64));
+    }
+
+    #[test]
+    fn more_sms_never_hurt() {
+        let m = vgg16();
+        let spec = GpuSpec::a100_80gb();
+        let t_full = solo_latency(&m, &spec, 4, 108.0);
+        let t_half = solo_latency(&m, &spec, 4, 54.0);
+        let t_slice = solo_latency(&m, &spec, 4, 14.0);
+        assert!(t_full <= t_half + 1e-12);
+        assert!(t_half < t_slice);
+    }
+}

@@ -1,0 +1,380 @@
+//! Layer shape/FLOP algebra for convolutional networks.
+//!
+//! Fig. 1 of the paper plots the floating-point work of each convolution
+//! layer of popular torchvision models to show how wildly per-kernel
+//! compute varies inside one inference. These numbers are analytic — a
+//! conv layer's FLOPs are `2 · C_out · H_out · W_out · (C_in/groups ·
+//! K_h · K_w)` multiply-adds counted as two ops — so this module
+//! reproduces them exactly.
+
+use serde::Serialize;
+
+/// A tensor shape in CHW (batch handled at execution time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Shape {
+    /// Channels.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl Shape {
+    /// Element count.
+    pub fn elems(&self) -> u64 {
+        self.c as u64 * self.h as u64 * self.w as u64
+    }
+}
+
+/// Layer kinds with their defining parameters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        c_in: u32,
+        /// Output channels.
+        c_out: u32,
+        /// Square kernel size.
+        k: u32,
+        /// Stride.
+        stride: u32,
+        /// Zero padding.
+        pad: u32,
+        /// Grouped-conv group count.
+        groups: u32,
+        /// Bias term present.
+        bias: bool,
+    },
+    /// Fully connected.
+    Linear {
+        /// Input features.
+        inp: u32,
+        /// Output features.
+        out: u32,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window.
+        k: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Batch normalization.
+    BatchNorm,
+    /// ReLU activation.
+    ReLU,
+}
+
+/// One profiled layer of a model.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerProfile {
+    /// Layer name, e.g. `"layer3.2.conv2"`.
+    pub name: String,
+    /// Kind and parameters.
+    pub kind: LayerKind,
+    /// Output shape (per image).
+    pub out: Shape,
+    /// FLOPs per image.
+    pub flops: f64,
+    /// Learnable parameters.
+    pub params: u64,
+}
+
+impl LayerProfile {
+    /// Is this a convolution (Fig. 1 plots conv layers only)?
+    pub fn is_conv(&self) -> bool {
+        matches!(self.kind, LayerKind::Conv2d { .. })
+    }
+}
+
+fn conv_out(h: u32, k: u32, stride: u32, pad: u32) -> u32 {
+    (h + 2 * pad - k) / stride + 1
+}
+
+/// Incremental model builder tracking the running activation shape.
+#[derive(Debug, Clone)]
+pub struct NetBuilder {
+    shape: Shape,
+    layers: Vec<LayerProfile>,
+}
+
+impl NetBuilder {
+    /// Start from an input of `shape` (e.g. 3×224×224).
+    pub fn new(shape: Shape) -> Self {
+        NetBuilder {
+            shape,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Current activation shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Finish, returning the layer list.
+    pub fn build(self) -> Vec<LayerProfile> {
+        self.layers
+    }
+
+    /// Append an already-profiled layer from a side branch (e.g. a
+    /// residual projection shortcut) without changing the running shape.
+    pub fn splice(&mut self, layer: LayerProfile) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Override the running shape (branch concatenation, e.g. SqueezeNet
+    /// fire modules).
+    pub fn set_shape(&mut self, shape: Shape) -> &mut Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Add a convolution.
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        c_out: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+        bias: bool,
+    ) -> &mut Self {
+        self.conv_grouped(name, c_out, k, stride, pad, 1, bias)
+    }
+
+    /// Add a grouped convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_grouped(
+        &mut self,
+        name: impl Into<String>,
+        c_out: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+        groups: u32,
+        bias: bool,
+    ) -> &mut Self {
+        let c_in = self.shape.c;
+        assert!(c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups), "bad grouping");
+        let h = conv_out(self.shape.h, k, stride, pad);
+        let w = conv_out(self.shape.w, k, stride, pad);
+        let out = Shape { c: c_out, h, w };
+        let macs =
+            out.elems() as f64 * (c_in / groups) as f64 * (k * k) as f64;
+        let mut params = c_out as u64 * (c_in / groups) as u64 * (k * k) as u64;
+        let mut flops = 2.0 * macs;
+        if bias {
+            params += c_out as u64;
+            flops += out.elems() as f64;
+        }
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::Conv2d {
+                c_in,
+                c_out,
+                k,
+                stride,
+                pad,
+                groups,
+                bias,
+            },
+            out,
+            flops,
+            params,
+        });
+        self.shape = out;
+        self
+    }
+
+    /// Add batch normalization over the current shape.
+    pub fn bn(&mut self, name: impl Into<String>) -> &mut Self {
+        let out = self.shape;
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::BatchNorm,
+            out,
+            flops: 2.0 * out.elems() as f64,
+            params: 2 * out.c as u64,
+        });
+        self
+    }
+
+    /// Add a ReLU.
+    pub fn relu(&mut self, name: impl Into<String>) -> &mut Self {
+        let out = self.shape;
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::ReLU,
+            out,
+            flops: out.elems() as f64,
+            params: 0,
+        });
+        self
+    }
+
+    /// Add max pooling.
+    pub fn maxpool(&mut self, name: impl Into<String>, k: u32, stride: u32, pad: u32) -> &mut Self {
+        let h = conv_out(self.shape.h, k, stride, pad);
+        let w = conv_out(self.shape.w, k, stride, pad);
+        let out = Shape {
+            c: self.shape.c,
+            h,
+            w,
+        };
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::MaxPool { k, stride, pad },
+            out,
+            flops: out.elems() as f64 * (k * k) as f64,
+            params: 0,
+        });
+        self.shape = out;
+        self
+    }
+
+    /// Add global average pooling.
+    pub fn gap(&mut self, name: impl Into<String>) -> &mut Self {
+        let flops = self.shape.elems() as f64;
+        let out = Shape {
+            c: self.shape.c,
+            h: 1,
+            w: 1,
+        };
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::GlobalAvgPool,
+            out,
+            flops,
+            params: 0,
+        });
+        self.shape = out;
+        self
+    }
+
+    /// Add a fully connected layer (flattens the current shape).
+    pub fn linear(&mut self, name: impl Into<String>, out_features: u32) -> &mut Self {
+        let inp = self.shape.elems() as u32;
+        let out = Shape {
+            c: out_features,
+            h: 1,
+            w: 1,
+        };
+        self.layers.push(LayerProfile {
+            name: name.into(),
+            kind: LayerKind::Linear {
+                inp,
+                out: out_features,
+            },
+            out,
+            flops: 2.0 * inp as f64 * out_features as f64 + out_features as f64,
+            params: inp as u64 * out_features as u64 + out_features as u64,
+        });
+        self.shape = out;
+        self
+    }
+}
+
+/// Total parameters of a layer list.
+pub fn total_params(layers: &[LayerProfile]) -> u64 {
+    layers.iter().map(|l| l.params).sum()
+}
+
+/// Total FLOPs per image of a layer list.
+pub fn total_flops(layers: &[LayerProfile]) -> f64 {
+    layers.iter().map(|l| l.flops).sum()
+}
+
+/// Per-conv-layer FLOP series in network order — the Fig. 1 y-values.
+pub fn conv_flop_series(layers: &[LayerProfile]) -> Vec<(String, f64)> {
+    layers
+        .iter()
+        .filter(|l| l.is_conv())
+        .map(|l| (l.name.clone(), l.flops))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        // AlexNet conv1: 224→(224+4-11)/4+1 = 55.
+        let mut b = NetBuilder::new(Shape { c: 3, h: 224, w: 224 });
+        b.conv("conv1", 64, 11, 4, 2, true);
+        assert_eq!(b.shape(), Shape { c: 64, h: 55, w: 55 });
+    }
+
+    #[test]
+    fn conv_flops_textbook_value() {
+        // 3→64, 11×11, out 55×55: MACs = 64·55·55·3·121 = 70,276,800.
+        let mut b = NetBuilder::new(Shape { c: 3, h: 224, w: 224 });
+        b.conv("conv1", 64, 11, 4, 2, false);
+        let l = &b.clone().build()[0];
+        assert_eq!(l.flops, 2.0 * 70_276_800.0);
+        assert_eq!(l.params, 64 * 3 * 121);
+    }
+
+    #[test]
+    fn bias_adds_params_and_flops() {
+        let mut a = NetBuilder::new(Shape { c: 3, h: 8, w: 8 });
+        a.conv("c", 4, 3, 1, 1, false);
+        let mut bb = NetBuilder::new(Shape { c: 3, h: 8, w: 8 });
+        bb.conv("c", 4, 3, 1, 1, true);
+        let la = &a.build()[0];
+        let lb = &bb.build()[0];
+        assert_eq!(lb.params - la.params, 4);
+        assert_eq!(lb.flops - la.flops, (4 * 8 * 8) as f64);
+    }
+
+    #[test]
+    fn grouped_conv_divides_macs() {
+        let mut dense = NetBuilder::new(Shape { c: 32, h: 16, w: 16 });
+        dense.conv("d", 32, 3, 1, 1, false);
+        let mut grouped = NetBuilder::new(Shape { c: 32, h: 16, w: 16 });
+        grouped.conv_grouped("g", 32, 3, 1, 1, 4, false);
+        assert_eq!(dense.build()[0].flops / 4.0, grouped.build()[0].flops);
+    }
+
+    #[test]
+    fn linear_flops() {
+        let mut b = NetBuilder::new(Shape { c: 256, h: 1, w: 1 });
+        b.linear("fc", 1000);
+        let l = &b.build()[0];
+        assert_eq!(l.flops, 2.0 * 256.0 * 1000.0 + 1000.0);
+        assert_eq!(l.params, 256 * 1000 + 1000);
+    }
+
+    #[test]
+    fn pooling_halves_spatial() {
+        let mut b = NetBuilder::new(Shape { c: 64, h: 56, w: 56 });
+        b.maxpool("pool", 2, 2, 0);
+        assert_eq!(b.shape(), Shape { c: 64, h: 28, w: 28 });
+        b.gap("gap");
+        assert_eq!(b.shape(), Shape { c: 64, h: 1, w: 1 });
+    }
+
+    #[test]
+    fn series_filters_convs() {
+        let mut b = NetBuilder::new(Shape { c: 3, h: 32, w: 32 });
+        b.conv("c1", 8, 3, 1, 1, false)
+            .relu("r1")
+            .conv("c2", 8, 3, 1, 1, false)
+            .gap("g")
+            .linear("fc", 10);
+        let layers = b.build();
+        let series = conv_flop_series(&layers);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "c1");
+        assert!(total_params(&layers) > 0);
+        assert!(total_flops(&layers) > series.iter().map(|s| s.1).sum::<f64>());
+    }
+}

@@ -1,0 +1,440 @@
+//! Torchvision-style model builders (§3.3 / Fig. 1 of the paper).
+//!
+//! Architectures follow the original papers: AlexNet (Krizhevsky 2012),
+//! VGG (Simonyan & Zisserman 2014), and deep residual networks (He et al.
+//! 2015 — the paper evaluates ResNet-50 and ResNet-101). Parameter counts
+//! are validated against the published totals in the tests.
+
+use super::layers::{LayerProfile, NetBuilder, Shape};
+use serde::Serialize;
+
+/// A named CNN with its layer profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct CnnModel {
+    /// Model name, e.g. `"resnet50"`.
+    pub name: &'static str,
+    /// Layers in forward order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl CnnModel {
+    /// Total learnable parameters.
+    pub fn params(&self) -> u64 {
+        super::layers::total_params(&self.layers)
+    }
+
+    /// Total FLOPs per 224×224 image.
+    pub fn flops_per_image(&self) -> f64 {
+        super::layers::total_flops(&self.layers)
+    }
+
+    /// The Fig. 1 series: per-conv-layer FLOPs in network order.
+    pub fn conv_series(&self) -> Vec<(String, f64)> {
+        super::layers::conv_flop_series(&self.layers)
+    }
+
+    /// Weight bytes at the given precision.
+    pub fn weight_bytes(&self, dtype_bytes: u64) -> u64 {
+        self.params() * dtype_bytes
+    }
+}
+
+fn input224() -> Shape {
+    Shape { c: 3, h: 224, w: 224 }
+}
+
+/// AlexNet (torchvision variant).
+pub fn alexnet() -> CnnModel {
+    let mut b = NetBuilder::new(input224());
+    b.conv("features.0", 64, 11, 4, 2, true)
+        .relu("features.1")
+        .maxpool("features.2", 3, 2, 0)
+        .conv("features.3", 192, 5, 1, 2, true)
+        .relu("features.4")
+        .maxpool("features.5", 3, 2, 0)
+        .conv("features.6", 384, 3, 1, 1, true)
+        .relu("features.7")
+        .conv("features.8", 256, 3, 1, 1, true)
+        .relu("features.9")
+        .conv("features.10", 256, 3, 1, 1, true)
+        .relu("features.11")
+        .maxpool("features.12", 3, 2, 0)
+        .linear("classifier.1", 4096)
+        .relu("classifier.2")
+        .linear("classifier.4", 4096)
+        .relu("classifier.5")
+        .linear("classifier.6", 1000);
+    CnnModel {
+        name: "alexnet",
+        layers: b.build(),
+    }
+}
+
+fn vgg(name: &'static str, cfg: &[&[u32]]) -> CnnModel {
+    let mut b = NetBuilder::new(input224());
+    let mut li = 0;
+    for (si, stage) in cfg.iter().enumerate() {
+        for &c in *stage {
+            b.conv(format!("features.{si}.{li}"), c, 3, 1, 1, true)
+                .relu(format!("features.{si}.{li}.relu"));
+            li += 1;
+        }
+        b.maxpool(format!("features.{si}.pool"), 2, 2, 0);
+    }
+    b.linear("classifier.0", 4096)
+        .relu("classifier.1")
+        .linear("classifier.3", 4096)
+        .relu("classifier.4")
+        .linear("classifier.6", 1000);
+    CnnModel {
+        name,
+        layers: b.build(),
+    }
+}
+
+/// VGG-11.
+pub fn vgg11() -> CnnModel {
+    vgg(
+        "vgg11",
+        &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
+    )
+}
+
+/// VGG-16.
+pub fn vgg16() -> CnnModel {
+    vgg(
+        "vgg16",
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ],
+    )
+}
+
+/// Basic residual block (ResNet-18/34).
+fn basic_block(b: &mut NetBuilder, name: &str, planes: u32, stride: u32, downsample: bool) {
+    let _ = downsample;
+    b.conv(format!("{name}.conv1"), planes, 3, stride, 1, false)
+        .bn(format!("{name}.bn1"))
+        .relu(format!("{name}.relu1"))
+        .conv(format!("{name}.conv2"), planes, 3, 1, 1, false)
+        .bn(format!("{name}.bn2"));
+    b.relu(format!("{name}.relu2"));
+}
+
+/// Bottleneck residual block (ResNet-50/101/152): 1×1 reduce, 3×3, 1×1
+/// expand (×4).
+fn bottleneck(b: &mut NetBuilder, name: &str, planes: u32, stride: u32) {
+    b.conv(format!("{name}.conv1"), planes, 1, 1, 0, false)
+        .bn(format!("{name}.bn1"))
+        .relu(format!("{name}.relu1"))
+        .conv(format!("{name}.conv2"), planes, 3, stride, 1, false)
+        .bn(format!("{name}.bn2"))
+        .relu(format!("{name}.relu2"))
+        .conv(format!("{name}.conv3"), planes * 4, 1, 1, 0, false)
+        .bn(format!("{name}.bn3"));
+    b.relu(format!("{name}.relu3"));
+}
+
+/// Projection shortcut (1×1 conv) applied when shape changes. It branches
+/// off the block *input*; we account for its FLOPs/params by building it
+/// from the recorded input shape.
+fn downsample_conv(b: &mut NetBuilder, name: &str, input: Shape, c_out: u32, stride: u32) {
+    // Build in a scratch builder from the block input, then splice.
+    let mut s = NetBuilder::new(input);
+    s.conv(format!("{name}.downsample"), c_out, 1, stride, 0, false)
+        .bn(format!("{name}.downsample.bn"));
+    for l in s.build() {
+        b.splice(l);
+    }
+}
+
+fn resnet(name: &'static str, blocks: [u32; 4], bottlenecked: bool) -> CnnModel {
+    let mut b = NetBuilder::new(input224());
+    b.conv("conv1", 64, 7, 2, 3, false)
+        .bn("bn1")
+        .relu("relu")
+        .maxpool("maxpool", 3, 2, 1);
+    let expansion = if bottlenecked { 4 } else { 1 };
+    let mut in_planes = 64u32;
+    for (stage, &n) in blocks.iter().enumerate() {
+        let planes = 64 << stage; // 64, 128, 256, 512
+        let stride = if stage == 0 { 1 } else { 2 };
+        for blk in 0..n {
+            let nm = format!("layer{}.{}", stage + 1, blk);
+            let s = if blk == 0 { stride } else { 1 };
+            let input = b.shape();
+            if bottlenecked {
+                bottleneck(&mut b, &nm, planes, s);
+            } else {
+                basic_block(&mut b, &nm, planes, s, false);
+            }
+            // Projection shortcut on the first block of each stage when
+            // the shape changes.
+            if blk == 0 && (s != 1 || in_planes != planes * expansion) {
+                downsample_conv(&mut b, &nm, input, planes * expansion, s);
+            }
+        }
+        in_planes = planes * expansion;
+    }
+    b.gap("avgpool").linear("fc", 1000);
+    CnnModel {
+        name,
+        layers: b.build(),
+    }
+}
+
+/// ResNet-18.
+pub fn resnet18() -> CnnModel {
+    resnet("resnet18", [2, 2, 2, 2], false)
+}
+
+/// ResNet-34.
+pub fn resnet34() -> CnnModel {
+    resnet("resnet34", [3, 4, 6, 3], false)
+}
+
+/// ResNet-50 (paper §3.3).
+pub fn resnet50() -> CnnModel {
+    resnet("resnet50", [3, 4, 6, 3], true)
+}
+
+/// ResNet-101 (paper §3.3).
+pub fn resnet101() -> CnnModel {
+    resnet("resnet101", [3, 4, 23, 3], true)
+}
+
+/// ResNet-152.
+pub fn resnet152() -> CnnModel {
+    resnet("resnet152", [3, 8, 36, 3], true)
+}
+
+/// MobileNetV1 (width 1.0): depthwise-separable convolutions — the
+/// extreme case of tiny per-layer grids that cannot fill a data-center
+/// GPU (the §3.4 underutilization argument taken further).
+pub fn mobilenet_v1() -> CnnModel {
+    let mut b = NetBuilder::new(input224());
+    b.conv("conv1", 32, 3, 2, 1, false).bn("conv1.bn").relu("conv1.relu");
+    // (output channels, stride) per depthwise-separable block.
+    let cfg: [(u32, u32); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (c_out, stride)) in cfg.into_iter().enumerate() {
+        let c_in = b.shape().c;
+        // Depthwise 3×3 (groups = channels), then pointwise 1×1.
+        b.conv_grouped(format!("dw{i}"), c_in, 3, stride, 1, c_in, false)
+            .bn(format!("dw{i}.bn"))
+            .relu(format!("dw{i}.relu"))
+            .conv(format!("pw{i}"), c_out, 1, 1, 0, false)
+            .bn(format!("pw{i}.bn"))
+            .relu(format!("pw{i}.relu"));
+    }
+    b.gap("avgpool").linear("fc", 1000);
+    CnnModel {
+        name: "mobilenet_v1",
+        layers: b.build(),
+    }
+}
+
+/// A SqueezeNet-1.0 fire module: 1×1 squeeze, then parallel 1×1 and 3×3
+/// expands (concatenated). The expand branches are built from the squeeze
+/// output and spliced so FLOPs/params are exact; the running shape
+/// becomes the concatenation.
+fn fire(b: &mut NetBuilder, name: &str, squeeze: u32, e1: u32, e3: u32) {
+    b.conv(format!("{name}.squeeze"), squeeze, 1, 1, 0, true)
+        .relu(format!("{name}.squeeze.relu"));
+    let sq_shape = b.shape();
+    // 1×1 expand continues the main builder; 3×3 expand is a side branch
+    // from the same squeeze output.
+    let mut side = NetBuilder::new(sq_shape);
+    side.conv(format!("{name}.expand3x3"), e3, 3, 1, 1, true)
+        .relu(format!("{name}.expand3x3.relu"));
+    b.conv(format!("{name}.expand1x1"), e1, 1, 1, 0, true)
+        .relu(format!("{name}.expand1x1.relu"));
+    for l in side.build() {
+        b.splice(l);
+    }
+    b.set_shape(Shape {
+        c: e1 + e3,
+        h: b.shape().h,
+        w: b.shape().w,
+    });
+}
+
+/// SqueezeNet 1.0.
+pub fn squeezenet() -> CnnModel {
+    let mut b = NetBuilder::new(input224());
+    b.conv("conv1", 96, 7, 2, 2, true)
+        .relu("conv1.relu")
+        .maxpool("pool1", 3, 2, 0);
+    fire(&mut b, "fire2", 16, 64, 64);
+    fire(&mut b, "fire3", 16, 64, 64);
+    fire(&mut b, "fire4", 32, 128, 128);
+    b.maxpool("pool4", 3, 2, 0);
+    fire(&mut b, "fire5", 32, 128, 128);
+    fire(&mut b, "fire6", 48, 192, 192);
+    fire(&mut b, "fire7", 48, 192, 192);
+    fire(&mut b, "fire8", 64, 256, 256);
+    b.maxpool("pool8", 3, 2, 0);
+    fire(&mut b, "fire9", 64, 256, 256);
+    b.conv("conv10", 1000, 1, 1, 0, true)
+        .relu("conv10.relu")
+        .gap("avgpool");
+    CnnModel {
+        name: "squeezenet1_0",
+        layers: b.build(),
+    }
+}
+
+/// The model set plotted in Fig. 1.
+pub fn fig1_models() -> Vec<CnnModel> {
+    vec![alexnet(), vgg16(), resnet50(), resnet101()]
+}
+
+/// Catalog lookup by name.
+pub fn by_name(name: &str) -> Option<CnnModel> {
+    match name {
+        "alexnet" => Some(alexnet()),
+        "vgg11" => Some(vgg11()),
+        "vgg16" => Some(vgg16()),
+        "resnet18" => Some(resnet18()),
+        "resnet34" => Some(resnet34()),
+        "resnet50" => Some(resnet50()),
+        "resnet101" => Some(resnet101()),
+        "resnet152" => Some(resnet152()),
+        "mobilenet_v1" => Some(mobilenet_v1()),
+        "squeezenet1_0" => Some(squeezenet()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mparams(m: &CnnModel) -> f64 {
+        m.params() as f64 / 1e6
+    }
+
+    fn gflops(m: &CnnModel) -> f64 {
+        m.flops_per_image() / 1e9
+    }
+
+    #[test]
+    fn alexnet_published_totals() {
+        let m = alexnet();
+        // 61.10 M params, ~1.43 GFLOPs (2×0.714 GMACs).
+        assert!((mparams(&m) - 61.10).abs() < 0.2, "params {}", mparams(&m));
+        assert!((1.3..1.6).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn vgg16_published_totals() {
+        let m = vgg16();
+        // 138.36 M params, ~30.96 GFLOPs.
+        assert!((mparams(&m) - 138.36).abs() < 0.5, "params {}", mparams(&m));
+        assert!((29.0..32.5).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn resnet50_published_totals() {
+        let m = resnet50();
+        // 25.56 M params, ~8.2 GFLOPs (2×4.09 GMACs).
+        assert!((mparams(&m) - 25.56).abs() < 0.5, "params {}", mparams(&m));
+        assert!((7.6..8.9).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn resnet101_published_totals() {
+        let m = resnet101();
+        // 44.55 M params, ~15.7 GFLOPs.
+        assert!((mparams(&m) - 44.55).abs() < 0.8, "params {}", mparams(&m));
+        assert!((14.5..16.8).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn resnet18_and_34_totals() {
+        let m18 = resnet18();
+        assert!((mparams(&m18) - 11.69).abs() < 0.3, "params {}", mparams(&m18));
+        assert!((3.2..3.9).contains(&gflops(&m18)), "gflops {}", gflops(&m18));
+        let m34 = resnet34();
+        assert!((mparams(&m34) - 21.80).abs() < 0.4, "params {}", mparams(&m34));
+    }
+
+    #[test]
+    fn resnet50_conv_count() {
+        // 1 stem + 3×(3,4,6,3) bottleneck convs + 4 downsample convs = 53.
+        let m = resnet50();
+        assert_eq!(m.conv_series().len(), 53);
+    }
+
+    #[test]
+    fn fig1_variability_is_large() {
+        // The point of Fig. 1: per-layer compute varies by orders of
+        // magnitude inside one model.
+        for m in fig1_models() {
+            let series = m.conv_series();
+            let max = series.iter().map(|s| s.1).fold(0.0, f64::max);
+            let min = series.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+            assert!(
+                max / min > 3.0,
+                "{}: per-layer spread {max}/{min} too small",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn mobilenet_published_totals() {
+        // 4.23 M params, ~1.15 GFLOPs (2×0.57 GMACs).
+        let m = mobilenet_v1();
+        assert!((mparams(&m) - 4.23).abs() < 0.3, "params {}", mparams(&m));
+        assert!((1.0..1.4).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn squeezenet_published_totals() {
+        // 1.25 M params, ~1.64 GFLOPs (2×0.82 GMACs).
+        let m = squeezenet();
+        assert!((mparams(&m) - 1.25).abs() < 0.15, "params {}", mparams(&m));
+        assert!((1.4..1.9).contains(&gflops(&m)), "gflops {}", gflops(&m));
+    }
+
+    #[test]
+    fn depthwise_convs_are_cheap() {
+        // MobileNet's point: a depthwise 3×3 has ~9/C the MACs of the
+        // pointwise 1×1 that follows it.
+        let m = mobilenet_v1();
+        let dw = m.layers.iter().find(|l| l.name == "dw5").unwrap();
+        let pw = m.layers.iter().find(|l| l.name == "pw5").unwrap();
+        assert!(pw.flops / dw.flops > 10.0, "ratio {}", pw.flops / dw.flops);
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        assert_eq!(by_name("resnet50").unwrap().name, "resnet50");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_dtype() {
+        let m = resnet50();
+        assert_eq!(m.weight_bytes(4), m.params() * 4);
+        assert_eq!(m.weight_bytes(2) * 2, m.weight_bytes(4));
+    }
+}

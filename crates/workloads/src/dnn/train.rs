@@ -1,0 +1,125 @@
+//! Training-step cost model for CNNs.
+//!
+//! The molecular-design campaign (§3.1) and the paper's broader framing
+//! ("training and inference tasks", Fig. 3) need training costs, not just
+//! inference. The standard accounting: a training step costs ≈3× the
+//! forward FLOPs (forward + input-gradient + weight-gradient passes),
+//! plus an optimizer update of a few FLOPs per parameter; activations for
+//! the backward pass dominate memory.
+
+use super::models::CnnModel;
+use parfait_gpu::{GpuSpec, KernelDesc};
+
+/// FLOPs multiplier of backward+forward relative to forward alone.
+pub const TRAIN_FLOPS_FACTOR: f64 = 3.0;
+
+/// FLOPs per parameter for an SGD-with-momentum update.
+pub const OPTIMIZER_FLOPS_PER_PARAM: f64 = 4.0;
+
+/// Achieved fraction of peak for training kernels (larger fused batches
+/// than inference ⇒ better efficiency).
+pub const TRAIN_KERNEL_EFFICIENCY: f64 = 0.35;
+
+/// FLOPs of one training step at `batch`.
+pub fn step_flops(model: &CnnModel, batch: u32) -> f64 {
+    TRAIN_FLOPS_FACTOR * model.flops_per_image() * batch as f64
+        + OPTIMIZER_FLOPS_PER_PARAM * model.params() as f64
+}
+
+/// GPU kernels of one training step: fused forward+backward over the
+/// batch, then the optimizer update.
+pub fn step_kernels(model: &CnnModel, spec: &GpuSpec, batch: u32) -> Vec<KernelDesc> {
+    let fwd_bwd_work = spec.flops_to_sm_seconds(
+        TRAIN_FLOPS_FACTOR * model.flops_per_image() * batch as f64,
+    ) / TRAIN_KERNEL_EFFICIENCY;
+    // Backward grids scale with batch; big batches fill the device.
+    let blocks = (batch * 64).max(108);
+    let opt_work = spec
+        .flops_to_sm_seconds(OPTIMIZER_FLOPS_PER_PARAM * model.params() as f64)
+        / TRAIN_KERNEL_EFFICIENCY;
+    vec![
+        KernelDesc::new("cnn.train.fwd_bwd", fwd_bwd_work, blocks, blocks, 0.45),
+        KernelDesc::new("cnn.train.opt", opt_work, 512, 512, 0.85),
+    ]
+}
+
+/// Activation memory of the backward pass at `batch` (bytes, fp32):
+/// every layer's output is retained.
+pub fn activation_bytes(model: &CnnModel, batch: u32) -> u64 {
+    model
+        .layers
+        .iter()
+        .map(|l| l.out.elems() * 4)
+        .sum::<u64>()
+        * batch as u64
+}
+
+/// Resident training footprint: weights + gradients + optimizer state
+/// (momentum) + activations.
+pub fn training_footprint_bytes(model: &CnnModel, batch: u32) -> u64 {
+    3 * model.weight_bytes(4) + activation_bytes(model, batch)
+}
+
+/// Wall-clock of one solo training step on `sms` SMs (kernel time only).
+pub fn step_seconds(model: &CnnModel, spec: &GpuSpec, batch: u32, sms: f64) -> f64 {
+    step_kernels(model, spec, batch)
+        .iter()
+        .map(|k| k.solo_runtime(sms))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnn::models::resnet50;
+
+    #[test]
+    fn training_costs_three_x_inference_plus_update() {
+        let m = resnet50();
+        let f = step_flops(&m, 32);
+        let fwd = m.flops_per_image() * 32.0;
+        assert!(f > 3.0 * fwd);
+        assert!(f < 3.0 * fwd + 5.0 * m.params() as f64);
+    }
+
+    #[test]
+    fn step_time_scales_roughly_with_batch() {
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let t8 = step_seconds(&m, &spec, 8, 108.0);
+        let t64 = step_seconds(&m, &spec, 64, 108.0);
+        // 8× the batch, but the fixed optimizer cost amortizes.
+        assert!(t64 / t8 > 5.0 && t64 / t8 < 8.5, "ratio {}", t64 / t8);
+    }
+
+    #[test]
+    fn resnet50_step_in_plausible_band() {
+        // fp32 ResNet-50, batch 64 on A100: tens of ms to ~0.3 s in
+        // framework practice.
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let t = step_seconds(&m, &spec, 64, 108.0);
+        assert!((0.02..0.5).contains(&t), "step {t}s");
+    }
+
+    #[test]
+    fn training_fills_gpu_unlike_inference() {
+        // §3.4: training (large fused batches) saturates where batch-1
+        // inference cannot: a training step keeps improving to the full
+        // device, strongly.
+        let m = resnet50();
+        let spec = GpuSpec::a100_80gb();
+        let half = step_seconds(&m, &spec, 64, 54.0);
+        let full = step_seconds(&m, &spec, 64, 108.0);
+        assert!(half / full > 1.8, "training should scale: {}", half / full);
+    }
+
+    #[test]
+    fn activation_memory_dominates_at_large_batch() {
+        let m = resnet50();
+        let acts = activation_bytes(&m, 128);
+        assert!(acts > 2 * m.weight_bytes(4), "acts {acts}");
+        let fp = training_footprint_bytes(&m, 128);
+        assert_eq!(fp, 3 * m.weight_bytes(4) + acts);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # parfait-workloads
+//!
+//! Workload models for the PARFAIT reproduction — the applications of the
+//! paper's §3:
+//!
+//! * [`dnn`] — analytic CNN architectures (ResNet-50/101, VGG, AlexNet…)
+//!   with per-layer FLOPs (Fig. 1) and kernel lowering.
+//! * [`llm`] — a calibrated LLaMa2 inference cost model driving Figs.
+//!   2/4/5: prefill + token-by-token decode with host overheads, KV-cache
+//!   memory, tensor parallelism.
+//! * [`mlp`] — a real dense neural network with backprop (the
+//!   molecular-design emulator).
+//! * [`molecular`] — the §3.1 active-learning campaign as a FaaS driver
+//!   (Fig. 3).
+//! * [`trace`] — request-arrival generators.
+//! * [`batching`] — dynamic request batching for inference services (the
+//!   operator's other lever against §3.4 underutilization).
+
+pub mod batching;
+pub mod dnn;
+pub mod llm;
+pub mod mlp;
+pub mod molecular;
+pub mod trace;
+
+pub use llm::{CompletionBody, LlmSpec};
+pub use mlp::Mlp;
+pub use molecular::{Campaign, CampaignConfig, Chemistry, Molecule, Selection};

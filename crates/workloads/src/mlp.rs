@@ -1,0 +1,356 @@
+//! A real multi-layer perceptron with backprop — the molecular-design
+//! emulator.
+//!
+//! The paper's molecular-design application (§3.1) trains an ML model to
+//! emulate quantum-chemistry simulations of ionization potential. We
+//! implement the emulator for real (dense layers, tanh activations, SGD
+//! with momentum on MSE) so the active-learning campaign in
+//! [`crate::molecular`] actually *learns*: its molecule selection
+//! measurably beats random selection in the tests.
+//!
+//! The implementation favours clarity over SIMD heroics — matrices are
+//! row-major `Vec<f64>`, sized for the campaign's few-thousand-sample
+//! datasets.
+
+use parfait_simcore::SimRng;
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Vec<f64>, // out × in, row-major
+    b: Vec<f64>,
+    vw: Vec<f64>, // momentum buffers
+    vb: Vec<f64>,
+    inp: usize,
+    out: usize,
+    tanh: bool,
+}
+
+impl Dense {
+    fn new(rng: &mut SimRng, inp: usize, out: usize, tanh: bool) -> Self {
+        // Xavier/Glorot uniform.
+        let limit = (6.0 / (inp + out) as f64).sqrt();
+        let w = (0..inp * out)
+            .map(|_| rng.range_f64(-limit, limit))
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; out],
+            vw: vec![0.0; inp * out],
+            vb: vec![0.0; out],
+            inp,
+            out,
+            tanh,
+        }
+    }
+
+    fn forward(&self, x: &[f64], z: &mut Vec<f64>, a: &mut Vec<f64>) {
+        z.clear();
+        a.clear();
+        for o in 0..self.out {
+            let row = &self.w[o * self.inp..(o + 1) * self.inp];
+            let mut s = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                s += wi * xi;
+            }
+            z.push(s);
+            a.push(if self.tanh { s.tanh() } else { s });
+        }
+    }
+}
+
+/// A fully connected network for scalar regression.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+}
+
+impl Mlp {
+    /// Build with the given layer sizes, e.g. `&[8, 32, 32, 1]`. Hidden
+    /// layers use tanh; the output is linear.
+    pub fn new(rng: &mut SimRng, sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(rng, w[0], w[1], i + 2 < sizes.len()))
+            .collect();
+        Mlp {
+            layers,
+            lr: 0.01,
+            momentum: 0.9,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inp
+    }
+
+    /// Total learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Scalar prediction for one input.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut z = Vec::new();
+        let mut a = Vec::new();
+        for l in &self.layers {
+            l.forward(&cur, &mut z, &mut a);
+            cur.clone_from(&a);
+        }
+        cur[0]
+    }
+
+    /// One SGD step on a single example; returns its squared error before
+    /// the update.
+    #[allow(clippy::needless_range_loop)] // index math mirrors the row-major weight layout
+    pub fn train_one(&mut self, x: &[f64], y: f64) -> f64 {
+        // Forward, keeping activations per layer.
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut zs: Vec<Vec<f64>> = Vec::new();
+        for l in &self.layers {
+            let mut z = Vec::new();
+            let mut a = Vec::new();
+            l.forward(acts.last().expect("input present"), &mut z, &mut a);
+            zs.push(z);
+            acts.push(a);
+        }
+        let pred = acts.last().expect("output")[0];
+        let err = pred - y;
+
+        // Backward: dL/dpred = 2·err (MSE).
+        let mut delta = vec![2.0 * err];
+        for li in (0..self.layers.len()).rev() {
+            // tanh'(z) = 1 - tanh(z)^2 on hidden layers.
+            if self.layers[li].tanh {
+                for (d, z) in delta.iter_mut().zip(&zs[li]) {
+                    let t = z.tanh();
+                    *d *= 1.0 - t * t;
+                }
+            }
+            // Gradients + momentum update; compute next delta first.
+            let l = &self.layers[li];
+            let prev_act = &acts[li];
+            let mut next_delta = vec![0.0; l.inp];
+            for o in 0..l.out {
+                let row = &l.w[o * l.inp..(o + 1) * l.inp];
+                for (nd, wi) in next_delta.iter_mut().zip(row) {
+                    *nd += wi * delta[o];
+                }
+            }
+            let l = &mut self.layers[li];
+            for o in 0..l.out {
+                for i in 0..l.inp {
+                    let g = delta[o] * prev_act[i];
+                    let v = &mut l.vw[o * l.inp + i];
+                    *v = self.momentum * *v - self.lr * g;
+                    l.w[o * l.inp + i] += *v;
+                }
+                let vb = &mut l.vb[o];
+                *vb = self.momentum * *vb - self.lr * delta[o];
+                l.b[o] += *vb;
+            }
+            delta = next_delta;
+        }
+        err * err
+    }
+
+    /// Train `epochs` passes over the dataset with per-epoch shuffling;
+    /// returns the final epoch's mean squared error.
+    pub fn fit(
+        &mut self,
+        rng: &mut SimRng,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        epochs: usize,
+    ) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "dataset shape mismatch");
+        assert!(!xs.is_empty(), "empty dataset");
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut last_mse = f64::INFINITY;
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut se = 0.0;
+            for &i in &order {
+                se += self.train_one(&xs[i], ys[i]);
+            }
+            last_mse = se / xs.len() as f64;
+        }
+        last_mse
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let se: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        se / xs.len() as f64
+    }
+}
+
+/// An [`Mlp`] with target standardization — the production-shaped wrapper
+/// the campaign uses. Raw ionization potentials sit around 9 eV; training
+/// a tanh network on centered/scaled targets converges in a fraction of
+/// the epochs and `predict` maps back to original units.
+#[derive(Debug, Clone)]
+pub struct Regressor {
+    net: Mlp,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Regressor {
+    /// Build with the given layer sizes (see [`Mlp::new`]).
+    pub fn new(rng: &mut SimRng, sizes: &[usize]) -> Self {
+        Regressor {
+            net: Mlp::new(rng, sizes),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Set the learning rate of the underlying network.
+    pub fn with_lr(mut self, lr: f64) -> Self {
+        self.net.lr = lr;
+        self
+    }
+
+    /// Fit on raw targets; returns the final-epoch MSE in *original*
+    /// units.
+    pub fn fit(
+        &mut self,
+        rng: &mut SimRng,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        epochs: usize,
+    ) -> f64 {
+        assert!(!ys.is_empty(), "empty dataset");
+        self.y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var =
+            ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+        self.y_std = var.sqrt().max(1e-6);
+        let scaled: Vec<f64> = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let mse = self.net.fit(rng, xs, &scaled, epochs);
+        mse * self.y_std * self.y_std
+    }
+
+    /// Predict in original units.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.net.predict(x) * self.y_std + self.y_mean
+    }
+
+    /// MSE in original units.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let se: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        se / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(
+        rng: &mut SimRng,
+        n: usize,
+        f: impl Fn(&[f64]) -> f64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect())
+            .collect();
+        let ys = xs.iter().map(|x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let mut rng = SimRng::new(1);
+        let (xs, ys) = dataset(&mut rng, 200, |x| 2.0 * x[0] - 0.5 * x[1] + 0.25);
+        let mut net = Mlp::new(&mut rng, &[3, 16, 1]);
+        net.lr = 0.02;
+        let mse = net.fit(&mut rng, &xs, &ys, 200);
+        assert!(mse < 1e-3, "final train MSE {mse}");
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let mut rng = SimRng::new(2);
+        let (xs, ys) = dataset(&mut rng, 400, |x| (2.0 * x[0]).sin() + x[1] * x[2]);
+        let mut net = Mlp::new(&mut rng, &[3, 32, 32, 1]);
+        net.lr = 0.01;
+        let mse = net.fit(&mut rng, &xs, &ys, 300);
+        assert!(mse < 0.01, "final train MSE {mse}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_points() {
+        let mut rng = SimRng::new(3);
+        let f = |x: &[f64]| 0.7 * x[0] * x[0] - 0.3 * x[1];
+        let (xs, ys) = dataset(&mut rng, 300, f);
+        let (tx, ty) = dataset(&mut rng, 100, f);
+        let mut net = Mlp::new(&mut rng, &[3, 24, 24, 1]);
+        let _ = net.fit(&mut rng, &xs, &ys, 300);
+        let test_mse = net.mse(&tx, &ty);
+        assert!(test_mse < 0.02, "test MSE {test_mse}");
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = SimRng::new(4);
+        let (xs, ys) = dataset(&mut rng, 200, |x| x[0] + x[1] + x[2]);
+        let mut net = Mlp::new(&mut rng, &[3, 16, 1]);
+        let before = net.mse(&xs, &ys);
+        net.fit(&mut rng, &xs, &ys, 50);
+        let after = net.mse(&xs, &ys);
+        assert!(after < before * 0.2, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut rng = SimRng::new(7);
+            let (xs, ys) = dataset(&mut rng, 50, |x| x[0]);
+            let mut net = Mlp::new(&mut rng, &[3, 8, 1]);
+            net.fit(&mut rng, &xs, &ys, 20);
+            net.predict(&[0.3, -0.2, 0.9])
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SimRng::new(0);
+        let net = Mlp::new(&mut rng, &[8, 32, 32, 1]);
+        // 8·32+32 + 32·32+32 + 32·1+1 = 288 + 1056 + 33.
+        assert_eq!(net.param_count(), 288 + 1056 + 33);
+        assert_eq!(net.input_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_size_panics() {
+        let mut rng = SimRng::new(0);
+        let net = Mlp::new(&mut rng, &[4, 8, 1]);
+        net.predict(&[1.0, 2.0]);
+    }
+}

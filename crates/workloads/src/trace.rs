@@ -1,0 +1,136 @@
+//! Request-arrival generators for serverless workload experiments.
+//!
+//! The paper's §5.2 experiments are closed-loop (each chatbot process
+//! issues its next completion when the previous one finishes — that is
+//! the task-queue model). Open-loop and bursty traces are provided for
+//! the extension experiments and examples.
+
+use parfait_simcore::{SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+/// A generated arrival trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trace {
+    /// Arrival instants, non-decreasing.
+    pub arrivals: Vec<SimTime>,
+}
+
+impl Trace {
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Mean inter-arrival gap in seconds (0 with fewer than 2 arrivals).
+    pub fn mean_gap_secs(&self) -> f64 {
+        if self.arrivals.len() < 2 {
+            return 0.0;
+        }
+        let span = self
+            .arrivals
+            .last()
+            .expect("non-empty")
+            .duration_since(self.arrivals[0])
+            .as_secs_f64();
+        span / (self.arrivals.len() - 1) as f64
+    }
+}
+
+/// Poisson arrivals at `rate_per_sec` until `n` requests are generated.
+pub fn poisson(rng: &mut SimRng, rate_per_sec: f64, n: usize) -> Trace {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let mut t = 0.0;
+    let arrivals = (0..n)
+        .map(|_| {
+            t += rng.exp(1.0 / rate_per_sec);
+            SimTime::ZERO + SimDuration::from_secs_f64(t)
+        })
+        .collect();
+    Trace { arrivals }
+}
+
+/// Deterministic arrivals every `period`.
+pub fn uniform(period: SimDuration, n: usize) -> Trace {
+    Trace {
+        arrivals: (1..=n as u64).map(|i| SimTime::ZERO + period * i).collect(),
+    }
+}
+
+/// Bursty on/off arrivals: Poisson at `burst_rate` during `on` windows,
+/// silent during `off` windows, until `n` requests exist.
+pub fn bursty(
+    rng: &mut SimRng,
+    burst_rate: f64,
+    on: SimDuration,
+    off: SimDuration,
+    n: usize,
+) -> Trace {
+    assert!(burst_rate > 0.0, "rate must be positive");
+    let mut arrivals = Vec::with_capacity(n);
+    let mut window_start = 0.0;
+    let (on_s, off_s) = (on.as_secs_f64(), off.as_secs_f64());
+    'outer: loop {
+        let mut t = window_start;
+        loop {
+            t += rng.exp(1.0 / burst_rate);
+            if t > window_start + on_s {
+                break;
+            }
+            arrivals.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+            if arrivals.len() == n {
+                break 'outer;
+            }
+        }
+        window_start += on_s + off_s;
+    }
+    Trace { arrivals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut rng = SimRng::new(1);
+        let tr = poisson(&mut rng, 4.0, 50_000);
+        assert_eq!(tr.len(), 50_000);
+        assert!((tr.mean_gap_secs() - 0.25).abs() < 0.01, "gap {}", tr.mean_gap_secs());
+        assert!(tr.arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uniform_is_regular() {
+        let tr = uniform(SimDuration::from_secs(2), 5);
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.arrivals[0], SimTime::from_secs(2));
+        assert_eq!(tr.arrivals[4], SimTime::from_secs(10));
+        assert_eq!(tr.mean_gap_secs(), 2.0);
+    }
+
+    #[test]
+    fn bursty_respects_off_windows() {
+        let mut rng = SimRng::new(2);
+        let on = SimDuration::from_secs(10);
+        let off = SimDuration::from_secs(50);
+        let tr = bursty(&mut rng, 10.0, on, off, 500);
+        assert_eq!(tr.len(), 500);
+        // No arrival may land inside an off window.
+        for a in &tr.arrivals {
+            let s = a.as_secs_f64() % 60.0;
+            assert!(s <= 10.0 + 1e-9, "arrival at {s} inside off window");
+        }
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let tr = uniform(SimDuration::from_secs(1), 0);
+        assert!(tr.is_empty());
+        assert_eq!(tr.mean_gap_secs(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The serverless-operator view: open-loop Poisson traffic against one
+//! A100, single-instance vs 4-way MPS, plus the strategy advisor.
+//!
+//! ```text
+//! cargo run --release --example operator_serving [rate_req_per_s]
+//! ```
+//!
+//! §1 of the paper: "As a serverless framework operator, it is crucial to
+//! maximize the hardware utilization to support more concurrent tasks,
+//! and therefore, increase profitability." This example shows exactly
+//! that: the load one GPU sustains before queueing collapse, with and
+//! without fine-grained partitioning.
+
+use parfait::core::advisor::{recommend_strategy, TenancyRequirements};
+use parfait::core::Strategy;
+use parfait::gpu::{GpuSpec, GIB};
+use parfait_bench::scenarios::{open_loop_serving, SEED};
+
+fn main() {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.30);
+    println!("Poisson arrivals at {rate:.2} completions/s, 60 requests, A100-80GB\n");
+    for (strategy, procs, label) in [
+        (Strategy::TimeSharing, 1usize, "single instance (FaaS default)"),
+        (Strategy::MpsEqual, 4, "4-way MPS partition (this paper)"),
+    ] {
+        let r = open_loop_serving(&strategy, procs, rate, 60, SEED);
+        println!(
+            "{label:<34} achieved {:.3} req/s | turnaround mean {:.1}s p95 {:.1}s",
+            r.achieved_rate, r.mean_turnaround_s, r.p95_turnaround_s
+        );
+    }
+
+    println!("\nStrategy advisor for this tenancy:");
+    let advice = recommend_strategy(
+        &GpuSpec::a100_80gb(),
+        &TenancyRequirements {
+            tenants: 4,
+            require_isolation: false,
+            sms_needed: 20,
+            footprint_bytes: 16 * GIB,
+            resize_rate_hz: 0.05,
+            homogeneous: true,
+        },
+    );
+    println!("  -> {:?}", advice.strategy);
+    for r in &advice.rationale {
+        println!("     - {r}");
+    }
+    for c in &advice.caveats {
+        println!("     ! {c}");
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # PARFAIT
+//!
+//! **P**artitioned **A**ccelerators for **F**aaS **I**nference & **T**raining —
+//! a full-system Rust reproduction of *"Fine-grained accelerator partitioning
+//! for Machine Learning and Scientific Computing in Function as a Service
+//! Platform"* (Dhakal et al., SC-W 2023).
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users can depend on one crate:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation engine.
+//! * [`gpu`] — simulated data-center GPU with time-sharing, CUDA-MPS,
+//!   MIG and vGPU multiplexing, NVML-style control, and cold-start models.
+//! * [`faas`] — a Parsl-workalike FaaS runtime (DataFlowKernel, the
+//!   `HighThroughputExecutor`, providers, workers, monitoring).
+//! * [`workloads`] — CNN FLOP algebra, a LLaMa2 inference cost model, a
+//!   pure-Rust MLP trainer and the molecular-design active-learning
+//!   campaign.
+//! * [`core`] — the paper's contribution: fine-grained GPU partitioning
+//!   for the FaaS executor (plans, MPS/MIG binding, reconfiguration,
+//!   right-sizing, GPU-resident weight cache).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use parfait_core as core;
+pub use parfait_faas as faas;
+pub use parfait_gpu as gpu;
+pub use parfait_simcore as simcore;
+pub use parfait_workloads as workloads;

@@ -1,0 +1,247 @@
+//! The paper's claims, as executable assertions.
+//!
+//! Each test runs the corresponding experiment through the full stack
+//! (partition planner → FaaS executor → GPU simulator) and checks the
+//! *shape* the paper reports — who wins, by roughly what factor, where
+//! the crossovers fall. Absolute seconds are our simulator's, not the
+//! authors' testbed's; EXPERIMENTS.md records both side by side.
+
+use parfait::core::Strategy;
+use parfait::gpu::GpuSpec;
+use parfait::workloads::molecular::Selection;
+use parfait::workloads::LlmSpec;
+use parfait_bench::scenarios::{
+    fig2_point, llama_multiplex, molecular_campaign, molecular_campaign_with, overheads, SEED,
+};
+
+/// Fewer completions than the paper's 100 keep the suite fast; the
+/// steady-state ratios are completion-count-independent (workers are
+/// warmed first).
+const N: usize = 40;
+
+#[test]
+fn abstract_claim_60pct_lower_completion_time() {
+    // "up to 60% lower task completion time ... when multiplexing a GPU
+    // compared to running a single instance without multiplexing".
+    let single = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED);
+    let mps4 = llama_multiplex(&Strategy::MpsEqual, 4, N, SEED);
+    let reduction = 1.0 - mps4.makespan_s / single.makespan_s;
+    assert!(
+        (0.52..=0.68).contains(&reduction),
+        "completion-time reduction {reduction:.3}, paper ≈ 0.60"
+    );
+}
+
+#[test]
+fn abstract_claim_250pct_throughput() {
+    // "250% improvement in the inference throughput ... when 4 LLaMa2
+    // models are spatially multiplexed" (i.e. ~2.5×).
+    let single = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED);
+    let mps4 = llama_multiplex(&Strategy::MpsEqual, 4, N, SEED);
+    let speedup = mps4.throughput / single.throughput;
+    assert!(
+        (2.1..=2.9).contains(&speedup),
+        "throughput speedup {speedup:.2}x, paper ≈ 2.5x"
+    );
+}
+
+#[test]
+fn fig4_any_multiplexing_beats_single_instance() {
+    let single = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED);
+    for procs in [2usize, 3, 4] {
+        for s in [Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual] {
+            let r = llama_multiplex(&s, procs, N, SEED);
+            assert!(
+                r.makespan_s < single.makespan_s,
+                "{} x{} ({:.1}s) did not beat single instance ({:.1}s)",
+                r.mode,
+                procs,
+                r.makespan_s,
+                single.makespan_s
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_spatial_beats_temporal_sharing() {
+    for procs in [2usize, 3, 4] {
+        let ts = llama_multiplex(&Strategy::TimeSharing, procs, N, SEED);
+        let mps = llama_multiplex(&Strategy::MpsEqual, procs, N, SEED);
+        assert!(
+            mps.makespan_s < ts.makespan_s * 0.85,
+            "MPS x{procs} ({:.1}s) should clearly beat time-sharing ({:.1}s)",
+            mps.makespan_s,
+            ts.makespan_s
+        );
+    }
+}
+
+#[test]
+fn fig4_mps_and_mig_similar_at_two_processes() {
+    // "Both MPS and MIG take a similar time ... when 2 inference
+    // processes share the GPU."
+    let mps = llama_multiplex(&Strategy::MpsEqual, 2, N, SEED);
+    let mig = llama_multiplex(&Strategy::MigEqual, 2, N, SEED);
+    let ratio = mig.makespan_s / mps.makespan_s;
+    assert!(
+        (0.90..=1.10).contains(&ratio),
+        "MIG/MPS makespan ratio at 2 procs: {ratio:.3}"
+    );
+}
+
+#[test]
+fn fig4_mps_beats_mig_at_three_and_four_processes() {
+    // "MPS is much better when 3 processes are running" (33% vs 2/7) and
+    // "running slightly faster" at 4 (25% vs 1/7).
+    for procs in [3usize, 4] {
+        let mps = llama_multiplex(&Strategy::MpsEqual, procs, N, SEED);
+        let mig = llama_multiplex(&Strategy::MigEqual, procs, N, SEED);
+        assert!(
+            mps.makespan_s < mig.makespan_s,
+            "MPS x{procs} ({:.1}s) should beat MIG ({:.1}s)",
+            mps.makespan_s,
+            mig.makespan_s
+        );
+    }
+}
+
+#[test]
+fn fig5_timesharing_latency_grows_fastest() {
+    // "increasing the number of processes in timesharing mode increases
+    // the latency rapidly ... with MPS and MIG we see a slower increase".
+    let l1 = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED).mean_latency_s;
+    let ts4 = llama_multiplex(&Strategy::TimeSharing, 4, N, SEED).mean_latency_s;
+    let mps4 = llama_multiplex(&Strategy::MpsEqual, 4, N, SEED).mean_latency_s;
+    assert!(ts4 / l1 > 2.2, "time-sharing latency blowup {:.2}", ts4 / l1);
+    assert!(mps4 / l1 < 1.8, "MPS latency blowup {:.2}", mps4 / l1);
+    // "MPS and MIG's inference latency is 44% lower compared to just
+    // timesharing when running 4 LLaMa processes".
+    let lower = 1.0 - mps4 / ts4;
+    assert!(
+        (0.30..=0.55).contains(&lower),
+        "MPS latency {lower:.2} lower than time-sharing, paper ≈ 0.44"
+    );
+}
+
+#[test]
+fn fig2_knee_and_cpu_gap() {
+    // Latency falls steeply to ~20 SMs, is nearly flat beyond, and the
+    // GPU is ~40× faster than CPU (§3.4).
+    let llm = LlmSpec::llama2_7b(4);
+    let t5 = fig2_point(&llm, 5, SEED);
+    let t19 = fig2_point(&llm, 19, SEED); // ≈ 20 SMs
+    let t100 = fig2_point(&llm, 100, SEED);
+    assert!(t5 / t19 > 2.0, "steep region ratio {:.2}", t5 / t19);
+    assert!(t19 / t100 < 1.25, "flat region ratio {:.2}", t19 / t100);
+    let spec = GpuSpec::a100_40gb();
+    let cpu = llm.cpu_completion_seconds(&spec, 16, 27);
+    assert!(
+        (30.0..=50.0).contains(&(cpu / t100)),
+        "CPU/GPU ratio {:.1}, paper ≈ 40",
+        cpu / t100
+    );
+}
+
+#[test]
+fn fig2_thirteen_b_tracks_seven_b_from_above() {
+    let t7 = fig2_point(&LlmSpec::llama2_7b(4), 50, SEED);
+    let t13 = fig2_point(&LlmSpec::llama2_13b(4), 50, SEED);
+    assert!(t13 > t7, "13B ({t13:.2}s) must be slower than 7B ({t7:.2}s)");
+    assert!(t13 / t7 < 1.6, "tensor parallelism keeps 13B within 1.6x");
+}
+
+#[test]
+fn fig3_gpu_mostly_idle_during_campaign() {
+    // "There are times when the GPUs are idle as they are waiting for
+    // simulation results" — the whole point of Fig. 3.
+    let r = molecular_campaign(Selection::ActiveLearning, SEED);
+    assert!(
+        r.gpu_idle_fraction > 0.5,
+        "GPU idle fraction {:.2} too low for the Fig. 3 story",
+        r.gpu_idle_fraction
+    );
+    let sim_busy = r
+        .phase_busy_s
+        .iter()
+        .find(|(t, _)| t == "simulation")
+        .map(|(_, b)| *b)
+        .unwrap_or(0.0);
+    assert!(
+        sim_busy / r.wall_s > 0.5,
+        "simulation should dominate the campaign ({:.2})",
+        sim_busy / r.wall_s
+    );
+}
+
+#[test]
+fn fig3_active_learning_beats_random() {
+    let al = molecular_campaign(Selection::ActiveLearning, SEED);
+    let rd = molecular_campaign(Selection::Random, SEED);
+    assert!(
+        al.best_ip > rd.best_ip,
+        "active learning ({:.3}) must beat random ({:.3})",
+        al.best_ip,
+        rd.best_ip
+    );
+    // AL improves across rounds.
+    let first = al.best_by_round.first().copied().unwrap_or(0.0);
+    let last = al.best_by_round.last().copied().unwrap_or(0.0);
+    assert!(last > first, "no learning progress: {:?}", al.best_by_round);
+}
+
+#[test]
+fn section6_overheads_in_paper_bands() {
+    let o = overheads(SEED);
+    // "loading time of LLaMa2 13B can take up to 10 seconds" (fp16) —
+    // our fp32 image is ~2× that; the fp16 7B reload inside the resize
+    // path is what the 10-20s claim covers.
+    let resize = o.mps_resize_to_first_completion_s;
+    assert!(
+        (10.0..=20.0).contains(&resize),
+        "MPS resize penalty {resize:.1}s, paper: 10-20s"
+    );
+    // Weight cache (§7) removes most of the model reload.
+    assert!(
+        o.mps_resize_cached_s < resize * 0.7,
+        "cache should cut the resize penalty: {:.1}s vs {:.1}s",
+        o.mps_resize_cached_s,
+        resize
+    );
+    // Cold-start decomposition is dominated by the model load (§6).
+    let (fi, ctx, load) = o.cold_start_13b;
+    assert!(load > fi + ctx, "model load must dominate: {fi} {ctx} {load}");
+}
+
+#[test]
+fn reproduction_is_deterministic() {
+    let a = llama_multiplex(&Strategy::MpsEqual, 4, 10, SEED);
+    let b = llama_multiplex(&Strategy::MpsEqual, 4, 10, SEED);
+    assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    assert_eq!(a.mean_latency_s.to_bits(), b.mean_latency_s.to_bits());
+}
+
+#[test]
+fn section34_pipelining_cuts_campaign_wall_time() {
+    // §3.4: "Pipe-lining this application will yield higher accelerator
+    // utilization." Overlapping next-round simulations with GPU phases
+    // must shorten the campaign without wrecking the search quality.
+    let seq = molecular_campaign_with(Selection::ActiveLearning, false, SEED);
+    let pipe = molecular_campaign_with(Selection::ActiveLearning, true, SEED);
+    assert!(
+        pipe.wall_s < 0.97 * seq.wall_s,
+        "pipelining should save wall time: {:.1}s vs {:.1}s",
+        pipe.wall_s,
+        seq.wall_s
+    );
+    assert!(
+        pipe.best_ip > seq.best_ip - 0.3,
+        "speculative selection must stay competitive: {:.3} vs {:.3}",
+        pipe.best_ip,
+        seq.best_ip
+    );
+    assert!(
+        pipe.best_ip > molecular_campaign(Selection::Random, SEED).best_ip,
+        "pipelined AL still beats random"
+    );
+}
