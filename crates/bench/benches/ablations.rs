@@ -49,7 +49,12 @@ fn bench_rightsize(c: &mut Criterion) {
                 |sms| llm.solo_completion_seconds(&spec, sms, 16, 27),
                 rightsize::full_grid(&spec),
             );
-            black_box(rightsize::recommend(&spec, &pts, llm.footprint_bytes(), 0.10))
+            black_box(rightsize::recommend(
+                &spec,
+                &pts,
+                llm.footprint_bytes(),
+                0.10,
+            ))
         })
     });
     for name in ["resnet50", "vgg16"] {

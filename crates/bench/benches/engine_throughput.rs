@@ -27,6 +27,56 @@ fn bench_engine_events(c: &mut Criterion) {
             })
         });
     }
+    // Cancellation-heavy: every other timer is cancelled before the run,
+    // so half the heap entries are tombstones the engine must skip.
+    for n in [10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                let mut count: u64 = 0;
+                let mut ids = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    ids.push(eng.schedule_at(
+                        SimTime::from_nanos(i * 997 % 1_000_000),
+                        |w: &mut u64, _| *w += 1,
+                    ));
+                }
+                for id in ids.iter().step_by(2) {
+                    eng.cancel(*id);
+                }
+                eng.run(&mut count);
+                black_box(count)
+            })
+        });
+    }
+    // Reschedule-heavy: every timer is cancelled and re-armed later, the
+    // dominant pattern for timeout bookkeeping (walltime guards).
+    for n in [10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("reschedule_heavy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                let mut count: u64 = 0;
+                let mut ids = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    ids.push(eng.schedule_at(
+                        SimTime::from_nanos(i * 997 % 1_000_000),
+                        |w: &mut u64, _| *w += 1,
+                    ));
+                }
+                for (i, id) in ids.into_iter().enumerate() {
+                    eng.cancel(id);
+                    eng.schedule_at(
+                        SimTime::from_nanos(1_000_000 + (i as u64 * 31) % 1_000_000),
+                        |w: &mut u64, _| *w += 1,
+                    );
+                }
+                eng.run(&mut count);
+                black_box(count)
+            })
+        });
+    }
     g.finish();
 }
 
@@ -59,7 +109,10 @@ fn bench_kernel_chain(c: &mut Criterion) {
                 let mut fleet = GpuFleet::new();
                 let gid = fleet.add(GpuSpec::a100_80gb());
                 fleet.device_mut(gid).mps.start();
-                fleet.device_mut(gid).set_mode(DeviceMode::MpsDefault).expect("mode");
+                fleet
+                    .device_mut(gid)
+                    .set_mode(DeviceMode::MpsDefault)
+                    .expect("mode");
                 let ctx = fleet
                     .device_mut(gid)
                     .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
@@ -90,7 +143,10 @@ fn bench_kernel_chain(c: &mut Criterion) {
             let mut fleet = GpuFleet::new();
             let gid = fleet.add(GpuSpec::a100_80gb());
             fleet.device_mut(gid).mps.start();
-            fleet.device_mut(gid).set_mode(DeviceMode::MpsDefault).expect("mode");
+            fleet
+                .device_mut(gid)
+                .set_mode(DeviceMode::MpsDefault)
+                .expect("mode");
             let ctxs: Vec<_> = (0..8)
                 .map(|i| {
                     fleet
@@ -131,7 +187,9 @@ fn bench_kernel_chain(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
 }
 
 criterion_group! {

@@ -20,7 +20,11 @@ fn bench_fig4(c: &mut Criterion) {
         let strategies: &[Strategy] = if procs == 1 {
             &[Strategy::TimeSharing]
         } else {
-            &[Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual]
+            &[
+                Strategy::TimeSharing,
+                Strategy::MpsEqual,
+                Strategy::MigEqual,
+            ]
         };
         for s in strategies {
             let r = llama_multiplex(s, procs, N, SEED);
@@ -35,7 +39,9 @@ fn bench_fig4(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(r.mode.clone(), procs),
                 &procs,
-                move |b, &procs| b.iter(|| black_box(llama_multiplex(&s, procs, N, SEED).makespan_s)),
+                move |b, &procs| {
+                    b.iter(|| black_box(llama_multiplex(&s, procs, N, SEED).makespan_s))
+                },
             );
         }
     }

@@ -16,7 +16,11 @@ fn bench_fig5(c: &mut Criterion) {
         let strategies: &[Strategy] = if procs == 1 {
             &[Strategy::TimeSharing]
         } else {
-            &[Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual]
+            &[
+                Strategy::TimeSharing,
+                Strategy::MpsEqual,
+                Strategy::MigEqual,
+            ]
         };
         for s in strategies {
             let r = llama_multiplex(s, procs, N, SEED);

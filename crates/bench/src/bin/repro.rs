@@ -6,20 +6,22 @@
 //! ```
 //!
 //! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
-//! extension all`.
+//! extension all`, plus `substrate` (run explicitly, never under `all`):
+//! times the simulator's own hot paths and writes `BENCH_substrate.json`
+//! to the current directory.
 //! `--csv` switches the output to CSV; `--completions N` rescales the
 //! §5.2 experiments (default 100, as in the paper).
 
 use parfait_bench::report::{csv, f2, f3, pct, text_table};
 use parfait_bench::scenarios::{
-    self, chat_vs_text, llama_multiplex, mode_label, molecular_campaign,
-    molecular_campaign_with, open_loop_serving, overheads, resnet_multiplex, table1, SEED,
+    self, chat_vs_text, llama_multiplex, mode_label, molecular_campaign, molecular_campaign_with,
+    open_loop_serving, overheads, resnet_multiplex, table1, SEED,
 };
 use parfait_bench::sweep;
 use parfait_core::advisor::{recommend_strategy, TenancyRequirements};
 use parfait_core::{recommend, rightsize, Strategy};
-use parfait_gpu::GIB;
 use parfait_gpu::GpuSpec;
+use parfait_gpu::GIB;
 use parfait_workloads::dnn::models;
 use parfait_workloads::molecular::Selection;
 use parfait_workloads::LlmSpec;
@@ -77,9 +79,7 @@ fn run_fig1(opts: &Opts) {
             .conv_series()
             .into_iter()
             .enumerate()
-            .map(|(i, (name, flops))| {
-                vec![i.to_string(), name, format!("{:.1}", flops / 1e6)]
-            })
+            .map(|(i, (name, flops))| vec![i.to_string(), name, format!("{:.1}", flops / 1e6)])
             .collect();
         emit(
             opts,
@@ -139,7 +139,11 @@ fn run_fig3(opts: &Opts) {
             .iter()
             .map(|(t, b)| vec![t.clone(), f2(*b), pct(b / r.wall_s)])
             .collect();
-        rows.push(vec!["gpu idle samples".into(), "-".into(), pct(r.gpu_idle_fraction)]);
+        rows.push(vec![
+            "gpu idle samples".into(),
+            "-".into(),
+            pct(r.gpu_idle_fraction),
+        ]);
         emit(
             opts,
             &format!(
@@ -163,9 +167,18 @@ fn run_fig3(opts: &Opts) {
 
 fn fig45_rows(opts: &Opts) -> Vec<scenarios::MultiplexResult> {
     let mut out = Vec::new();
-    out.push(llama_multiplex(&Strategy::TimeSharing, 1, opts.completions, opts.seed));
+    out.push(llama_multiplex(
+        &Strategy::TimeSharing,
+        1,
+        opts.completions,
+        opts.seed,
+    ));
     for procs in [2usize, 3, 4] {
-        for s in [Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual] {
+        for s in [
+            Strategy::TimeSharing,
+            Strategy::MpsEqual,
+            Strategy::MigEqual,
+        ] {
             out.push(llama_multiplex(&s, procs, opts.completions, opts.seed));
         }
     }
@@ -195,7 +208,14 @@ fn run_fig4(opts: &Opts) {
             opts.completions,
             f2(base)
         ),
-        &["procs", "mode", "completion time (s)", "speedup", "req/s", "gpu util"],
+        &[
+            "procs",
+            "mode",
+            "completion time (s)",
+            "speedup",
+            "req/s",
+            "gpu util",
+        ],
         rows,
     );
 }
@@ -242,11 +262,20 @@ fn run_overheads(opts: &Opts) {
     emit(
         opts,
         "§6 cold-start decomposition",
-        &["scenario", "function init (s)", "ctx init (s)", "model load (s)", "total (s)"],
+        &[
+            "scenario",
+            "function init (s)",
+            "ctx init (s)",
+            "model load (s)",
+            "total (s)",
+        ],
         rows,
     );
     let rows = vec![
-        vec!["warm completion (no resize)".into(), f2(o.baseline_completion_s)],
+        vec![
+            "warm completion (no resize)".into(),
+            f2(o.baseline_completion_s),
+        ],
         vec![
             "MPS resize -> first completion".into(),
             f2(o.mps_resize_to_first_completion_s),
@@ -308,7 +337,10 @@ fn run_ablation(opts: &Opts) {
         "§7 ablation: GPU-resident weight cache on MPS resize",
         &["variant", "resize -> first completion (s)"],
         vec![
-            vec!["stock (reload weights)".into(), f2(o.mps_resize_to_first_completion_s)],
+            vec![
+                "stock (reload weights)".into(),
+                f2(o.mps_resize_to_first_completion_s),
+            ],
             vec!["weight cache (re-bind)".into(), f2(o.mps_resize_cached_s)],
             vec!["speedup".into(), format!("{speedup:.2}x")],
         ],
@@ -342,7 +374,13 @@ fn run_extension(opts: &Opts) {
             "Extension: {images} ResNet-50 batch-1 inferences, multiplexed services \
              (sub-ms kernels make time-sharing thrash; spatial sharing scales)"
         ),
-        &["procs", "mode", "makespan (s)", "speedup", "mean latency (s)"],
+        &[
+            "procs",
+            "mode",
+            "makespan (s)",
+            "speedup",
+            "mean latency (s)",
+        ],
         rows,
     );
 
@@ -360,38 +398,50 @@ fn run_extension(opts: &Opts) {
 
     // Strategy advisor (Table 1 as a decision procedure).
     let cases = [
-        ("4 trusted LLaMa tenants", TenancyRequirements {
-            tenants: 4,
-            require_isolation: false,
-            sms_needed: 20,
-            footprint_bytes: 16 * GIB,
-            resize_rate_hz: 0.0,
-            homogeneous: true,
-        }),
-        ("2 untrusted tenants, 30 GiB each", TenancyRequirements {
-            tenants: 2,
-            require_isolation: true,
-            sms_needed: 20,
-            footprint_bytes: 30 * GIB,
-            resize_rate_hz: 0.0,
-            homogeneous: true,
-        }),
-        ("4 untrusted tenants, 16 GiB each", TenancyRequirements {
-            tenants: 4,
-            require_isolation: true,
-            sms_needed: 20,
-            footprint_bytes: 16 * GIB,
-            resize_rate_hz: 0.0,
-            homogeneous: true,
-        }),
-        ("frequent resizes (autoscaling)", TenancyRequirements {
-            tenants: 4,
-            require_isolation: false,
-            sms_needed: 20,
-            footprint_bytes: 16 * GIB,
-            resize_rate_hz: 0.2,
-            homogeneous: true,
-        }),
+        (
+            "4 trusted LLaMa tenants",
+            TenancyRequirements {
+                tenants: 4,
+                require_isolation: false,
+                sms_needed: 20,
+                footprint_bytes: 16 * GIB,
+                resize_rate_hz: 0.0,
+                homogeneous: true,
+            },
+        ),
+        (
+            "2 untrusted tenants, 30 GiB each",
+            TenancyRequirements {
+                tenants: 2,
+                require_isolation: true,
+                sms_needed: 20,
+                footprint_bytes: 30 * GIB,
+                resize_rate_hz: 0.0,
+                homogeneous: true,
+            },
+        ),
+        (
+            "4 untrusted tenants, 16 GiB each",
+            TenancyRequirements {
+                tenants: 4,
+                require_isolation: true,
+                sms_needed: 20,
+                footprint_bytes: 16 * GIB,
+                resize_rate_hz: 0.0,
+                homogeneous: true,
+            },
+        ),
+        (
+            "frequent resizes (autoscaling)",
+            TenancyRequirements {
+                tenants: 4,
+                require_isolation: false,
+                sms_needed: 20,
+                footprint_bytes: 16 * GIB,
+                resize_rate_hz: 0.2,
+                homogeneous: true,
+            },
+        ),
     ];
     let spec = parfait_gpu::GpuSpec::a100_80gb();
     let rows = cases
@@ -493,8 +543,18 @@ fn run_extension(opts: &Opts) {
         "Extension: §3.4 pipelined molecular-design campaign",
         &["variant", "wall (s)", "gpu idle samples", "best IP"],
         vec![
-            vec!["sequential".into(), f2(seq.wall_s), pct(seq.gpu_idle_fraction), f3(seq.best_ip)],
-            vec!["pipelined".into(), f2(pipe.wall_s), pct(pipe.gpu_idle_fraction), f3(pipe.best_ip)],
+            vec![
+                "sequential".into(),
+                f2(seq.wall_s),
+                pct(seq.gpu_idle_fraction),
+                f3(seq.best_ip),
+            ],
+            vec![
+                "pipelined".into(),
+                f2(pipe.wall_s),
+                pct(pipe.gpu_idle_fraction),
+                f3(pipe.best_ip),
+            ],
             vec![
                 "wall reduction".into(),
                 pct(1.0 - pipe.wall_s / seq.wall_s),
@@ -546,7 +606,13 @@ fn run_extension(opts: &Opts) {
     emit(
         opts,
         "Extension: open-loop Poisson serving (60 requests; turnaround includes queueing)",
-        &["offered req/s", "platform", "achieved req/s", "mean turnaround (s)", "p95 (s)"],
+        &[
+            "offered req/s",
+            "platform",
+            "achieved req/s",
+            "mean turnaround (s)",
+            "p95 (s)",
+        ],
         rows,
     );
 
@@ -567,6 +633,30 @@ fn run_extension(opts: &Opts) {
             vec!["std dev (s)".into(), f2(r.stats.std_dev())],
             vec!["relative spread".into(), pct(r.relative_spread())],
         ],
+    );
+}
+
+fn run_substrate(opts: &Opts) {
+    let report = parfait_bench::substrate::run_and_write(std::path::Path::new("."))
+        .expect("write BENCH_substrate.json");
+    let rows = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.ops.to_string(),
+                format!("{:.3}", c.wall_p50_s * 1e3),
+                format!("{:.3}", c.wall_p95_s * 1e3),
+                format!("{:.3e}", c.ops_per_sec),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Substrate: simulator hot-path throughput (written to BENCH_substrate.json)",
+        &["case", "ops", "wall p50 (ms)", "wall p95 (ms)", "ops/sec"],
+        rows,
     );
 }
 
@@ -628,5 +718,10 @@ fn main() {
     }
     if want("extension") {
         run_extension(&opts);
+    }
+    // Substrate timing is a development artifact, not a paper figure:
+    // only on explicit request, so `repro all` output stays stable.
+    if which.iter().any(|w| w == "substrate") {
+        run_substrate(&opts);
     }
 }

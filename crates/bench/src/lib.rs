@@ -9,4 +9,5 @@
 
 pub mod report;
 pub mod scenarios;
+pub mod substrate;
 pub mod sweep;

@@ -6,8 +6,8 @@
 //! figure reports. The `repro` binary and the Criterion benches are thin
 //! wrappers over these functions.
 
-use parfait_core::{apply_plan, plan, resize_mps, weightcache, Strategy};
 use parfait_core::metrics::{self, ModeSummary};
+use parfait_core::{apply_plan, plan, resize_mps, weightcache, Strategy};
 use parfait_faas::{
     boot, resume_sampling, submit, AcceleratorSpec, AppCall, Config, ExecutorConfig, FaasWorld,
     TaskState,
@@ -19,8 +19,8 @@ use parfait_simcore::stats::OnlineStats;
 use parfait_simcore::{Engine, SimTime};
 use parfait_workloads::dnn::{exec, models};
 use parfait_workloads::llm::RequestProfile;
-use parfait_workloads::trace;
 use parfait_workloads::molecular::{Campaign, CampaignConfig, Selection};
+use parfait_workloads::trace;
 use parfait_workloads::{CompletionBody, LlmSpec};
 use serde::Serialize;
 
@@ -70,7 +70,9 @@ fn build_llama_platform(
     let llm = LlmSpec::llama2_7b(2);
     let mut fleet = GpuFleet::new();
     let g = fleet.add(gpu_spec.clone());
-    fleet.device_mut(g).set_share_config(scenario_share_config());
+    fleet
+        .device_mut(g)
+        .set_share_config(scenario_share_config());
     let p = plan(&gpu_spec, 0, procs, strategy).expect("valid plan");
     // A 4-way MIG split (1g.10gb) cannot hold a 16.6 GiB deployment; the
     // paper reports numbers anyway, so we enable UVM oversubscription for
@@ -182,7 +184,9 @@ pub fn fig2_point(llm: &LlmSpec, pct: u32, seed: u64) -> f64 {
     let gpu_spec = GpuSpec::a100_40gb();
     let mut fleet = GpuFleet::new();
     let g = fleet.add(gpu_spec.clone());
-    fleet.device_mut(g).set_share_config(scenario_share_config());
+    fleet
+        .device_mut(g)
+        .set_share_config(scenario_share_config());
     fleet.device_mut(g).mps.start();
     fleet
         .device_mut(g)
@@ -391,14 +395,21 @@ pub fn table1(completions: usize, seed: u64) -> Vec<(ModeSummary, &'static str, 
 /// Extension: multiplex `procs` ResNet-50 batch-1 inference services on
 /// one A100 and compare sharing modes — the §3.3/§3.4 workload the paper
 /// profiles but never benchmarks end-to-end.
-pub fn resnet_multiplex(strategy: &Strategy, procs: usize, images: usize, seed: u64) -> MultiplexResult {
+pub fn resnet_multiplex(
+    strategy: &Strategy,
+    procs: usize,
+    images: usize,
+    seed: u64,
+) -> MultiplexResult {
     let gpu_spec = GpuSpec::a100_80gb();
     let model = models::resnet50();
     let kernels = exec::inference_kernels(&model, &gpu_spec, 1);
     let weight_bytes = model.weight_bytes(4);
     let mut fleet = GpuFleet::new();
     let g = fleet.add(gpu_spec.clone());
-    fleet.device_mut(g).set_share_config(scenario_share_config());
+    fleet
+        .device_mut(g)
+        .set_share_config(scenario_share_config());
     let p = plan(&gpu_spec, 0, procs, strategy).expect("valid plan");
     let specs = apply_plan(&mut fleet, &p).expect("plan applies");
     let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
@@ -456,7 +467,9 @@ pub fn chat_vs_text(procs: usize, requests: usize, seed: u64) -> Vec<(String, f6
     for profile in [RequestProfile::text(), RequestProfile::chat()] {
         let mut fleet = GpuFleet::new();
         let g = fleet.add(gpu_spec.clone());
-        fleet.device_mut(g).set_share_config(scenario_share_config());
+        fleet
+            .device_mut(g)
+            .set_share_config(scenario_share_config());
         let p = plan(&gpu_spec, 0, procs, &Strategy::MpsEqual).expect("plan");
         let specs = apply_plan(&mut fleet, &p).expect("apply");
         let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
@@ -565,7 +578,11 @@ pub fn open_loop_serving(
         .collect();
     turns.sort_by(f64::total_cmp);
     let n = turns.len();
-    let mean = if n == 0 { 0.0 } else { turns.iter().sum::<f64>() / n as f64 };
+    let mean = if n == 0 {
+        0.0
+    } else {
+        turns.iter().sum::<f64>() / n as f64
+    };
     let p95 = if n == 0 {
         0.0
     } else {

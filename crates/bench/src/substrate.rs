@@ -1,0 +1,259 @@
+//! Substrate micro-benchmarks: how fast is the simulator itself?
+//!
+//! Every paper figure rides on two hot paths — the event engine's
+//! schedule/cancel/fire cycle and the GPU device's arbitration
+//! recompute. `repro substrate` times both with wall-clock sampling and
+//! writes `BENCH_substrate.json` so substrate throughput is tracked in
+//! the repo alongside the scientific outputs, and regressions show up
+//! in review rather than as mysteriously slower campaigns.
+//!
+//! Cases:
+//! - `timer_events_100k` — 100k one-shot timers scheduled upfront, run
+//!   to completion (pure heap throughput; the acceptance metric).
+//! - `cancel_heavy_100k` — 100k timers, every other one cancelled
+//!   before the run (tombstone handling).
+//! - `reschedule_heavy_100k` — 100k timers that each get cancelled and
+//!   re-armed at a later instant, as a timeout wheel would.
+//! - `contended_arbitration` — the 8-context × 50-kernel MPS trace
+//!   (arbitration recompute throughput, reported in kernels/sec).
+
+use parfait_gpu::host::{launch_kernel, GpuFleet, GpuHost};
+use parfait_gpu::{CtxBinding, CtxId, DeviceMode, GpuSpec, KernelDesc, KernelDone};
+use parfait_simcore::{Engine, SimTime};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Measured wall-clock samples per case (after one warmup run).
+const RUNS: usize = 9;
+
+/// One benchmark case: operation count and wall-time distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseReport {
+    /// Case name (stable key for cross-commit comparison).
+    pub name: String,
+    /// Logical operations per run (events fired or kernels completed).
+    pub ops: u64,
+    /// Measured runs (excluding warmup).
+    pub runs: usize,
+    /// Median wall seconds per run.
+    pub wall_p50_s: f64,
+    /// 95th-percentile wall seconds per run.
+    pub wall_p95_s: f64,
+    /// `ops / wall_p50_s`.
+    pub ops_per_sec: f64,
+}
+
+/// The full substrate report written to `BENCH_substrate.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubstrateReport {
+    /// Headline metric: events/sec on `timer_events_100k`.
+    pub events_per_sec: f64,
+    /// Headline metric: kernels/sec on `contended_arbitration`.
+    pub kernels_per_sec: f64,
+    /// All cases, with their wall-time distributions.
+    pub cases: Vec<CaseReport>,
+}
+
+/// Time `f` once for warmup and [`RUNS`] times for real, returning the
+/// per-run wall seconds. `f` returns the number of logical ops it did.
+fn sample(mut f: impl FnMut() -> u64) -> (u64, Vec<f64>) {
+    let ops = f();
+    let mut walls = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let got = std::hint::black_box(f());
+        walls.push(t.elapsed().as_secs_f64());
+        assert_eq!(got, ops, "benchmark case must be deterministic");
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (ops, walls)
+}
+
+/// Interpolated quantile of ascending-sorted samples.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn case(name: &str, f: impl FnMut() -> u64) -> CaseReport {
+    let (ops, walls) = sample(f);
+    let p50 = quantile(&walls, 0.50);
+    CaseReport {
+        name: name.to_string(),
+        ops,
+        runs: walls.len(),
+        wall_p50_s: p50,
+        wall_p95_s: quantile(&walls, 0.95),
+        ops_per_sec: ops as f64 / p50,
+    }
+}
+
+/// 100k one-shot timers scheduled upfront (same spread as the
+/// `engine_throughput` criterion bench), run to completion.
+fn timer_events(n: u64) -> u64 {
+    let mut eng: Engine<u64> = Engine::new();
+    let mut fired = 0u64;
+    for i in 0..n {
+        eng.schedule_at(SimTime::from_nanos(i * 997 % 1_000_000), |w, _| {
+            *w += 1;
+        });
+    }
+    eng.run(&mut fired);
+    assert_eq!(fired, n);
+    fired
+}
+
+/// 100k timers, every other one cancelled before the run starts; the
+/// engine must skip 50k tombstones without firing them.
+fn cancel_heavy(n: u64) -> u64 {
+    let mut eng: Engine<u64> = Engine::new();
+    let mut fired = 0u64;
+    let mut ids = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        ids.push(
+            eng.schedule_at(SimTime::from_nanos(i * 997 % 1_000_000), |w, _| {
+                *w += 1;
+            }),
+        );
+    }
+    for id in ids.iter().step_by(2) {
+        assert!(eng.cancel(*id));
+    }
+    eng.run(&mut fired);
+    assert_eq!(fired, n - n / 2 - n % 2);
+    n
+}
+
+/// 100k timers that are each re-armed once (cancel + schedule later),
+/// the dominant pattern for timeout bookkeeping.
+fn reschedule_heavy(n: u64) -> u64 {
+    let mut eng: Engine<u64> = Engine::new();
+    let mut fired = 0u64;
+    let mut ids = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        ids.push(
+            eng.schedule_at(SimTime::from_nanos(i * 997 % 1_000_000), |w, _| {
+                *w += 1;
+            }),
+        );
+    }
+    for (i, id) in ids.into_iter().enumerate() {
+        assert!(eng.cancel(id));
+        eng.schedule_at(
+            SimTime::from_nanos(1_000_000 + (i as u64 * 31) % 1_000_000),
+            |w, _| {
+                *w += 1;
+            },
+        );
+    }
+    eng.run(&mut fired);
+    assert_eq!(fired, n);
+    n
+}
+
+struct TraceWorld {
+    fleet: GpuFleet,
+    completions: u64,
+}
+
+impl GpuHost for TraceWorld {
+    fn fleet_mut(&mut self) -> &mut GpuFleet {
+        &mut self.fleet
+    }
+    fn on_kernel_done(&mut self, _e: &mut Engine<Self>, _d: KernelDone) {
+        self.completions += 1;
+    }
+}
+
+/// The contended MPS trace from `engine_throughput` /
+/// `arbitration_regression`: 8 contexts × 50 kernels on one A100-80GB.
+fn contended_arbitration() -> u64 {
+    let mut fleet = GpuFleet::new();
+    let gid = fleet.add(GpuSpec::a100_80gb());
+    fleet.device_mut(gid).mps.start();
+    fleet
+        .device_mut(gid)
+        .set_mode(DeviceMode::MpsDefault)
+        .expect("mode");
+    let ctxs: Vec<CtxId> = (0..8)
+        .map(|i| {
+            fleet
+                .device_mut(gid)
+                .create_context(SimTime::ZERO, &format!("p{i}"), CtxBinding::Bare)
+                .expect("ctx")
+        })
+        .collect();
+    let mut w = TraceWorld {
+        fleet,
+        completions: 0,
+    };
+    let mut eng = Engine::new();
+    for (i, &ctx) in ctxs.iter().enumerate() {
+        for j in 0..50u64 {
+            launch_kernel(
+                &mut w,
+                &mut eng,
+                gid,
+                ctx,
+                KernelDesc::new("k", 0.5 + j as f64 * 0.01, 40, 40, 0.3),
+                (i as u64) << 32 | j,
+            )
+            .expect("launch");
+        }
+    }
+    eng.run(&mut w);
+    assert_eq!(w.completions, 400);
+    w.completions
+}
+
+/// Run every case and assemble the report.
+pub fn measure() -> SubstrateReport {
+    const N: u64 = 100_000;
+    let cases = vec![
+        case("timer_events_100k", || timer_events(N)),
+        case("cancel_heavy_100k", || cancel_heavy(N)),
+        case("reschedule_heavy_100k", || reschedule_heavy(N)),
+        case("contended_arbitration", contended_arbitration),
+    ];
+    SubstrateReport {
+        events_per_sec: cases[0].ops_per_sec,
+        kernels_per_sec: cases[3].ops_per_sec,
+        cases,
+    }
+}
+
+/// Measure and write `BENCH_substrate.json` into `dir`; returns the
+/// report for printing.
+pub fn run_and_write(dir: &std::path::Path) -> std::io::Result<SubstrateReport> {
+    let report = measure();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(dir.join("BENCH_substrate.json"), json + "\n")?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_run_and_report_sane_numbers() {
+        // Tiny sizes: correctness of the harness, not performance.
+        assert_eq!(timer_events(500), 500);
+        assert_eq!(cancel_heavy(500), 500);
+        assert_eq!(reschedule_heavy(500), 500);
+        assert_eq!(contended_arbitration(), 400);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+}

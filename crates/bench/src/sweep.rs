@@ -3,12 +3,14 @@
 //! A single simulation is deterministic and single-threaded by design;
 //! statistical confidence comes from running *independent replicas* under
 //! different seeds. [`run_replicas`] fans replica seeds out over a
-//! crossbeam scope with a work-stealing channel and aggregates the
-//! results behind a `parking_lot::Mutex` — the only real parallelism in
-//! the workspace, kept entirely outside the deterministic core.
+//! `std::thread::scope` pool: workers claim seeds from a shared atomic
+//! cursor and append results to a private buffer, and the buffers are
+//! merged once when the scope joins — no lock is taken on the hot path.
+//! This is the only real parallelism in the workspace, kept entirely
+//! outside the deterministic core.
 
 use parfait_simcore::stats::OnlineStats;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Summary over replicas of one metric.
 #[derive(Debug, Clone)]
@@ -38,29 +40,43 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(threads >= 1, "need at least one worker thread");
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, u64)>();
-    for (i, &s) in seeds.iter().enumerate() {
-        tx.send((i, s)).expect("unbounded channel");
-    }
-    drop(tx);
-    let out: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(seeds.len()));
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(seeds.len().max(1)) {
-            let rx = rx.clone();
-            let out = &out;
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((i, seed)) = rx.recv() {
-                    let v = f(seed);
-                    out.lock().push((i, v));
-                }
-            });
+    let workers = threads.min(seeds.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut values = vec![0.0f64; seeds.len()];
+
+    if workers == 1 {
+        for (v, &s) in values.iter_mut().zip(seeds) {
+            *v = f(s);
         }
-    })
-    .expect("replica worker panicked");
-    let mut pairs = out.into_inner();
-    pairs.sort_by_key(|(i, _)| *i);
-    let values: Vec<f64> = pairs.into_iter().map(|(_, v)| v).collect();
+    } else {
+        let buffers: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Each worker fills a private buffer; nothing is
+                        // shared but the claim cursor.
+                        let mut local = Vec::with_capacity(seeds.len() / workers + 1);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= seeds.len() {
+                                break;
+                            }
+                            local.push((i, f(seeds[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replica worker panicked"))
+                .collect()
+        });
+        for (i, v) in buffers.into_iter().flatten() {
+            values[i] = v;
+        }
+    }
+
     let mut stats = OnlineStats::new();
     for &v in &values {
         stats.record(v);
@@ -71,7 +87,10 @@ where
 /// `n` derived seeds from a base seed.
 pub fn seed_series(base: u64, n: usize) -> Vec<u64> {
     (0..n as u64)
-        .map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 7919 + 1))
+        .map(|i| {
+            base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i * 7919 + 1)
+        })
         .collect()
 }
 
@@ -93,6 +112,12 @@ mod tests {
     fn single_thread_works() {
         let r = run_replicas(&[1, 2, 3], 1, |s| s as f64);
         assert_eq!(r.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn more_threads_than_seeds() {
+        let r = run_replicas(&[5, 6], 8, |s| s as f64);
+        assert_eq!(r.values, vec![5.0, 6.0]);
     }
 
     #[test]

@@ -170,8 +170,14 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        assert!(matches!(parse_entry("gpu0"), Err(AccelParseError::BadEntry(_))));
-        assert!(matches!(parse_entry("-1"), Err(AccelParseError::BadEntry(_))));
+        assert!(matches!(
+            parse_entry("gpu0"),
+            Err(AccelParseError::BadEntry(_))
+        ));
+        assert!(matches!(
+            parse_entry("-1"),
+            Err(AccelParseError::BadEntry(_))
+        ));
         assert!(matches!(parse_entry(""), Err(AccelParseError::BadEntry(_))));
     }
 
@@ -232,8 +238,7 @@ mod tests {
     fn oversubscription_guard() {
         // 4 × 50 = 200 is allowed; 210 is not.
         assert!(parse_accelerators(&["0", "0", "0", "0"], Some(&[50, 50, 50, 50])).is_ok());
-        let err =
-            parse_accelerators(&["0", "0", "0"], Some(&[70, 70, 70])).unwrap_err();
+        let err = parse_accelerators(&["0", "0", "0"], Some(&[70, 70, 70])).unwrap_err();
         assert!(matches!(
             err,
             AccelParseError::Oversubscribed { gpu: 0, total: 210 }
@@ -261,8 +266,7 @@ mod tests {
 
     #[test]
     fn mixed_mig_and_plain_without_percentages() {
-        let specs =
-            parse_accelerators(&["0", "MIG-GPU1-0-2g.20gb"], None).unwrap();
+        let specs = parse_accelerators(&["0", "MIG-GPU1-0-2g.20gb"], None).unwrap();
         assert_eq!(specs[0], AcceleratorSpec::Gpu(0));
         assert!(matches!(specs[1], AcceleratorSpec::Mig(_)));
     }

@@ -132,7 +132,9 @@ fn tick(
     // fails and retries after the restart — exactly the cost the §7
     // weight cache is built to shrink. Hysteresis keeps this rare.
     let applied = if shift >= policy.min_shift && current.len() == target.len() {
-        resize_mps(world, eng, gpu, &target).ok().map(|_| target.clone())
+        resize_mps(world, eng, gpu, &target)
+            .ok()
+            .map(|_| target.clone())
     } else {
         None
     };

@@ -138,15 +138,17 @@ pub fn equal_mig_profile(spec: &GpuSpec, k: usize) -> Result<&'static str, PlanE
 /// let specs = apply_plan(&mut fleet, &p).unwrap();
 /// assert_eq!(specs, vec![AcceleratorSpec::GpuPercentage(0, 25); 4]);
 /// ```
-pub fn plan(spec: &GpuSpec, gpu: u32, k: usize, strategy: &Strategy) -> Result<PartitionPlan, PlanError> {
+pub fn plan(
+    spec: &GpuSpec,
+    gpu: u32,
+    k: usize,
+    strategy: &Strategy,
+) -> Result<PartitionPlan, PlanError> {
     if k == 0 {
         return Err(PlanError::NoWorkers);
     }
     let (mode, workers) = match strategy {
-        Strategy::TimeSharing => (
-            DeviceMode::TimeSharing,
-            vec![PlannedWorker::Bare; k],
-        ),
+        Strategy::TimeSharing => (DeviceMode::TimeSharing, vec![PlannedWorker::Bare; k]),
         Strategy::MpsDefault => (DeviceMode::MpsDefault, vec![PlannedWorker::Bare; k]),
         Strategy::MpsEqual => {
             let pct = (100 / k as u32).max(1);
@@ -171,10 +173,7 @@ pub fn plan(spec: &GpuSpec, gpu: u32, k: usize, strategy: &Strategy) -> Result<P
         }
         Strategy::MigEqual => {
             let profile = equal_mig_profile(spec, k)?;
-            (
-                DeviceMode::Mig,
-                vec![PlannedWorker::MigProfile(profile); k],
-            )
+            (DeviceMode::Mig, vec![PlannedWorker::MigProfile(profile); k])
         }
         Strategy::Vgpu => (
             DeviceMode::Vgpu { slots: k as u32 },
@@ -190,7 +189,10 @@ pub fn plan(spec: &GpuSpec, gpu: u32, k: usize, strategy: &Strategy) -> Result<P
 ///
 /// The device must be idle (no contexts); reconfiguring a live GPU goes
 /// through [`crate::reconfig`].
-pub fn apply_plan(fleet: &mut GpuFleet, plan: &PartitionPlan) -> Result<Vec<AcceleratorSpec>, PlanError> {
+pub fn apply_plan(
+    fleet: &mut GpuFleet,
+    plan: &PartitionPlan,
+) -> Result<Vec<AcceleratorSpec>, PlanError> {
     let dev = fleet.device_mut(GpuId(plan.gpu));
     if matches!(
         plan.mode,

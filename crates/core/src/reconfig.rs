@@ -79,12 +79,9 @@ pub fn workers_on_gpu(world: &FaasWorld, gpu: u32) -> Vec<usize> {
                     Some(AcceleratorSpec::Gpu(g))
                     | Some(AcceleratorSpec::GpuPercentage(g, _))
                     | Some(AcceleratorSpec::VgpuSlot(g, _)) => *g == gpu,
-                    Some(AcceleratorSpec::Mig(uuid)) => world
-                        .fleet
-                        .device(GpuId(gpu))
-                        .mig
-                        .by_uuid(uuid)
-                        .is_some(),
+                    Some(AcceleratorSpec::Mig(uuid)) => {
+                        world.fleet.device(GpuId(gpu)).mig.by_uuid(uuid).is_some()
+                    }
                     None => false,
                 }
         })

@@ -24,7 +24,10 @@ pub struct ProfilePoint {
 }
 
 /// Build a profile by sweeping `latency(sms)` over `grid`.
-pub fn profile(latency: impl Fn(f64) -> f64, grid: impl IntoIterator<Item = f64>) -> Vec<ProfilePoint> {
+pub fn profile(
+    latency: impl Fn(f64) -> f64,
+    grid: impl IntoIterator<Item = f64>,
+) -> Vec<ProfilePoint> {
     grid.into_iter()
         .map(|sms| ProfilePoint {
             sms,
@@ -180,7 +183,10 @@ mod tests {
         use parfait_workloads::dnn::{exec, models};
         let spec = GpuSpec::a100_80gb();
         let m = models::resnet50();
-        let pts = profile(|sms| exec::solo_latency(&m, &spec, 1, sms), full_grid(&spec));
+        let pts = profile(
+            |sms| exec::solo_latency(&m, &spec, 1, sms),
+            full_grid(&spec),
+        );
         let rec = recommend(&spec, &pts, m.weight_bytes(4), 0.10).unwrap();
         assert!(rec.knee_sms < 108.0, "knee {}", rec.knee_sms);
         assert!(rec.mig_profile.is_some());

@@ -1,11 +1,11 @@
 //! Property-based tests for the partitioning layer.
 
 use parfait_core::accel::format_accelerators;
+use parfait_core::rightsize;
 use parfait_core::{apply_plan, equal_mig_profile, parse_accelerators, plan, Strategy};
 use parfait_faas::AcceleratorSpec;
 use parfait_gpu::host::GpuFleet;
 use parfait_gpu::GpuSpec;
-use parfait_core::rightsize;
 use proptest::prelude::*;
 
 proptest! {

@@ -69,7 +69,9 @@ impl WeightCache {
             .filter(|(g, _)| *g == gpu)
             .copied()
             .collect();
-        keys.iter().map(|k| self.entries.remove(k).unwrap_or(0)).sum()
+        keys.iter()
+            .map(|k| self.entries.remove(k).unwrap_or(0))
+            .sum()
     }
 
     /// Bytes pinned on one GPU.

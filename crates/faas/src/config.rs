@@ -316,8 +316,14 @@ mod tests {
             ],
         );
         e.max_workers = 6;
-        assert_eq!(e.accelerator_for(0), Some(&AcceleratorSpec::GpuPercentage(1, 50)));
-        assert_eq!(e.accelerator_for(4), Some(&AcceleratorSpec::GpuPercentage(2, 25)));
+        assert_eq!(
+            e.accelerator_for(0),
+            Some(&AcceleratorSpec::GpuPercentage(1, 50))
+        );
+        assert_eq!(
+            e.accelerator_for(4),
+            Some(&AcceleratorSpec::GpuPercentage(2, 25))
+        );
         assert_eq!(ExecutorConfig::cpu("c", 2).accelerator_for(0), None);
     }
 
@@ -364,7 +370,10 @@ mod tests {
         let issues = c.validate(1);
         assert!(issues.contains(&ConfigIssue::DuplicateLabel("dup".into())));
         assert!(issues.contains(&ConfigIssue::NoWorkers("dup".into())));
-        assert!(issues.contains(&ConfigIssue::UnknownGpu { executor: 2, gpu: 5 }));
+        assert!(issues.contains(&ConfigIssue::UnknownGpu {
+            executor: 2,
+            gpu: 5
+        }));
         assert!(issues.contains(&ConfigIssue::Oversubscribed {
             executor: 2,
             gpu: 0,

@@ -283,7 +283,11 @@ impl Dfk {
     }
 
     /// Instantiate a fresh body for an attempt of `id`.
-    pub fn make_body(&self, id: TaskId, rng: &mut parfait_simcore::SimRng) -> Box<dyn crate::app::TaskBody> {
+    pub fn make_body(
+        &self,
+        id: TaskId,
+        rng: &mut parfait_simcore::SimRng,
+    ) -> Box<dyn crate::app::TaskBody> {
         (self.task(id).factory)(rng)
     }
 }
@@ -295,7 +299,9 @@ mod tests {
     use parfait_simcore::{SimDuration, SimRng};
 
     fn call(app: &str) -> AppCall {
-        AppCall::new(app, "cpu", |_| Box::new(CpuBurn::new(SimDuration::from_secs(1))))
+        AppCall::new(app, "cpu", |_| {
+            Box::new(CpuBurn::new(SimDuration::from_secs(1)))
+        })
     }
 
     fn t(s: u64) -> SimTime {

@@ -108,7 +108,13 @@ impl Monitoring {
     }
 
     /// Append a worker event.
-    pub fn worker_event(&mut self, t: SimTime, worker: usize, kind: WorkerEventKind, detail: impl Into<String>) {
+    pub fn worker_event(
+        &mut self,
+        t: SimTime,
+        worker: usize,
+        kind: WorkerEventKind,
+        detail: impl Into<String>,
+    ) {
         self.worker_events.push(WorkerEvent {
             t,
             worker,
@@ -243,8 +249,8 @@ mod tests {
 
     #[test]
     fn export_json_roundtrips_through_serde() {
-        use crate::app::AppCall;
         use crate::app::bodies::CpuBurn;
+        use crate::app::AppCall;
         use parfait_simcore::SimDuration;
         let mut dfk = Dfk::new();
         let (a, _) = dfk.submit(

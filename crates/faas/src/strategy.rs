@@ -72,10 +72,7 @@ fn tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: usize, policy:
     let live = live_workers(world, exec);
 
     if queue > policy.queue_high * live.max(1) && live < policy.max_workers {
-        let add = policy
-            .scale_out_step
-            .min(policy.max_workers - live)
-            .max(1);
+        let add = policy.scale_out_step.min(policy.max_workers - live).max(1);
         for _ in 0..add {
             add_worker(world, eng, exec, None);
         }
@@ -101,10 +98,12 @@ fn tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: usize, policy:
     // Keep looping while there could be future work; stop once everything
     // settled (mirrors the monitoring sampler's lifetime).
     let active = !world.dfk.all_settled()
-        || world
-            .workers
-            .iter()
-            .any(|w| matches!(w.state, WorkerState::Provisioning | WorkerState::ColdStart | WorkerState::Busy));
+        || world.workers.iter().any(|w| {
+            matches!(
+                w.state,
+                WorkerState::Provisioning | WorkerState::ColdStart | WorkerState::Busy
+            )
+        });
     if active {
         let p = policy.clone();
         eng.schedule_in(policy.period, move |w: &mut FaasWorld, e| {
@@ -222,10 +221,7 @@ mod tests {
             .iter()
             .filter(|wk| wk.state != WorkerState::Dead)
             .count();
-        assert!(
-            live <= 2,
-            "idle workers should be retired (live = {live})"
-        );
+        assert!(live <= 2, "idle workers should be retired (live = {live})");
         let killed = w
             .workers
             .iter()

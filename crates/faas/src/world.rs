@@ -547,9 +547,19 @@ fn after_dispatch(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
     start_body(world, eng, wid);
 }
 
-fn begin_model_load(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, m: ModelProfile) {
+fn begin_model_load(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    m: ModelProfile,
+) {
     let Some((gpu, ctx)) = world.workers[wid].gpu else {
-        finish_task(world, eng, wid, Err("model load requires a GPU worker".into()));
+        finish_task(
+            world,
+            eng,
+            wid,
+            Err("model load requires a GPU worker".into()),
+        );
         return;
     };
     // Decide the load path: stock (whole blob into the process context)
@@ -560,7 +570,11 @@ fn begin_model_load(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usi
         if world.weight_cache.contains(gpu.0, m.id) {
             world.weight_cache.hits += 1;
             // Re-bind: pointer fix-up, no weight copy.
-            (m.private_bytes(), 0, world.config.cold_start.cached_attach_s)
+            (
+                m.private_bytes(),
+                0,
+                world.config.cold_start.cached_attach_s,
+            )
         } else {
             world.weight_cache.misses += 1;
             let full = world.fleet.device(gpu).spec.model_load_seconds(m.bytes);
@@ -592,20 +606,23 @@ fn begin_model_load(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usi
         r.loading = Some(m);
     }
     let epoch = world.workers[wid].epoch;
-    eng.schedule_in(SimDuration::from_secs_f64(secs), move |w: &mut FaasWorld, e| {
-        if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Busy {
-            return;
-        }
-        {
-            let wk = &mut w.workers[wid];
-            wk.loaded_models.insert(m.id);
-            wk.model_bytes += ctx_bytes;
-            if let Some(r) = wk.current.as_mut() {
-                r.loading = None;
+    eng.schedule_in(
+        SimDuration::from_secs_f64(secs),
+        move |w: &mut FaasWorld, e| {
+            if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Busy {
+                return;
             }
-        }
-        start_body(w, e, wid);
-    });
+            {
+                let wk = &mut w.workers[wid];
+                wk.loaded_models.insert(m.id);
+                wk.model_bytes += ctx_bytes;
+                if let Some(r) = wk.current.as_mut() {
+                    r.loading = None;
+                }
+            }
+            start_body(w, e, wid);
+        },
+    );
 }
 
 fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
@@ -637,9 +654,7 @@ fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
         });
     }
     let app = world.dfk.task(task).app.clone();
-    let span = world
-        .timeline
-        .start(&app, &format!("task-{}", task.0), now);
+    let span = world.timeline.start(&app, &format!("task-{}", task.0), now);
     if let Some(r) = world.workers[wid].current.as_mut() {
         r.span = Some(span);
     }
@@ -812,7 +827,10 @@ fn finish_task(
     // frees per-request tensors; the worker enforces it on failure too).
     if run.task_allocs > 0 {
         if let Some((gpu, ctx)) = world.workers[wid].gpu {
-            let _ = world.fleet.device_mut(gpu).free_memory(ctx, run.task_allocs);
+            let _ = world
+                .fleet
+                .device_mut(gpu)
+                .free_memory(ctx, run.task_allocs);
             resync(world, eng, gpu);
         }
     }

@@ -57,7 +57,10 @@ fn cold_start_precedes_first_task() {
     let started = w.dfk.task(id).started.unwrap();
     assert!(started >= ready, "task started before cold start finished");
     let b = worker.cold_breakdown.unwrap();
-    assert!(b.gpu_context_init.is_zero(), "CPU worker has no GPU context");
+    assert!(
+        b.gpu_context_init.is_zero(),
+        "CPU worker has no GPU context"
+    );
     assert!(!b.function_init.is_zero());
 }
 
@@ -67,7 +70,9 @@ fn queue_drains_with_fewer_workers_than_tasks() {
     let mut w = FaasWorld::new(config, GpuFleet::new(), 3);
     let mut eng = Engine::new();
     boot(&mut w, &mut eng);
-    let ids: Vec<TaskId> = (0..6).map(|_| submit(&mut w, &mut eng, cpu_call("a", 2))).collect();
+    let ids: Vec<TaskId> = (0..6)
+        .map(|_| submit(&mut w, &mut eng, cpu_call("a", 2)))
+        .collect();
     eng.run(&mut w);
     assert!(w.dfk.all_settled());
     assert_eq!(w.dfk.done_count(), 6);
@@ -77,7 +82,12 @@ fn queue_drains_with_fewer_workers_than_tasks() {
         .map(|i| w.dfk.task(*i).finished.unwrap())
         .max()
         .unwrap();
-    let ready = w.workers.iter().map(|wk| wk.ready_at.unwrap()).min().unwrap();
+    let ready = w
+        .workers
+        .iter()
+        .map(|wk| wk.ready_at.unwrap())
+        .min()
+        .unwrap();
     assert!(last.duration_since(ready) >= SimDuration::from_secs(6));
 }
 
@@ -102,7 +112,10 @@ fn dependencies_run_in_order_across_executors() {
     eng.run(&mut w);
     let fa = w.dfk.task(a).finished.unwrap();
     let sb = w.dfk.task(b).started.unwrap();
-    assert!(sb >= fa, "dependent started at {sb} before dep finished at {fa}");
+    assert!(
+        sb >= fa,
+        "dependent started at {sb} before dep finished at {fa}"
+    );
     assert_eq!(w.dfk.task(b).state, TaskState::Done);
 }
 
@@ -225,9 +238,7 @@ fn model_loads_once_then_stays_warm() {
     let model = ModelProfile::private(42, 10 * GIB); // 10 GiB at 2.5 GB/s ≈ 4.3 s load
     let mk = move || {
         AppCall::new("infer", "gpu", move |_| {
-            Box::new(
-                KernelSeq::new(vec![gpu_kernel(10.8)], SimDuration::ZERO).with_model(model),
-            )
+            Box::new(KernelSeq::new(vec![gpu_kernel(10.8)], SimDuration::ZERO).with_model(model))
         })
     };
     let a = submit(&mut w, &mut eng, mk());
@@ -318,7 +329,11 @@ fn kill_and_respawn_worker_reloads_model() {
     kill_worker(&mut w, &mut eng, 0, "reconfigure");
     assert_eq!(w.workers[0].state, WorkerState::Dead);
     assert!(!w.workers[0].has_model(7), "kill clears the model cache");
-    assert_eq!(w.fleet.device(GpuId(0)).memory_used(), 0, "context memory freed");
+    assert_eq!(
+        w.fleet.device(GpuId(0)).memory_used(),
+        0,
+        "context memory freed"
+    );
 
     respawn_worker(&mut w, &mut eng, 0, Some(AcceleratorSpec::Gpu(0)));
     let b = submit(&mut w, &mut eng, mk());
@@ -332,7 +347,10 @@ fn kill_and_respawn_worker_reloads_model() {
         .unwrap()
         .duration_since(tb.dispatched.unwrap())
         .as_secs_f64();
-    assert!(load > 0.3, "respawned worker must reload the model, load={load}");
+    assert!(
+        load > 0.3,
+        "respawned worker must reload the model, load={load}"
+    );
 }
 
 #[test]
@@ -621,7 +639,10 @@ fn walltime_kills_attempt_but_not_worker() {
         &mut w,
         &mut eng,
         AppCall::new("runaway", "gpu", |_| {
-            Box::new(KernelSeq::new(vec![gpu_kernel(108.0 * 100.0)], SimDuration::ZERO))
+            Box::new(KernelSeq::new(
+                vec![gpu_kernel(108.0 * 100.0)],
+                SimDuration::ZERO,
+            ))
         })
         .with_walltime(SimDuration::from_secs(5)),
     );

@@ -161,7 +161,10 @@ mod tests {
         let fp16_7b = 7_000_000_000u64 * 2;
         let miss = m.mean(Some(&spec), fp16_7b).total().as_secs_f64();
         let hit = m.mean_with_cache_hit(Some(&spec)).total().as_secs_f64();
-        assert!(miss - hit > 4.0, "cache should save the ~5.6 s load: miss={miss} hit={hit}");
+        assert!(
+            miss - hit > 4.0,
+            "cache should save the ~5.6 s load: miss={miss} hit={hit}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::spec::{GpuSpec, Vendor};
 use parfait_simcore::stats::TimeWeighted;
 use parfait_simcore::{EventId, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 /// Fleet-level device index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -93,12 +94,143 @@ pub struct GpuContext {
 
 #[derive(Debug, Clone)]
 struct ActiveKernel {
+    /// Monotonic kernel id (never reused, unlike the slab slot).
+    kid: u64,
     ctx: u32,
     desc: KernelDesc,
     remaining: f64,
     rate: f64,
     tag: u64,
     launched: SimTime,
+}
+
+/// Slab of in-flight kernels addressed by slot index.
+///
+/// `order` lists live slots in kernel-id (= launch) ascending order and
+/// is what every numeric pass iterates: f64 summation order is part of
+/// the reproduction contract (see `arbitration_regression`), and kid
+/// order is exactly what the previous `BTreeMap<u64, _>` storage gave.
+/// Slots are recycled through a free list, so steady-state launch/
+/// complete churn does not grow the slab or allocate.
+#[derive(Debug, Default)]
+struct KernelSlab {
+    slots: Vec<Option<ActiveKernel>>,
+    free: Vec<u32>,
+    /// Live slots, kid-ascending. Appends stay sorted because kids are
+    /// monotonic; removals preserve relative order.
+    order: Vec<u32>,
+    /// In-flight kernel count per context; keys are exactly the
+    /// contexts with work on the device, ascending.
+    ctx_counts: BTreeMap<u32, u32>,
+}
+
+impl KernelSlab {
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn get(&self, slot: u32) -> &ActiveKernel {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn get_mut(&mut self, slot: u32) -> &mut ActiveKernel {
+        self.slots[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// Live kernels in kid-ascending order.
+    fn iter(&self) -> impl Iterator<Item = &ActiveKernel> {
+        self.order.iter().map(|&s| self.get(s))
+    }
+
+    fn insert(&mut self, k: ActiveKernel) -> u32 {
+        let ctx = k.ctx;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(k);
+                s
+            }
+            None => {
+                self.slots.push(Some(k));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.order.push(slot);
+        *self.ctx_counts.entry(ctx).or_insert(0) += 1;
+        slot
+    }
+
+    /// Vacate one slot (free list + context count); the caller is
+    /// responsible for compacting `order` afterwards.
+    fn take_at(&mut self, slot: u32) -> ActiveKernel {
+        let k = self.slots[slot as usize].take().expect("live slot");
+        self.free.push(slot);
+        match self.ctx_counts.get_mut(&k.ctx) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.ctx_counts.remove(&k.ctx);
+            }
+        }
+        k
+    }
+
+    /// Drop vacated slots from `order`, preserving relative order.
+    fn compact_order(&mut self) {
+        let slots = &self.slots;
+        self.order.retain(|&s| slots[s as usize].is_some());
+    }
+
+    /// Remove every kernel failing `keep`; returns how many went.
+    fn retain(&mut self, mut keep: impl FnMut(&ActiveKernel) -> bool) -> usize {
+        let mut removed = 0;
+        for i in 0..self.order.len() {
+            let slot = self.order[i];
+            if !keep(self.get(slot)) {
+                self.take_at(slot);
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.compact_order();
+        }
+        removed
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.order.clear();
+        self.ctx_counts.clear();
+    }
+}
+
+/// Domain key marking kernels parked by time-sharing rotation.
+const NO_DOMAIN: u32 = u32::MAX;
+
+/// SM/bandwidth geometry of an arbitration domain (whole device, MIG
+/// instance, or vGPU slot).
+#[derive(Debug, Clone, Copy)]
+struct Dom {
+    sms: f64,
+    bw: f64,
+}
+
+/// Reusable `recompute` buffers, hoisted onto the device so the
+/// per-change rate recomputation allocates nothing in steady state.
+/// The first four are parallel to `KernelSlab::order`.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Final rate per kernel.
+    rate: Vec<f64>,
+    /// Provisional SM share (temporarily holds raw block demand).
+    share: Vec<f64>,
+    /// Post-wave-quantization effective SMs.
+    eff: Vec<f64>,
+    /// Arbitration domain key per kernel ([`NO_DOMAIN`] when parked).
+    dom_of: Vec<u32>,
+    /// Distinct (domain key, geometry), key-ascending.
+    domains: Vec<(u32, Dom)>,
+    /// Distinct contexts of the domain being processed, ascending.
+    dom_ctxs: Vec<u32>,
 }
 
 /// The simulated GPU.
@@ -114,8 +246,12 @@ pub struct GpuDevice {
 
     ctxs: BTreeMap<u32, GpuContext>,
     next_ctx: u32,
-    kernels: BTreeMap<u64, ActiveKernel>,
+    kernels: KernelSlab,
     next_kernel: u64,
+    /// Slots with `rate > 0`, kid-ascending; rebuilt by `recompute` so
+    /// `advance`/`next_wake` never scan stalled kernels.
+    running: Vec<u32>,
+    scratch: Scratch,
 
     /// Device-wide memory (used in non-MIG, non-vGPU modes).
     mem: MemoryPool,
@@ -156,8 +292,10 @@ impl GpuDevice {
             allow_uvm: false,
             ctxs: BTreeMap::new(),
             next_ctx: 0,
-            kernels: BTreeMap::new(),
+            kernels: KernelSlab::default(),
             next_kernel: 0,
+            running: Vec::new(),
+            scratch: Scratch::default(),
             mem,
             mig_mem: BTreeMap::new(),
             vgpu_mem: Vec::new(),
@@ -292,7 +430,12 @@ impl GpuDevice {
     }
 
     /// Create a process context with the given binding.
-    pub fn create_context(&mut self, now: SimTime, label: &str, binding: CtxBinding) -> Result<CtxId> {
+    pub fn create_context(
+        &mut self,
+        now: SimTime,
+        label: &str,
+        binding: CtxBinding,
+    ) -> Result<CtxId> {
         let (mig_instance, vgpu_slot, mps_pct) = match (&self.mode, &binding) {
             (DeviceMode::TimeSharing, CtxBinding::Bare) => (None, None, None),
             (DeviceMode::MpsDefault, CtxBinding::Bare) => (None, None, None),
@@ -325,16 +468,22 @@ impl GpuDevice {
         };
         // MPS modes require the control daemon (§4.1: it must be launched
         // on the node before any GPU function runs).
-        if matches!(self.mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned)
-            && !self.mps.running() {
-                return Err(GpuError::WrongMode {
-                    expected: "MPS daemon running",
-                    actual: "MPS daemon stopped",
-                });
-            }
+        if matches!(
+            self.mode,
+            DeviceMode::MpsDefault | DeviceMode::MpsPartitioned
+        ) && !self.mps.running()
+        {
+            return Err(GpuError::WrongMode {
+                expected: "MPS daemon running",
+                actual: "MPS daemon stopped",
+            });
+        }
         let id = self.next_ctx;
         self.next_ctx += 1;
-        if matches!(self.mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned) {
+        if matches!(
+            self.mode,
+            DeviceMode::MpsDefault | DeviceMode::MpsPartitioned
+        ) {
             self.mps.connect(id, mps_pct)?;
         }
         self.ctxs.insert(
@@ -356,11 +505,12 @@ impl GpuDevice {
     /// Destroy a context: abort its kernels, free its memory, disconnect
     /// from MPS. Returns the number of aborted kernels.
     pub fn destroy_context(&mut self, now: SimTime, ctx: CtxId) -> Result<usize> {
-        let c = self.ctxs.remove(&ctx.0).ok_or(GpuError::UnknownContext(ctx.0))?;
+        let c = self
+            .ctxs
+            .remove(&ctx.0)
+            .ok_or(GpuError::UnknownContext(ctx.0))?;
         self.advance(now);
-        let before = self.kernels.len();
-        self.kernels.retain(|_, k| k.ctx != ctx.0);
-        let aborted = before - self.kernels.len();
+        let aborted = self.kernels.retain(|k| k.ctx != ctx.0);
         self.mem_pool_for(&c).release_owner(ctx.0);
         self.attained.remove(&ctx.0);
         self.mps.disconnect(ctx.0);
@@ -386,7 +536,10 @@ impl GpuDevice {
 
     fn pool_overcommitted(&self, c: &GpuContext) -> bool {
         if let Some(i) = c.mig_instance {
-            self.mig_mem.get(&i).map(|p| p.overcommitted()).unwrap_or(false)
+            self.mig_mem
+                .get(&i)
+                .map(|p| p.overcommitted())
+                .unwrap_or(false)
         } else if let Some(s) = c.vgpu_slot {
             self.vgpu_mem[s as usize].overcommitted()
         } else {
@@ -452,27 +605,31 @@ impl GpuDevice {
     }
 
     /// Launch a kernel for `ctx`. `tag` is echoed in the completion.
-    pub fn launch(&mut self, now: SimTime, ctx: CtxId, desc: KernelDesc, tag: u64) -> Result<KernelId> {
+    pub fn launch(
+        &mut self,
+        now: SimTime,
+        ctx: CtxId,
+        desc: KernelDesc,
+        tag: u64,
+    ) -> Result<KernelId> {
         if !self.ctxs.contains_key(&ctx.0) {
             return Err(GpuError::UnknownContext(ctx.0));
         }
         self.advance(now);
         let id = self.next_kernel;
         self.next_kernel += 1;
-        self.kernels.insert(
-            id,
-            ActiveKernel {
-                ctx: ctx.0,
-                desc,
-                remaining: 0.0,
-                rate: 0.0,
-                tag,
-                launched: now,
-            },
-        );
+        let slot = self.kernels.insert(ActiveKernel {
+            kid: id,
+            ctx: ctx.0,
+            desc,
+            remaining: 0.0,
+            rate: 0.0,
+            tag,
+            launched: now,
+        });
         // remaining initialised after insert so zero-work kernels still
         // complete through the normal path.
-        let k = self.kernels.get_mut(&id).expect("just inserted");
+        let k = self.kernels.get_mut(slot);
         k.remaining = k.desc.work_sm_s.max(0.0);
         self.recompute(now);
         Ok(KernelId(id))
@@ -483,9 +640,7 @@ impl GpuDevice {
     /// `resync` afterwards.
     pub fn abort_tagged(&mut self, now: SimTime, tag: u64) -> usize {
         self.advance(now);
-        let before = self.kernels.len();
-        self.kernels.retain(|_, k| k.tag != tag);
-        let removed = before - self.kernels.len();
+        let removed = self.kernels.retain(|k| k.tag != tag);
         if removed > 0 {
             self.recompute(now);
         }
@@ -510,7 +665,7 @@ impl GpuDevice {
     /// Instantaneous busy SMs of one context's kernels.
     pub fn ctx_busy_sms(&self, ctx: CtxId) -> f64 {
         self.kernels
-            .values()
+            .iter()
             .filter(|k| k.ctx == ctx.0)
             .map(|k| k.rate)
             .sum()
@@ -519,7 +674,7 @@ impl GpuDevice {
     /// Instantaneous busy SMs inside one MIG instance.
     pub fn instance_busy_sms(&self, instance: u32) -> f64 {
         self.kernels
-            .values()
+            .iter()
             .filter(|k| {
                 self.ctxs
                     .get(&k.ctx)
@@ -537,7 +692,10 @@ impl GpuDevice {
             return 0;
         };
         if let Some(i) = c.mig_instance {
-            self.mig_mem.get(&i).map(|p| p.owner_usage(ctx.0)).unwrap_or(0)
+            self.mig_mem
+                .get(&i)
+                .map(|p| p.owner_usage(ctx.0))
+                .unwrap_or(0)
         } else if let Some(sl) = c.vgpu_slot {
             self.vgpu_mem[sl as usize].owner_usage(ctx.0)
         } else {
@@ -550,11 +708,14 @@ impl GpuDevice {
         self.busy_sms.average(now) / self.spec.sms as f64
     }
 
-    /// Integrate kernel progress up to `now`.
+    /// Integrate kernel progress up to `now`. Only the `running` list
+    /// (kernels with a positive rate, kid-ascending) is walked — stalled
+    /// kernels cannot make progress, so skipping them is exact.
     pub fn advance(&mut self, now: SimTime) {
         let dt = now.duration_since(self.last).as_secs_f64();
         if dt > 0.0 {
-            for k in self.kernels.values_mut() {
+            for i in 0..self.running.len() {
+                let k = self.kernels.get_mut(self.running[i]);
                 if k.rate > 0.0 {
                     let served = (k.rate * dt).min(k.remaining);
                     k.remaining -= served;
@@ -573,18 +734,9 @@ impl GpuDevice {
         self.attained.get(&ctx.0).copied().unwrap_or(0.0)
     }
 
-    fn active_ctx_ids(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self
-            .kernels
-            .values()
-            .map(|k| k.ctx)
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
-    }
-
-    /// Time-sharing rotation bookkeeping; called from `recompute`.
+    /// Time-sharing rotation bookkeeping; called from `recompute`. The
+    /// active-context set is read straight off the slab's incrementally
+    /// maintained per-context counts — no per-call collect/sort/dedup.
     fn ts_housekeeping(&mut self, now: SimTime) {
         // Complete an in-flight switch.
         if self.ts_pending.is_some() && now >= self.ts_switch_end {
@@ -594,18 +746,22 @@ impl GpuDevice {
         if self.ts_pending.is_some() {
             return; // mid-switch: nothing runs
         }
-        let active = self.active_ctx_ids();
-        if active.is_empty() {
+        let active = &self.kernels.ctx_counts;
+        let Some(&first) = active.keys().next() else {
             return;
-        }
+        };
         let current_active = self
             .ts_current
-            .map(|c| active.contains(&c))
+            .map(|c| active.contains_key(&c))
             .unwrap_or(false);
         let next_after = |cur: Option<u32>| -> u32 {
             match cur {
-                Some(c) => *active.iter().find(|&&a| a > c).unwrap_or(&active[0]),
-                None => active[0],
+                Some(c) => active
+                    .range((Bound::Excluded(c), Bound::Unbounded))
+                    .next()
+                    .map(|(&a, _)| a)
+                    .unwrap_or(first),
+                None => first,
             }
         };
         if !current_active {
@@ -634,26 +790,41 @@ impl GpuDevice {
 
     /// Recompute all kernel rates for the regime starting at `now`.
     /// Callers must have `advance`d to `now` first.
+    ///
+    /// Allocation-free in steady state: every buffer lives in
+    /// [`Scratch`] and is reused across calls. Every f64 accumulation
+    /// below iterates kernels in kid-ascending order (via
+    /// `KernelSlab::order`), which reproduces the summation order of
+    /// the previous `BTreeMap`-based implementation bit for bit — the
+    /// `arbitration_regression` test pins this down.
     pub fn recompute(&mut self, now: SimTime) {
         if self.mode == DeviceMode::TimeSharing {
             self.ts_housekeeping(now);
         }
-        // Build (domain key, ctx cap) per context. Domain key: MIG
-        // instance / vGPU slot index, or 0 for the whole device.
-        #[derive(Clone, Copy)]
-        struct Dom {
-            sms: f64,
-            bw: f64,
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let n = self.kernels.len();
+        scratch.rate.clear();
+        scratch.rate.resize(n, 0.0);
+        scratch.share.clear();
+        scratch.share.resize(n, 0.0);
+        scratch.eff.clear();
+        scratch.eff.resize(n, 0.0);
+        scratch.dom_of.clear();
+        scratch.domains.clear();
+
+        // Domain key per kernel: MIG instance / vGPU slot index + 1, or
+        // 0 for the whole device.
         let whole = Dom {
             sms: self.spec.sms as f64,
             bw: 1.0,
         };
-        let mut rates: BTreeMap<u64, f64> = BTreeMap::new();
-
-        // Group kernel ids by domain.
-        let mut domains: BTreeMap<u32, (Dom, Vec<u64>)> = BTreeMap::new();
-        for (&kid, k) in &self.kernels {
+        for p in 0..n {
+            let k = self.kernels.get(self.kernels.order[p]);
+            // Time-sharing: only the current context's kernels run.
+            if self.mode == DeviceMode::TimeSharing && Some(k.ctx) != self.ts_current {
+                scratch.dom_of.push(NO_DOMAIN); // rate stays 0.0
+                continue;
+            }
             let c = &self.ctxs[&k.ctx];
             let (dom_key, dom) = match self.mode {
                 DeviceMode::Mig => {
@@ -681,88 +852,133 @@ impl GpuDevice {
                 }
                 _ => (0, whole),
             };
-            // Time-sharing: only the current context's kernels run.
-            if self.mode == DeviceMode::TimeSharing && Some(k.ctx) != self.ts_current {
-                rates.insert(kid, 0.0);
-                continue;
-            }
-            domains.entry(dom_key).or_insert((dom, Vec::new())).1.push(kid);
+            scratch.dom_of.push(dom_key);
+            scratch.domains.push((dom_key, dom));
         }
+        scratch.domains.sort_unstable_by_key(|&(key, _)| key);
+        scratch.domains.dedup_by_key(|&mut (key, _)| key);
 
         let mps_mode = matches!(
             self.mode,
             DeviceMode::MpsDefault | DeviceMode::MpsPartitioned
         );
-        for (_, (dom, kids)) in domains {
-            // Per-context provisional shares.
-            let mut shares: BTreeMap<u64, f64> = BTreeMap::new();
-            let mut by_ctx: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
-            for &kid in &kids {
-                by_ctx.entry(self.kernels[&kid].ctx).or_default().push(kid);
+        for di in 0..scratch.domains.len() {
+            let (dom_key, dom) = scratch.domains[di];
+            // Distinct contexts with kernels in this domain, ascending.
+            scratch.dom_ctxs.clear();
+            for p in 0..n {
+                if scratch.dom_of[p] == dom_key {
+                    scratch
+                        .dom_ctxs
+                        .push(self.kernels.get(self.kernels.order[p]).ctx);
+                }
             }
+            scratch.dom_ctxs.sort_unstable();
+            scratch.dom_ctxs.dedup();
             // MPS co-residency interference (L2/scheduler contention).
             let mut interference = if mps_mode && self.cfg.mps_interference > 0.0 {
-                1.0 / (1.0 + self.cfg.mps_interference * (by_ctx.len().saturating_sub(1)) as f64)
+                1.0 / (1.0
+                    + self.cfg.mps_interference * (scratch.dom_ctxs.len().saturating_sub(1)) as f64)
             } else {
                 1.0
             };
             if matches!(self.mode, DeviceMode::Vgpu { .. }) {
                 interference *= VGPU_SCHED_EFFICIENCY;
             }
-            for (ctx, ctx_kids) in &by_ctx {
-                let c = &self.ctxs[ctx];
+            // Per-context provisional shares (contexts ascending, each
+            // context's kernels kid-ascending, as before).
+            for ci in 0..scratch.dom_ctxs.len() {
+                let ctx = scratch.dom_ctxs[ci];
+                let c = &self.ctxs[&ctx];
                 let cap = match (self.mode, c.mps_pct) {
                     (DeviceMode::MpsPartitioned, Some(p)) => {
                         (self.spec.sms as f64 * p as f64 / 100.0).min(dom.sms)
                     }
                     _ => dom.sms,
                 };
-                let demands: Vec<f64> = ctx_kids
-                    .iter()
-                    .map(|kid| self.kernels[kid].desc.peak_parallelism() as f64)
-                    .collect();
-                let total: f64 = demands.iter().sum();
-                for (kid, d) in ctx_kids.iter().zip(demands) {
-                    let s = if total > cap { d * cap / total } else { d };
-                    shares.insert(*kid, s);
+                let mut total = 0.0;
+                for p in 0..n {
+                    if scratch.dom_of[p] == dom_key {
+                        let k = self.kernels.get(self.kernels.order[p]);
+                        if k.ctx == ctx {
+                            let d = k.desc.peak_parallelism() as f64;
+                            scratch.share[p] = d; // raw demand, for now
+                            total += d;
+                        }
+                    }
+                }
+                if total > cap {
+                    for p in 0..n {
+                        if scratch.dom_of[p] == dom_key
+                            && self.kernels.get(self.kernels.order[p]).ctx == ctx
+                        {
+                            scratch.share[p] = scratch.share[p] * cap / total;
+                        }
+                    }
                 }
             }
             // Domain-wide overload.
-            let total: f64 = shares.values().sum();
-            let scale = if total > dom.sms { dom.sms / total } else { 1.0 };
-            // Wave quantization + bandwidth.
-            let mut effs: BTreeMap<u64, f64> = BTreeMap::new();
-            let mut bw_total = 0.0;
-            for (&kid, &s) in &shares {
-                let eff = self.kernels[&kid].desc.effective_sms(s * scale);
-                bw_total += self.kernels[&kid].desc.bandwidth_demand(eff);
-                effs.insert(kid, eff);
-            }
-            let bw_scale = if bw_total > dom.bw { dom.bw / bw_total } else { 1.0 };
-            for (kid, eff) in effs {
-                let k = &self.kernels[&kid];
-                let c = &self.ctxs[&k.ctx];
-                let mut rate = eff * bw_scale * interference;
-                if self.pool_overcommitted(c) {
-                    rate *= self.spec.uvm_penalty;
+            let mut total = 0.0;
+            for p in 0..n {
+                if scratch.dom_of[p] == dom_key {
+                    total += scratch.share[p];
                 }
-                rates.insert(kid, rate);
+            }
+            let scale = if total > dom.sms {
+                dom.sms / total
+            } else {
+                1.0
+            };
+            // Wave quantization + bandwidth.
+            let mut bw_total = 0.0;
+            for p in 0..n {
+                if scratch.dom_of[p] == dom_key {
+                    let desc = &self.kernels.get(self.kernels.order[p]).desc;
+                    let eff = desc.effective_sms(scratch.share[p] * scale);
+                    bw_total += desc.bandwidth_demand(eff);
+                    scratch.eff[p] = eff;
+                }
+            }
+            let bw_scale = if bw_total > dom.bw {
+                dom.bw / bw_total
+            } else {
+                1.0
+            };
+            for p in 0..n {
+                if scratch.dom_of[p] == dom_key {
+                    let k = self.kernels.get(self.kernels.order[p]);
+                    let c = &self.ctxs[&k.ctx];
+                    let mut rate = scratch.eff[p] * bw_scale * interference;
+                    if self.pool_overcommitted(c) {
+                        rate *= self.spec.uvm_penalty;
+                    }
+                    scratch.rate[p] = rate;
+                }
             }
         }
 
+        // Apply rates and rebuild the running list, both kid-ascending.
         let mut busy = 0.0;
-        for (kid, k) in self.kernels.iter_mut() {
-            k.rate = rates.get(kid).copied().unwrap_or(0.0);
+        self.running.clear();
+        for p in 0..n {
+            let slot = self.kernels.order[p];
+            let k = self.kernels.get_mut(slot);
+            k.rate = scratch.rate[p];
             busy += k.rate;
+            if k.rate > 0.0 {
+                self.running.push(slot);
+            }
         }
         self.busy_sms.set(now, busy);
+        self.scratch = scratch;
     }
 
     /// When should the engine next wake this device? `None` = nothing
     /// scheduled (fully idle or permanently blocked).
     pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
         let mut t = SimTime::MAX;
-        for k in self.kernels.values() {
+        for &slot in &self.running {
+            let k = self.kernels.get(slot);
             if k.rate > 0.0 {
                 let secs = k.remaining / k.rate;
                 let at = now
@@ -774,7 +990,7 @@ impl GpuDevice {
         if self.mode == DeviceMode::TimeSharing {
             if self.ts_pending.is_some() {
                 t = t.min(self.ts_switch_end.max(now));
-            } else if self.active_ctx_ids().len() >= 2 {
+            } else if self.kernels.ctx_counts.len() >= 2 {
                 t = t.min(self.ts_quantum_end.max(now));
             }
         }
@@ -786,24 +1002,25 @@ impl GpuDevice {
     pub fn collect_finished(&mut self, now: SimTime) -> Vec<KernelDone> {
         self.advance(now);
         let mut done = Vec::new();
-        let finished: Vec<u64> = self
-            .kernels
-            .iter()
-            .filter(|(_, k)| k.remaining <= WORK_EPS && (k.rate > 0.0 || k.desc.work_sm_s <= WORK_EPS))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in finished {
-            let k = self.kernels.remove(&id).expect("listed");
-            self.kernels_completed += 1;
-            done.push(KernelDone {
-                gpu: self.id,
-                ctx: CtxId(k.ctx),
-                kernel: KernelId(id),
-                tag: k.tag,
-                name: k.desc.name,
-                launched: k.launched,
-                finished: now,
-            });
+        for i in 0..self.kernels.order.len() {
+            let slot = self.kernels.order[i];
+            let k = self.kernels.get(slot);
+            if k.remaining <= WORK_EPS && (k.rate > 0.0 || k.desc.work_sm_s <= WORK_EPS) {
+                let k = self.kernels.take_at(slot);
+                self.kernels_completed += 1;
+                done.push(KernelDone {
+                    gpu: self.id,
+                    ctx: CtxId(k.ctx),
+                    kernel: KernelId(k.kid),
+                    tag: k.tag,
+                    name: k.desc.name,
+                    launched: k.launched,
+                    finished: now,
+                });
+            }
+        }
+        if !done.is_empty() {
+            self.kernels.compact_order();
         }
         self.recompute(now);
         done
@@ -815,6 +1032,7 @@ impl GpuDevice {
     pub fn reset(&mut self, now: SimTime) {
         self.advance(now);
         self.kernels.clear();
+        self.running.clear();
         for (_, c) in std::mem::take(&mut self.ctxs) {
             self.mps.disconnect(c.id.0);
         }
@@ -873,7 +1091,9 @@ mod tests {
     #[test]
     fn single_kernel_runs_at_full_speed() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
         d.launch(SimTime::ZERO, c, big_kernel(108.0), 1).unwrap();
         // 108 SM-seconds on 108 SMs → 1 second.
         let wake = d.next_wake(SimTime::ZERO).unwrap();
@@ -886,7 +1106,9 @@ mod tests {
     #[test]
     fn small_kernel_capped_at_its_parallelism() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
         d.launch(SimTime::ZERO, c, small_kernel(20.0), 0).unwrap();
         // 20 SM-seconds at 20 effective SMs → 1 second even with 108 SMs.
         let wake = d.next_wake(SimTime::ZERO).unwrap();
@@ -897,12 +1119,16 @@ mod tests {
     #[test]
     fn timesharing_serializes_two_contexts() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
-        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        let c1 = d
+            .create_context(SimTime::ZERO, "p1", CtxBinding::Bare)
+            .unwrap();
         d.launch(SimTime::ZERO, c0, big_kernel(108.0), 0).unwrap();
         d.launch(SimTime::ZERO, c1, big_kernel(108.0), 1).unwrap();
         // Only c0 runs initially.
-        let rates: Vec<f64> = d.kernels.values().map(|k| k.rate).collect();
+        let rates: Vec<f64> = d.kernels.iter().map(|k| k.rate).collect();
         assert_eq!(rates.iter().filter(|r| **r > 0.0).count(), 1);
         // Work conservation: 216 SM-s of work on 108 SMs ≥ 2 s wall, plus
         // switch penalties. Run to completion via the wake loop.
@@ -929,7 +1155,9 @@ mod tests {
     #[test]
     fn timesharing_single_context_pays_no_switches() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
         let mut now = SimTime::ZERO;
         for i in 0..5 {
             d.launch(now, c, big_kernel(10.8), i).unwrap();
@@ -942,8 +1170,12 @@ mod tests {
     #[test]
     fn mps_default_runs_contexts_concurrently() {
         let mut d = dev(DeviceMode::MpsDefault);
-        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
-        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        let c1 = d
+            .create_context(SimTime::ZERO, "p1", CtxBinding::Bare)
+            .unwrap();
         // Two 20-SM kernels fit side by side on 108 SMs.
         d.launch(SimTime::ZERO, c0, small_kernel(20.0), 0).unwrap();
         d.launch(SimTime::ZERO, c1, small_kernel(20.0), 1).unwrap();
@@ -955,12 +1187,16 @@ mod tests {
     #[test]
     fn mps_default_overload_is_proportional() {
         let mut d = dev(DeviceMode::MpsDefault);
-        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
-        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        let c1 = d
+            .create_context(SimTime::ZERO, "p1", CtxBinding::Bare)
+            .unwrap();
         d.launch(SimTime::ZERO, c0, big_kernel(108.0), 0).unwrap();
         d.launch(SimTime::ZERO, c1, big_kernel(108.0), 1).unwrap();
         // Each demands 75 600 blocks (divisible by 54); proportional split → 54 SMs each.
-        for k in d.kernels.values() {
+        for k in d.kernels.iter() {
             assert!((k.rate - 54.0).abs() < 1.0, "rate {}", k.rate);
         }
     }
@@ -1035,20 +1271,24 @@ mod tests {
         d.alloc_memory(c0, 16 * crate::spec::GIB).unwrap(); // > 10 GiB slice
         d.launch(SimTime::ZERO, c0, big_kernel(14.0), 0).unwrap();
         // 14 SMs × 0.90 penalty → rate 12.6.
-        let k = d.kernels.values().next().unwrap();
+        let k = d.kernels.iter().next().unwrap();
         assert!((k.rate - 14.0 * 0.90).abs() < 1e-9, "rate {}", k.rate);
     }
 
     #[test]
     fn bandwidth_contention_scales_rates() {
         let mut d = dev(DeviceMode::MpsDefault);
-        let c0 = d.create_context(SimTime::ZERO, "p0", CtxBinding::Bare).unwrap();
-        let c1 = d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare).unwrap();
+        let c0 = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        let c1 = d
+            .create_context(SimTime::ZERO, "p1", CtxBinding::Bare)
+            .unwrap();
         let hungry = KernelDesc::new("bw", 20.0, 20, 20, 0.8);
         d.launch(SimTime::ZERO, c0, hungry.clone(), 0).unwrap();
         d.launch(SimTime::ZERO, c1, hungry, 1).unwrap();
         // Σ bandwidth demand = 1.6 > 1.0 → all rates × 1/1.6.
-        for k in d.kernels.values() {
+        for k in d.kernels.iter() {
             assert!((k.rate - 20.0 / 1.6).abs() < 1e-9, "rate {}", k.rate);
         }
     }
@@ -1056,8 +1296,11 @@ mod tests {
     #[test]
     fn vgpu_slots_split_statically() {
         let mut d = dev(DeviceMode::Vgpu { slots: 4 });
-        let c0 = d.create_context(SimTime::ZERO, "vm0", CtxBinding::VgpuSlot(0)).unwrap();
-        d.launch(SimTime::ZERO, c0, big_kernel(27.0 * 0.88), 0).unwrap();
+        let c0 = d
+            .create_context(SimTime::ZERO, "vm0", CtxBinding::VgpuSlot(0))
+            .unwrap();
+        d.launch(SimTime::ZERO, c0, big_kernel(27.0 * 0.88), 0)
+            .unwrap();
         // 108/4 = 27 SMs × 0.88 hypervisor mediation → 1 s, even with the
         // rest of the GPU idle.
         let wake = d.next_wake(SimTime::ZERO).unwrap();
@@ -1069,7 +1312,9 @@ mod tests {
     #[test]
     fn mode_change_requires_idle() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let _c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let _c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
         assert!(matches!(
             d.set_mode(DeviceMode::MpsDefault),
             Err(GpuError::DeviceBusy { .. })
@@ -1079,7 +1324,9 @@ mod tests {
     #[test]
     fn destroy_context_aborts_kernels_and_frees_memory() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
         d.alloc_memory(c, 1024).unwrap();
         d.launch(SimTime::ZERO, c, big_kernel(100.0), 0).unwrap();
         let aborted = d.destroy_context(t(0.5), c).unwrap();
@@ -1094,7 +1341,9 @@ mod tests {
         let mut d = dev(DeviceMode::Mig);
         let i = d.mig_create("7g.80gb").unwrap();
         let u = d.mig.get(i).unwrap().uuid.clone();
-        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::MigInstance(u)).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::MigInstance(u))
+            .unwrap();
         d.alloc_memory(c, 1 << 30).unwrap();
         d.launch(SimTime::ZERO, c, big_kernel(10.0), 0).unwrap();
         d.reset(t(0.1));
@@ -1107,8 +1356,11 @@ mod tests {
     #[test]
     fn zero_work_kernel_completes_immediately() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
-        d.launch(SimTime::ZERO, c, KernelDesc::new("nop", 0.0, 1, 1, 0.0), 7).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
+        d.launch(SimTime::ZERO, c, KernelDesc::new("nop", 0.0, 1, 1, 0.0), 7)
+            .unwrap();
         let wake = d.next_wake(SimTime::ZERO).unwrap();
         let done = d.collect_finished(wake);
         assert_eq!(done.len(), 1);
@@ -1118,7 +1370,9 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut d = dev(DeviceMode::TimeSharing);
-        let c = d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).unwrap();
+        let c = d
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .unwrap();
         d.launch(SimTime::ZERO, c, big_kernel(108.0), 0).unwrap();
         let wake = d.next_wake(SimTime::ZERO).unwrap();
         d.collect_finished(wake);
@@ -1133,13 +1387,27 @@ mod tests {
         // the giant grid grabs most SMs (proportional split), and the
         // accounting exposes the imbalance Table 1 warns about.
         let mut d = dev(DeviceMode::MpsDefault);
-        let hog = d.create_context(SimTime::ZERO, "hog", CtxBinding::Bare).unwrap();
-        let meek = d.create_context(SimTime::ZERO, "meek", CtxBinding::Bare).unwrap();
+        let hog = d
+            .create_context(SimTime::ZERO, "hog", CtxBinding::Bare)
+            .unwrap();
+        let meek = d
+            .create_context(SimTime::ZERO, "meek", CtxBinding::Bare)
+            .unwrap();
         // The meek tenant only needs 20 SMs; the hog floods the device.
-        d.launch(SimTime::ZERO, hog, KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0), 0)
-            .unwrap();
-        d.launch(SimTime::ZERO, meek, KernelDesc::new("meek", 1000.0, 20, 20, 0.0), 1)
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            hog,
+            KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0),
+            0,
+        )
+        .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            meek,
+            KernelDesc::new("meek", 1000.0, 20, 20, 0.0),
+            1,
+        )
+        .unwrap();
         d.advance(t(10.0));
         let a_hog = d.attained_service(hog);
         let a_meek = d.attained_service(meek);
@@ -1151,7 +1419,10 @@ mod tests {
         // wave quantization loses only a little of it.
         let total = a_hog + a_meek;
         assert!(total <= 108.0 * 10.0 + 1e-6);
-        assert!(total > 0.9 * 108.0 * 10.0, "too much lost to waves: {total}");
+        assert!(
+            total > 0.9 * 108.0 * 10.0,
+            "too much lost to waves: {total}"
+        );
         // Context teardown clears the ledger.
         d.destroy_context(t(10.0), meek).unwrap();
         assert_eq!(d.attained_service(meek), 0.0);
@@ -1167,10 +1438,20 @@ mod tests {
         let b = d
             .create_context(SimTime::ZERO, "b", CtxBinding::MpsPercentage(50))
             .unwrap();
-        d.launch(SimTime::ZERO, a, KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0), 0)
-            .unwrap();
-        d.launch(SimTime::ZERO, b, KernelDesc::new("meek", 1000.0, 20, 20, 0.0), 1)
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            a,
+            KernelDesc::new("hog", 1000.0, 75_600, 75_600, 0.0),
+            0,
+        )
+        .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            b,
+            KernelDesc::new("meek", 1000.0, 20, 20, 0.0),
+            1,
+        )
+        .unwrap();
         d.advance(t(10.0));
         // With a 50% cap on the hog, the meek tenant attains its full
         // 20-SM demand: no starvation.
@@ -1186,11 +1467,19 @@ mod tests {
             .create_context(SimTime::ZERO, "p", CtxBinding::MpsPercentage(50))
             .is_err());
         let mut d = dev(DeviceMode::Mig);
-        assert!(d.create_context(SimTime::ZERO, "p", CtxBinding::Bare).is_err());
         assert!(d
-            .create_context(SimTime::ZERO, "p", CtxBinding::MigInstance("MIG-nope".into()))
+            .create_context(SimTime::ZERO, "p", CtxBinding::Bare)
+            .is_err());
+        assert!(d
+            .create_context(
+                SimTime::ZERO,
+                "p",
+                CtxBinding::MigInstance("MIG-nope".into())
+            )
             .is_err());
         let mut d = dev(DeviceMode::Vgpu { slots: 2 });
-        assert!(d.create_context(SimTime::ZERO, "p", CtxBinding::VgpuSlot(2)).is_err());
+        assert!(d
+            .create_context(SimTime::ZERO, "p", CtxBinding::VgpuSlot(2))
+            .is_err());
     }
 }

@@ -51,14 +51,20 @@ pub enum GpuError {
 impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GpuError::OutOfMemory { requested, available } => write!(
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of device memory: requested {requested} B, {available} B available"
             ),
             GpuError::UnknownContext(id) => write!(f, "unknown GPU context {id}"),
             GpuError::UnknownInstance(id) => write!(f, "unknown MIG instance {id}"),
             GpuError::WrongMode { expected, actual } => {
-                write!(f, "operation requires {expected} mode, device is in {actual}")
+                write!(
+                    f,
+                    "operation requires {expected} mode, device is in {actual}"
+                )
             }
             GpuError::MigPlacement { profile } => {
                 write!(f, "no free slice placement for MIG profile {profile}")

@@ -75,7 +75,10 @@ pub fn launch_kernel<W: GpuHost>(
     tag: u64,
 ) -> Result<KernelId> {
     let now = eng.now();
-    let id = world.fleet_mut().device_mut(gpu).launch(now, ctx, desc, tag)?;
+    let id = world
+        .fleet_mut()
+        .device_mut(gpu)
+        .launch(now, ctx, desc, tag)?;
     resync(world, eng, gpu);
     Ok(id)
 }
@@ -98,7 +101,10 @@ pub fn resync<W: GpuHost>(world: &mut W, eng: &mut Engine<W>, gpu: GpuId) {
 /// Wake handler: pop completions, deliver them, re-arm.
 fn tick<W: GpuHost>(world: &mut W, eng: &mut Engine<W>, gpu: GpuId) {
     world.fleet_mut().device_mut(gpu).take_pending_event();
-    let done = world.fleet_mut().device_mut(gpu).collect_finished(eng.now());
+    let done = world
+        .fleet_mut()
+        .device_mut(gpu)
+        .collect_finished(eng.now());
     for d in done {
         world.on_kernel_done(eng, d);
     }
@@ -184,7 +190,10 @@ mod tests {
         assert_eq!(w.completions.len(), 1);
         let (tag, at) = w.completions[0];
         assert_eq!(tag, 42);
-        assert!((at.as_secs_f64() - 0.5).abs() < 1e-6, "54/108 SMs = 0.5 s, got {at}");
+        assert!(
+            (at.as_secs_f64() - 0.5).abs() < 1e-6,
+            "54/108 SMs = 0.5 s, got {at}"
+        );
     }
 
     #[test]
@@ -206,7 +215,10 @@ mod tests {
         let tags: Vec<u64> = w.completions.iter().map(|c| c.0).collect();
         assert_eq!(tags, vec![0, 1, 2, 3, 4]);
         let last = w.completions.last().unwrap().1;
-        assert!((last.as_secs_f64() - 0.5).abs() < 1e-5, "5 × 0.1 s, got {last}");
+        assert!(
+            (last.as_secs_f64() - 0.5).abs() < 1e-5,
+            "5 × 0.1 s, got {last}"
+        );
     }
 
     #[test]
@@ -229,8 +241,24 @@ mod tests {
             chain_ctx: None,
         };
         let mut eng = Engine::new();
-        launch_kernel(&mut w, &mut eng, g0, c0, KernelDesc::new("k0", 108.0, 75_600, 75_600, 0.0), 0).unwrap();
-        launch_kernel(&mut w, &mut eng, g1, c1, KernelDesc::new("k1", 108.0, 75_600, 75_600, 0.0), 1).unwrap();
+        launch_kernel(
+            &mut w,
+            &mut eng,
+            g0,
+            c0,
+            KernelDesc::new("k0", 108.0, 75_600, 75_600, 0.0),
+            0,
+        )
+        .unwrap();
+        launch_kernel(
+            &mut w,
+            &mut eng,
+            g1,
+            c1,
+            KernelDesc::new("k1", 108.0, 75_600, 75_600, 0.0),
+            1,
+        )
+        .unwrap();
         eng.run(&mut w);
         assert_eq!(w.completions.len(), 2);
         // Both finish at ~1 s — devices are independent.
@@ -242,7 +270,15 @@ mod tests {
     #[test]
     fn resync_is_idempotent() {
         let (mut w, mut eng, gpu, ctx) = world(DeviceMode::TimeSharing);
-        launch_kernel(&mut w, &mut eng, gpu, ctx, KernelDesc::new("k", 10.8, 75_600, 75_600, 0.0), 0).unwrap();
+        launch_kernel(
+            &mut w,
+            &mut eng,
+            gpu,
+            ctx,
+            KernelDesc::new("k", 10.8, 75_600, 75_600, 0.0),
+            0,
+        )
+        .unwrap();
         for _ in 0..5 {
             resync(&mut w, &mut eng, gpu);
         }

@@ -54,7 +54,10 @@ impl KernelDesc {
         max_useful_sms: u32,
         mem_intensity: f64,
     ) -> Self {
-        assert!(work_sm_s >= 0.0 && work_sm_s.is_finite(), "bad work {work_sm_s}");
+        assert!(
+            work_sm_s >= 0.0 && work_sm_s.is_finite(),
+            "bad work {work_sm_s}"
+        );
         assert!(blocks >= 1, "kernel must have at least one block");
         assert!(max_useful_sms >= 1, "max_useful_sms must be >= 1");
         assert!(

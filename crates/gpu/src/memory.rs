@@ -139,7 +139,10 @@ mod tests {
         for owner in 0..4 {
             p.alloc(owner, per_instance).unwrap();
         }
-        assert!(p.alloc(4, per_instance).is_err(), "fifth instance must not fit");
+        assert!(
+            p.alloc(4, per_instance).is_err(),
+            "fifth instance must not fit"
+        );
     }
 
     #[test]
@@ -170,8 +173,14 @@ mod tests {
     fn bad_free_detected() {
         let mut p = MemoryPool::new(100);
         p.alloc(1, 10).unwrap();
-        assert!(matches!(p.freeb(1, 20), Err(GpuError::BadFree { held: 10, .. })));
-        assert!(matches!(p.freeb(2, 1), Err(GpuError::BadFree { held: 0, .. })));
+        assert!(matches!(
+            p.freeb(1, 20),
+            Err(GpuError::BadFree { held: 10, .. })
+        ));
+        assert!(matches!(
+            p.freeb(2, 1),
+            Err(GpuError::BadFree { held: 0, .. })
+        ));
     }
 
     #[test]

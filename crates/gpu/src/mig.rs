@@ -247,7 +247,10 @@ mod tests {
             .iter()
             .map(|p| p.name)
             .collect();
-        assert_eq!(names, vec!["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"]);
+        assert_eq!(
+            names,
+            vec!["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"]
+        );
     }
 
     #[test]
@@ -256,7 +259,10 @@ mod tests {
             .iter()
             .map(|p| p.name)
             .collect();
-        assert_eq!(names, vec!["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb", "7g.40gb"]);
+        assert_eq!(
+            names,
+            vec!["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb", "7g.40gb"]
+        );
     }
 
     #[test]

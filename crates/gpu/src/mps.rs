@@ -148,8 +148,14 @@ mod tests {
     fn percentage_validation() {
         let mut d = MpsDaemon::new();
         d.start();
-        assert!(matches!(d.connect(1, Some(0)), Err(GpuError::BadPercentage(0))));
-        assert!(matches!(d.connect(1, Some(101)), Err(GpuError::BadPercentage(101))));
+        assert!(matches!(
+            d.connect(1, Some(0)),
+            Err(GpuError::BadPercentage(0))
+        ));
+        assert!(matches!(
+            d.connect(1, Some(101)),
+            Err(GpuError::BadPercentage(101))
+        ));
         d.connect(1, Some(100)).unwrap();
         d.connect(2, None).unwrap();
         assert_eq!(d.percentage_of(2), None);

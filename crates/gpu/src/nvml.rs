@@ -165,7 +165,9 @@ mod tests {
         assert_eq!(device_count(&f), 2);
         let infos = list_devices(&f);
         assert!(infos.iter().all(|i| i.name == "A100-SXM4-40GB"));
-        assert!(infos.iter().all(|i| i.memory_total == 40 * crate::spec::GIB));
+        assert!(infos
+            .iter()
+            .all(|i| i.memory_total == 40 * crate::spec::GIB));
         assert_eq!(infos[0].index, 0);
         assert_eq!(infos[1].index, 1);
     }
@@ -190,7 +192,10 @@ mod tests {
     fn profile_listing_matches_catalog() {
         let f = fleet();
         let names = list_mig_profiles(&f, GpuId(0));
-        assert_eq!(names, vec!["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb", "7g.40gb"]);
+        assert_eq!(
+            names,
+            vec!["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb", "7g.40gb"]
+        );
     }
 
     #[test]
@@ -205,7 +210,12 @@ mod tests {
             .unwrap();
         f.device_mut(g).alloc_memory(ctx, 1 << 30).unwrap();
         f.device_mut(g)
-            .launch(SimTime::ZERO, ctx, KernelDesc::new("k", 540.0, 75_600, 75_600, 0.0), 0)
+            .launch(
+                SimTime::ZERO,
+                ctx,
+                KernelDesc::new("k", 540.0, 75_600, 75_600, 0.0),
+                0,
+            )
             .unwrap();
         f.device_mut(g)
             .advance(SimTime::ZERO + SimDuration::from_secs(2));
@@ -223,6 +233,9 @@ mod tests {
         let info = device_info(&f, GpuId(0));
         assert_eq!(info.utilization, 0.0);
         assert_eq!(info.contexts, 0);
-        assert_eq!(average_utilization(&f, GpuId(0), SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            average_utilization(&f, GpuId(0), SimTime::from_secs(10)),
+            0.0
+        );
     }
 }

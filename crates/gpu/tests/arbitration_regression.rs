@@ -1,0 +1,117 @@
+//! Regression lock on the arbitration numerics.
+//!
+//! Replays the `contended_arbitration` bench setup (8 MPS contexts ×
+//! 50 kernels each on one A100-80GB) and asserts the kernel completion
+//! times and per-context attained service are **bit-identical** to the
+//! values produced by the pre-slab `BTreeMap` implementation. Any change
+//! to f64 summation order in `GpuDevice::recompute`/`advance` shows up
+//! here before it can silently shift a paper figure.
+
+use parfait_gpu::host::{launch_kernel, GpuFleet, GpuHost};
+use parfait_gpu::{CtxBinding, CtxId, DeviceMode, GpuSpec, KernelDesc, KernelDone};
+use parfait_simcore::{Engine, SimTime};
+
+struct World {
+    fleet: GpuFleet,
+    completions: Vec<(u64, u64)>,
+}
+
+impl GpuHost for World {
+    fn fleet_mut(&mut self) -> &mut GpuFleet {
+        &mut self.fleet
+    }
+    fn on_kernel_done(&mut self, _e: &mut Engine<Self>, d: KernelDone) {
+        self.completions.push((d.tag, d.finished.as_nanos()));
+    }
+}
+
+/// FNV-1a over a u64 stream; stable, dependency-free fingerprint.
+fn fnv1a(acc: u64, x: u64) -> u64 {
+    let mut h = acc;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn run_trace() -> (Vec<(u64, u64)>, Vec<u64>, u64) {
+    let mut fleet = GpuFleet::new();
+    let gid = fleet.add(GpuSpec::a100_80gb());
+    fleet.device_mut(gid).mps.start();
+    fleet
+        .device_mut(gid)
+        .set_mode(DeviceMode::MpsDefault)
+        .expect("mode");
+    let ctxs: Vec<CtxId> = (0..8)
+        .map(|i| {
+            fleet
+                .device_mut(gid)
+                .create_context(SimTime::ZERO, &format!("p{i}"), CtxBinding::Bare)
+                .expect("ctx")
+        })
+        .collect();
+    let mut w = World {
+        fleet,
+        completions: Vec::new(),
+    };
+    let mut eng = Engine::new();
+    for (i, &ctx) in ctxs.iter().enumerate() {
+        for j in 0..50u64 {
+            launch_kernel(
+                &mut w,
+                &mut eng,
+                gid,
+                ctx,
+                KernelDesc::new("k", 0.5 + j as f64 * 0.01, 40, 40, 0.3),
+                (i as u64) << 32 | j,
+            )
+            .expect("launch");
+        }
+    }
+    eng.run(&mut w);
+    let attained: Vec<u64> = ctxs
+        .iter()
+        .map(|&c| w.fleet.device(gid).attained_service(c).to_bits())
+        .collect();
+    (w.completions, attained, eng.now().as_nanos())
+}
+
+/// Recorded with the pre-slab `BTreeMap<u64, ActiveKernel>` device and
+/// `BinaryHeap<Scheduled>` engine. FNV-1a over the (tag, finish-nanos)
+/// completion stream.
+const BASELINE_TRACE_HASH: u64 = 0x5c30d016884a1ccd;
+/// Simulated end time of the trace under the baseline implementation.
+const BASELINE_END_NANOS: u64 = 2_780_601_853;
+/// Per-context attained service, as raw f64 bits. The workload is
+/// symmetric, so all eight contexts attain the same service.
+const BASELINE_ATTAINED_BITS: u64 = 0x40429ffffffffff1;
+
+#[test]
+fn contended_trace_is_bit_identical_to_recorded_baseline() {
+    let (completions, attained, end) = run_trace();
+    assert_eq!(completions.len(), 400, "all 400 kernels complete");
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(tag, t) in &completions {
+        h = fnv1a(h, tag);
+        h = fnv1a(h, t);
+    }
+    assert_eq!(
+        h, BASELINE_TRACE_HASH,
+        "completion stream (order, tags, or times) diverged from the recorded baseline"
+    );
+    assert_eq!(end, BASELINE_END_NANOS, "simulated makespan diverged");
+    for (i, &a) in attained.iter().enumerate() {
+        assert_eq!(
+            a,
+            BASELINE_ATTAINED_BITS,
+            "attained_service(ctx {i}) not bit-identical: got {} want {}",
+            f64::from_bits(a),
+            f64::from_bits(BASELINE_ATTAINED_BITS),
+        );
+    }
+    // Spot anchors, human-readable: first and last completion instants.
+    assert_eq!(completions[0], (0, 1_851_851_852));
+    assert_eq!(completions[399].1, BASELINE_END_NANOS);
+}

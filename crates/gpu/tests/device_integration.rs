@@ -30,7 +30,8 @@ fn mode_transition_matrix_on_idle_device() {
     d.mps.start();
     for from in &modes {
         for to in &modes {
-            d.set_mode(*from).unwrap_or_else(|e| panic!("enter {from:?}: {e}"));
+            d.set_mode(*from)
+                .unwrap_or_else(|e| panic!("enter {from:?}: {e}"));
             d.set_mode(*to)
                 .unwrap_or_else(|e| panic!("{from:?} -> {to:?}: {e}"));
         }
@@ -40,11 +41,18 @@ fn mode_transition_matrix_on_idle_device() {
 #[test]
 fn mode_change_blocked_until_last_context_exits() {
     let mut d = device(DeviceMode::TimeSharing);
-    let a = d.create_context(SimTime::ZERO, "a", CtxBinding::Bare).unwrap();
-    let b = d.create_context(SimTime::ZERO, "b", CtxBinding::Bare).unwrap();
+    let a = d
+        .create_context(SimTime::ZERO, "a", CtxBinding::Bare)
+        .unwrap();
+    let b = d
+        .create_context(SimTime::ZERO, "b", CtxBinding::Bare)
+        .unwrap();
     assert!(d.set_mode(DeviceMode::MpsDefault).is_err());
     d.destroy_context(SimTime::ZERO, a).unwrap();
-    assert!(d.set_mode(DeviceMode::MpsDefault).is_err(), "one context left");
+    assert!(
+        d.set_mode(DeviceMode::MpsDefault).is_err(),
+        "one context left"
+    );
     d.destroy_context(SimTime::ZERO, b).unwrap();
     d.set_mode(DeviceMode::MpsDefault).unwrap();
 }
@@ -59,12 +67,26 @@ fn timesharing_quantum_rotation_is_fair() {
         switch_penalty: SimDuration::from_micros(100),
         mps_interference: 0.0,
     });
-    let a = d.create_context(SimTime::ZERO, "a", CtxBinding::Bare).unwrap();
-    let b = d.create_context(SimTime::ZERO, "b", CtxBinding::Bare).unwrap();
-    d.launch(SimTime::ZERO, a, KernelDesc::new("ka", 1e6, 75_600, 75_600, 0.0), 0)
+    let a = d
+        .create_context(SimTime::ZERO, "a", CtxBinding::Bare)
         .unwrap();
-    d.launch(SimTime::ZERO, b, KernelDesc::new("kb", 1e6, 75_600, 75_600, 0.0), 1)
+    let b = d
+        .create_context(SimTime::ZERO, "b", CtxBinding::Bare)
         .unwrap();
+    d.launch(
+        SimTime::ZERO,
+        a,
+        KernelDesc::new("ka", 1e6, 75_600, 75_600, 0.0),
+        0,
+    )
+    .unwrap();
+    d.launch(
+        SimTime::ZERO,
+        b,
+        KernelDesc::new("kb", 1e6, 75_600, 75_600, 0.0),
+        1,
+    )
+    .unwrap();
     // Drive the rotation events manually for 10 s.
     let mut now = SimTime::ZERO;
     let horizon = SimTime::from_secs(10);
@@ -109,8 +131,12 @@ fn mig_fragmentation_and_defragmentation() {
 #[test]
 fn vgpu_slots_are_memory_isolated() {
     let mut d = device(DeviceMode::Vgpu { slots: 4 });
-    let a = d.create_context(SimTime::ZERO, "vm0", CtxBinding::VgpuSlot(0)).unwrap();
-    let b = d.create_context(SimTime::ZERO, "vm1", CtxBinding::VgpuSlot(1)).unwrap();
+    let a = d
+        .create_context(SimTime::ZERO, "vm0", CtxBinding::VgpuSlot(0))
+        .unwrap();
+    let b = d
+        .create_context(SimTime::ZERO, "vm1", CtxBinding::VgpuSlot(1))
+        .unwrap();
     // Each slot owns 20 GiB; one tenant cannot eat another's share.
     d.alloc_memory(a, 20 * parfait_gpu::GIB).unwrap();
     assert!(d.alloc_memory(a, 1).is_err(), "slot 0 full");
@@ -154,7 +180,10 @@ fn end_to_end_two_tenant_attained_service_via_nvml() {
     let mut fleet = GpuFleet::new();
     let g = fleet.add(GpuSpec::a100_80gb());
     fleet.device_mut(g).mps.start();
-    fleet.device_mut(g).set_mode(DeviceMode::MpsPartitioned).unwrap();
+    fleet
+        .device_mut(g)
+        .set_mode(DeviceMode::MpsPartitioned)
+        .unwrap();
     let a = fleet
         .device_mut(g)
         .create_context(SimTime::ZERO, "tenant-a", CtxBinding::MpsPercentage(75))
@@ -181,8 +210,16 @@ fn end_to_end_two_tenant_attained_service_via_nvml() {
     // integrates lazily, at events).
     w.fleet.device_mut(g).advance(eng.now());
     let ps = nvml::list_processes(&w.fleet, g);
-    let sa = ps.iter().find(|p| p.label == "tenant-a").unwrap().attained_sm_s;
-    let sb = ps.iter().find(|p| p.label == "tenant-b").unwrap().attained_sm_s;
+    let sa = ps
+        .iter()
+        .find(|p| p.label == "tenant-a")
+        .unwrap()
+        .attained_sm_s;
+    let sb = ps
+        .iter()
+        .find(|p| p.label == "tenant-b")
+        .unwrap()
+        .attained_sm_s;
     // 75/25 caps on 108 SMs -> 81 vs 27 SMs sustained.
     assert!((sa / sb - 3.0).abs() < 0.05, "ratio {}", sa / sb);
     eng.run(&mut w);

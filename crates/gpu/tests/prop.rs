@@ -6,9 +6,8 @@ use parfait_simcore::{Engine, SimTime};
 use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
-    (0.01f64..50.0, 1u32..500, 1u32..200, 0.0f64..1.0).prop_map(|(work, blocks, max_u, mem)| {
-        KernelDesc::new("prop", work, blocks, max_u, mem)
-    })
+    (0.01f64..50.0, 1u32..500, 1u32..200, 0.0f64..1.0)
+        .prop_map(|(work, blocks, max_u, mem)| KernelDesc::new("prop", work, blocks, max_u, mem))
 }
 
 proptest! {

@@ -12,39 +12,177 @@
 //! The world is passed into [`Engine::step`]/[`Engine::run`] by the caller,
 //! so the engine never borrows it across events and handlers are free to
 //! schedule or cancel further events.
+//!
+//! # Storage
+//!
+//! Events live in a slab of reusable slots; a flat 4-ary min-heap
+//! orders bare `(time, seq, slot)` entries — time and sequence packed
+//! into one `u128` key — and never moves a closure after it is boxed. An [`EventId`] is a `(slot, generation)` pair: the generation
+//! is bumped every time a slot is vacated, so a stale handle — one
+//! whose event already fired or was cancelled — can never touch the
+//! slot's next occupant, even though slots are recycled aggressively.
+//! [`Engine::cancel`] just flips the slot to a tombstone in O(1); the
+//! heap entry is discarded lazily when it surfaces. Steady-state
+//! schedule/fire traffic therefore allocates nothing beyond the closure
+//! box itself once the slab and heap have grown to the high-water mark.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Handle to a scheduled event; can be used to [`Engine::cancel`] it.
+///
+/// Handles are generation-tagged: once the event fires or is cancelled,
+/// the handle goes stale and all further operations through it are
+/// no-ops, even after the underlying slot is reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    action: EventFn<W>,
+/// Free-list terminator for `free_head` / `next_free`.
+const NIL: u32 = u32::MAX;
+
+enum SlotState<W> {
+    /// Unused; links to the next free slot.
+    Vacant { next_free: u32 },
+    /// Scheduled and live; exactly one heap entry points here.
+    Pending { action: EventFn<W> },
+    /// Cancelled, but its heap entry has not surfaced yet.
+    Tombstone,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+struct Slot<W> {
+    /// Bumped on every vacate; must match [`EventId::gen`] for a handle
+    /// to be considered live.
+    gen: u32,
+    state: SlotState<W>,
+}
+
+/// What the heap orders: the closure stays in the slab.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    /// `(time.as_nanos() << 64) | seq` — one branchless `u128` compare
+    /// orders by time with a stable FIFO tie-break on the sequence.
+    key: u128,
+    slot: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn new(time: SimTime, seq: u64, slot: u32) -> Self {
+        HeapEntry {
+            key: ((time.as_nanos() as u128) << 64) | seq as u128,
+            slot,
+        }
+    }
+
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Heap fan-out. Quaternary halves the depth of a binary heap, and with
+/// 16-byte keys the four children of a node span exactly one cache line,
+/// which measurably cuts sift time on the 100k-timer substrate benchmark.
+const ARITY: usize = 4;
+
+/// Implicit d-ary min-heap of [`HeapEntry`]s, ordered on the packed key.
+///
+/// Stored struct-of-arrays: sift loops compare only `keys`, so the hot
+/// comparisons scan a densely packed `u128` array; the payload slot
+/// indices move in lock-step in a parallel array.
+struct EventHeap {
+    keys: Vec<u128>,
+    slots: Vec<u32>,
 }
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq gives the stable FIFO tie-break.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+
+impl EventHeap {
+    const fn new() -> Self {
+        EventHeap {
+            keys: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<HeapEntry> {
+        Some(HeapEntry {
+            key: *self.keys.first()?,
+            slot: self.slots[0],
+        })
+    }
+
+    #[inline]
+    fn push(&mut self, e: HeapEntry) {
+        self.keys.push(e.key);
+        self.slots.push(e.slot);
+        self.sift_up(self.keys.len() - 1, e);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<HeapEntry> {
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        let top = HeapEntry {
+            key: self.keys[0],
+            slot: self.slots[0],
+        };
+        let last = HeapEntry {
+            key: self.keys.pop().expect("non-empty"),
+            slot: self.slots.pop().expect("non-empty"),
+        };
+        if n > 1 {
+            self.sift_down(0, last);
+        }
+        Some(top)
+    }
+
+    /// Place `e` (already appended conceptually at `i`) by walking up.
+    fn sift_up(&mut self, mut i: usize, e: HeapEntry) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.keys[parent] <= e.key {
+                break;
+            }
+            self.keys[i] = self.keys[parent];
+            self.slots[i] = self.slots[parent];
+            i = parent;
+        }
+        self.keys[i] = e.key;
+        self.slots[i] = e.slot;
+    }
+
+    /// Place `e` by walking down from `i`, promoting the smallest child.
+    fn sift_down(&mut self, mut i: usize, e: HeapEntry) {
+        let n = self.keys.len();
+        loop {
+            let first = i * ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            let mut min_key = self.keys[first];
+            for c in first + 1..(first + ARITY).min(n) {
+                let k = self.keys[c];
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if e.key <= min_key {
+                break;
+            }
+            self.keys[i] = min_key;
+            self.slots[i] = self.slots[min];
+            i = min;
+        }
+        self.keys[i] = e.key;
+        self.slots[i] = e.slot;
     }
 }
 
@@ -67,11 +205,12 @@ impl<W> Ord for Scheduled<W> {
 pub struct Engine<W> {
     now: SimTime,
     next_seq: u64,
-    heap: BinaryHeap<Scheduled<W>>,
-    /// Ids cancelled but not yet popped from the heap.
-    cancelled: HashSet<u64>,
-    /// Ids currently in the heap and not cancelled.
-    live: HashSet<u64>,
+    heap: EventHeap,
+    slots: Vec<Slot<W>>,
+    /// Head of the vacant-slot free list (`NIL` when empty).
+    free_head: u32,
+    /// Live (scheduled, not cancelled) events.
+    pending: usize,
     fired: u64,
 }
 
@@ -87,9 +226,10 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             next_seq: 0,
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            heap: EventHeap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            pending: 0,
             fired: 0,
         }
     }
@@ -109,13 +249,24 @@ impl<W> Engine<W> {
     /// Number of live (non-cancelled) pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.pending
     }
 
     /// True when no live events remain.
     #[inline]
     pub fn is_idle(&self) -> bool {
-        self.pending() == 0
+        self.pending == 0
+    }
+
+    /// Return a slot to the free list and invalidate outstanding handles.
+    #[inline]
+    fn vacate(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.state = SlotState::Vacant {
+            next_free: self.free_head,
+        };
+        self.free_head = slot;
     }
 
     /// Schedule `action` to fire at absolute time `at`.
@@ -134,15 +285,32 @@ impl<W> Engine<W> {
             self.now,
             at
         );
+        let action: EventFn<W> = Box::new(action);
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.state {
+                SlotState::Vacant { next_free } => self.free_head = next_free,
+                _ => unreachable!("free list points at an occupied slot"),
+            }
+            s.state = SlotState::Pending { action };
+            slot
+        } else {
+            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Pending { action },
+            });
+            (self.slots.len() - 1) as u32
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Scheduled {
-            time: at,
-            seq,
-            action: Box::new(action),
-        });
-        EventId(seq)
+        self.pending += 1;
+        self.heap.push(HeapEntry::new(at, seq, slot));
+        EventId {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
     }
 
     /// Schedule `action` to fire `after` from now.
@@ -157,28 +325,64 @@ impl<W> Engine<W> {
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now guaranteed not to fire), `false` if it had
-    /// already fired or been cancelled.
+    /// already fired or been cancelled — including through a stale handle
+    /// whose slot now hosts a different event.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        let s = &mut self.slots[id.slot as usize];
+        if s.gen != id.gen || !matches!(s.state, SlotState::Pending { .. }) {
+            return false;
         }
+        // O(1): the heap entry stays behind as garbage and is discarded
+        // when it reaches the top.
+        s.state = SlotState::Tombstone;
+        self.pending -= 1;
+        true
+    }
+
+    /// Time of the next live event, if any, without firing it.
+    ///
+    /// Discards any cancelled entries that have reached the top of the
+    /// heap, so the returned time is always that of an event which will
+    /// actually fire.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            match self.slots[top.slot as usize].state {
+                SlotState::Tombstone => {
+                    let e = self.heap.pop().expect("peeked");
+                    self.vacate(e.slot);
+                }
+                _ => return Some(top.time()),
+            }
+        }
+        None
     }
 
     /// Fire the next event, if any. Returns `false` when idle.
     pub fn step(&mut self, world: &mut W) -> bool {
         while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+            // Each occupation of a slot has exactly one heap entry, so
+            // this entry refers to the slot's current occupant.
+            let state = std::mem::replace(
+                &mut self.slots[ev.slot as usize].state,
+                SlotState::Tombstone,
+            );
+            match state {
+                SlotState::Tombstone => {
+                    self.vacate(ev.slot);
+                }
+                SlotState::Pending { action } => {
+                    self.vacate(ev.slot);
+                    debug_assert!(ev.time() >= self.now, "event heap returned past event");
+                    self.now = ev.time();
+                    self.fired += 1;
+                    self.pending -= 1;
+                    action(world, self);
+                    return true;
+                }
+                SlotState::Vacant { .. } => {
+                    unreachable!("heap entry for a vacant slot")
+                }
             }
-            self.live.remove(&ev.seq);
-            debug_assert!(ev.time >= self.now, "event heap returned past event");
-            self.now = ev.time;
-            self.fired += 1;
-            (ev.action)(world, self);
-            return true;
         }
         false
     }
@@ -192,23 +396,11 @@ impl<W> Engine<W> {
     /// Leaves `now` at the time of the last fired event (≤ `deadline`); the
     /// caller may then inspect the world "as of" the deadline.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
-        loop {
-            let next = loop {
-                match self.heap.peek() {
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.heap.pop().expect("peeked");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.time),
-                    None => break None,
-                }
-            };
-            match next {
-                Some(t) if t <= deadline => {
-                    self.step(world);
-                }
-                _ => break,
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
             }
+            self.step(world);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -243,9 +435,15 @@ mod tests {
     fn fires_in_time_order() {
         let mut eng: Engine<World> = Engine::new();
         let mut w = World::default();
-        eng.schedule_at(sec(3), |w: &mut World, e| w.log.push((e.now().as_nanos(), "c")));
-        eng.schedule_at(sec(1), |w: &mut World, e| w.log.push((e.now().as_nanos(), "a")));
-        eng.schedule_at(sec(2), |w: &mut World, e| w.log.push((e.now().as_nanos(), "b")));
+        eng.schedule_at(sec(3), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "c"))
+        });
+        eng.schedule_at(sec(1), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "a"))
+        });
+        eng.schedule_at(sec(2), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "b"))
+        });
         eng.run(&mut w);
         let labels: Vec<_> = w.log.iter().map(|(_, l)| *l).collect();
         assert_eq!(labels, vec!["a", "b", "c"]);
@@ -348,11 +546,72 @@ mod tests {
             }
         }
         let count = Rc::new(std::cell::Cell::new(0));
-        let mut w = Tick { count: count.clone() };
+        let mut w = Tick {
+            count: count.clone(),
+        };
         let mut eng = Engine::new();
         eng.schedule_at(SimTime::ZERO, tick);
         eng.run(&mut w);
         assert_eq!(count.get(), 5);
-        assert_eq!(eng.now(), SimTime::from_nanos(400 * crate::time::NANOS_PER_MILLI));
+        assert_eq!(
+            eng.now(),
+            SimTime::from_nanos(400 * crate::time::NANOS_PER_MILLI)
+        );
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuse() {
+        // After a cancel, the slot is recycled by the next schedule once
+        // its heap entry drains; the old handle's generation no longer
+        // matches and must be inert.
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let stale = eng.schedule_at(sec(1), |w: &mut World, _| w.log.push((0, "old")));
+        eng.cancel(stale);
+        // Drain the tombstone so the slot returns to the free list...
+        assert_eq!(eng.peek_time(), None);
+        // ...then reoccupy it with a new event.
+        let fresh = eng.schedule_at(sec(2), |w: &mut World, _| w.log.push((0, "new")));
+        assert_eq!(eng.pending(), 1);
+        assert!(
+            !eng.cancel(stale),
+            "stale handle must not cancel the new occupant"
+        );
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(0, "new")]);
+        assert!(!eng.cancel(fresh), "fired handle is stale too");
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones_and_reports_next_live() {
+        let mut eng: Engine<World> = Engine::new();
+        let a = eng.schedule_at(sec(1), |_: &mut World, _| {});
+        eng.schedule_at(sec(3), |_: &mut World, _| {});
+        assert_eq!(eng.peek_time(), Some(sec(1)));
+        eng.cancel(a);
+        assert_eq!(eng.peek_time(), Some(sec(3)));
+        let mut w = World::default();
+        eng.run(&mut w);
+        assert_eq!(eng.peek_time(), None);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        // Heavy schedule/fire churn must not grow the slab beyond the
+        // high-water mark of simultaneously pending events.
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for round in 0..1_000u64 {
+            for i in 0..4u64 {
+                eng.schedule_at(SimTime::from_nanos(round * 10 + i), |_: &mut World, _| {});
+            }
+            while eng.step(&mut w) {}
+        }
+        assert_eq!(eng.events_fired(), 4_000);
+        assert!(
+            eng.slots.len() <= 4,
+            "slab grew to {} slots for 4 concurrent events",
+            eng.slots.len()
+        );
     }
 }

@@ -162,7 +162,10 @@ impl PsPool {
 
     /// Admit a job with `demand` core-seconds of work at time `now`.
     pub fn add(&mut self, now: SimTime, demand: f64) -> PsJobId {
-        assert!(demand >= 0.0 && demand.is_finite(), "invalid demand {demand}");
+        assert!(
+            demand >= 0.0 && demand.is_finite(),
+            "invalid demand {demand}"
+        );
         self.advance(now);
         let id = PsJobId(self.next_id);
         self.next_id += 1;

@@ -108,8 +108,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -243,7 +242,10 @@ impl TimeWeighted {
 
     /// Set a new value at time `t` (must be ≥ the previous update time).
     pub fn set(&mut self, t: SimTime, v: f64) {
-        debug_assert!(t >= self.last_t, "TimeWeighted updates must be in time order");
+        debug_assert!(
+            t >= self.last_t,
+            "TimeWeighted updates must be in time order"
+        );
         self.integral += self.value * t.duration_since(self.last_t).as_secs_f64();
         self.last_t = t;
         self.value = v;

@@ -269,7 +269,10 @@ mod tests {
         tl.add("cpu", "a", s(0), s(10));
         tl.add("cpu", "b", s(5), s(15));
         tl.add("cpu", "c", s(20), s(25));
-        assert_eq!(tl.union_busy("cpu", s(0), s(30)), SimDuration::from_secs(20));
+        assert_eq!(
+            tl.union_busy("cpu", s(0), s(30)),
+            SimDuration::from_secs(20)
+        );
         assert_eq!(tl.total_busy("cpu"), SimDuration::from_secs(25));
     }
 

@@ -187,3 +187,154 @@ proptest! {
         prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} outside [{lo}, {hi}]");
     }
 }
+
+// ---------------------------------------------------------------------
+// Slab engine vs a naive reference model.
+//
+// The engine's contract — time order, FIFO tie-break, cancelled events
+// never fire, stale handles inert — is easy to state as a model: a flat
+// list of (time, seq, label) entries where firing order is a stable
+// sort on (time, seq) over the still-live entries. Random interleavings
+// of schedule/cancel/reschedule must agree with it exactly, whatever
+// slot recycling and tombstone traffic they induce.
+
+/// The reference model. `seq` mirrors schedule order, exactly as the
+/// engine's internal sequence does.
+#[derive(Default)]
+struct RefModel {
+    entries: Vec<RefEntry>,
+}
+
+struct RefEntry {
+    time: u64,
+    seq: usize,
+    label: u64,
+    live: bool,
+}
+
+impl RefModel {
+    /// Returns the model handle (entry index).
+    fn schedule(&mut self, time: u64, label: u64) -> usize {
+        let seq = self.entries.len();
+        self.entries.push(RefEntry {
+            time,
+            seq,
+            label,
+            live: true,
+        });
+        seq
+    }
+
+    /// Returns whether the entry was still live (what `Engine::cancel`
+    /// must report).
+    fn cancel(&mut self, idx: usize) -> bool {
+        let was = self.entries[idx].live;
+        self.entries[idx].live = false;
+        was
+    }
+
+    fn live_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.live).count()
+    }
+
+    /// The exact label order a full run must produce.
+    fn fired(&self) -> Vec<u64> {
+        let mut live: Vec<&RefEntry> = self.entries.iter().filter(|e| e.live).collect();
+        live.sort_by_key(|e| (e.time, e.seq));
+        live.iter().map(|e| e.label).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random schedule/cancel/reschedule interleavings agree with the
+    /// reference model on cancel outcomes, pending counts, and the full
+    /// firing order.
+    #[test]
+    fn engine_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..1_000_000, 0u64..1_000_000),
+            0..200,
+        ),
+    ) {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut model = RefModel::default();
+        // Engine handle ↔ model handle, in schedule order.
+        let mut handles: Vec<(parfait_simcore::EventId, usize)> = Vec::new();
+        let mut next_label = 0u64;
+        for (kind, a, b) in ops {
+            match kind {
+                0 => {
+                    let label = next_label;
+                    next_label += 1;
+                    let id = eng.schedule_at(
+                        SimTime::from_nanos(a),
+                        move |w: &mut Vec<u64>, _| w.push(label),
+                    );
+                    handles.push((id, model.schedule(a, label)));
+                }
+                // Cancel an arbitrary earlier handle — possibly one
+                // that is already a tombstone.
+                1 if !handles.is_empty() => {
+                    let (id, mi) = handles[(b as usize) % handles.len()];
+                    prop_assert_eq!(eng.cancel(id), model.cancel(mi));
+                }
+                // Reschedule: cancel + re-arm at a new instant, the
+                // timeout-wheel pattern.
+                2 if !handles.is_empty() => {
+                    let (id, mi) = handles[(b as usize) % handles.len()];
+                    prop_assert_eq!(eng.cancel(id), model.cancel(mi));
+                    let label = next_label;
+                    next_label += 1;
+                    let id = eng.schedule_at(
+                        SimTime::from_nanos(a),
+                        move |w: &mut Vec<u64>, _| w.push(label),
+                    );
+                    handles.push((id, model.schedule(a, label)));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(eng.pending(), model.live_count());
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        prop_assert_eq!(log, model.fired());
+        prop_assert!(eng.is_idle());
+    }
+
+    /// Once an event has fired, every outstanding handle to it is stale:
+    /// cancelling through it reports `false` and cannot touch whatever
+    /// event now occupies the recycled slot.
+    #[test]
+    fn stale_handles_are_inert(n in 1usize..40, extra in 0u64..1_000_000) {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let ids: Vec<parfait_simcore::EventId> = (0..n)
+            .map(|i| {
+                eng.schedule_at(
+                    SimTime::from_nanos(i as u64 * 7),
+                    move |w: &mut Vec<u64>, _| w.push(i as u64),
+                )
+            })
+            .collect();
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        prop_assert_eq!(log.len(), n);
+        for id in &ids {
+            prop_assert!(!eng.cancel(*id), "fired handle must be stale");
+        }
+        // A fresh event reoccupies one of the recycled slots; the stale
+        // handles still must not be able to cancel it.
+        let label = u64::MAX;
+        eng.schedule_at(
+            SimTime::from_nanos(eng.now().as_nanos() + extra),
+            move |w: &mut Vec<u64>, _| w.push(label),
+        );
+        for id in &ids {
+            prop_assert!(!eng.cancel(*id), "stale handle hit a recycled slot");
+        }
+        eng.run(&mut log);
+        prop_assert_eq!(log.len(), n + 1);
+        prop_assert_eq!(*log.last().expect("fired"), u64::MAX);
+    }
+}

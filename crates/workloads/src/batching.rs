@@ -72,7 +72,12 @@ pub struct BatchingService {
 
 impl BatchingService {
     /// Build a batcher serving `model` inferences on `executor`.
-    pub fn new(model: CnnModel, gpu: GpuSpec, executor: impl Into<String>, policy: BatchPolicy) -> Self {
+    pub fn new(
+        model: CnnModel,
+        gpu: GpuSpec,
+        executor: impl Into<String>,
+        policy: BatchPolicy,
+    ) -> Self {
         BatchingService {
             model,
             gpu,
@@ -145,7 +150,12 @@ impl BatchingService {
     }
 
     /// Record a finished batch task (call from the driver hook).
-    pub fn task_done(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, this: &Rc<RefCell<Self>>, task: TaskId) {
+    pub fn task_done(
+        world: &mut FaasWorld,
+        eng: &mut Engine<FaasWorld>,
+        this: &Rc<RefCell<Self>>,
+        task: TaskId,
+    ) {
         let arrivals = this.borrow_mut().in_flight.remove(&task);
         let Some(arrivals) = arrivals else { return };
         let now = eng.now();
@@ -275,13 +285,14 @@ mod tests {
         assert_eq!(recs.len(), 20);
         // Ignore the cold-start ramp (the worker takes ~2.5 s to come up);
         // steady-state waits are bounded by the flush delay + inference.
-        for r in recs
-            .iter()
-            .filter(|r| r.arrived > SimTime::from_secs(4))
-        {
+        for r in recs.iter().filter(|r| r.arrived > SimTime::from_secs(4)) {
             let wait = r.completed.duration_since(r.arrived).as_secs_f64();
             assert!(wait < 0.5, "request waited {wait}s");
-            assert!(r.batch <= 4, "low rate should give small batches: {}", r.batch);
+            assert!(
+                r.batch <= 4,
+                "low rate should give small batches: {}",
+                r.batch
+            );
         }
     }
 }

@@ -2,6 +2,6 @@
 //! and lowering to the GPU simulator.
 
 pub mod exec;
-pub mod train;
 pub mod layers;
 pub mod models;
+pub mod train;

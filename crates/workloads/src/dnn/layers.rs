@@ -163,12 +163,14 @@ impl NetBuilder {
         bias: bool,
     ) -> &mut Self {
         let c_in = self.shape.c;
-        assert!(c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups), "bad grouping");
+        assert!(
+            c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups),
+            "bad grouping"
+        );
         let h = conv_out(self.shape.h, k, stride, pad);
         let w = conv_out(self.shape.w, k, stride, pad);
         let out = Shape { c: c_out, h, w };
-        let macs =
-            out.elems() as f64 * (c_in / groups) as f64 * (k * k) as f64;
+        let macs = out.elems() as f64 * (c_in / groups) as f64 * (k * k) as f64;
         let mut params = c_out as u64 * (c_in / groups) as u64 * (k * k) as u64;
         let mut flops = 2.0 * macs;
         if bias {
@@ -308,15 +310,30 @@ mod tests {
     #[test]
     fn conv_shape_inference() {
         // AlexNet conv1: 224→(224+4-11)/4+1 = 55.
-        let mut b = NetBuilder::new(Shape { c: 3, h: 224, w: 224 });
+        let mut b = NetBuilder::new(Shape {
+            c: 3,
+            h: 224,
+            w: 224,
+        });
         b.conv("conv1", 64, 11, 4, 2, true);
-        assert_eq!(b.shape(), Shape { c: 64, h: 55, w: 55 });
+        assert_eq!(
+            b.shape(),
+            Shape {
+                c: 64,
+                h: 55,
+                w: 55
+            }
+        );
     }
 
     #[test]
     fn conv_flops_textbook_value() {
         // 3→64, 11×11, out 55×55: MACs = 64·55·55·3·121 = 70,276,800.
-        let mut b = NetBuilder::new(Shape { c: 3, h: 224, w: 224 });
+        let mut b = NetBuilder::new(Shape {
+            c: 3,
+            h: 224,
+            w: 224,
+        });
         b.conv("conv1", 64, 11, 4, 2, false);
         let l = &b.clone().build()[0];
         assert_eq!(l.flops, 2.0 * 70_276_800.0);
@@ -337,9 +354,17 @@ mod tests {
 
     #[test]
     fn grouped_conv_divides_macs() {
-        let mut dense = NetBuilder::new(Shape { c: 32, h: 16, w: 16 });
+        let mut dense = NetBuilder::new(Shape {
+            c: 32,
+            h: 16,
+            w: 16,
+        });
         dense.conv("d", 32, 3, 1, 1, false);
-        let mut grouped = NetBuilder::new(Shape { c: 32, h: 16, w: 16 });
+        let mut grouped = NetBuilder::new(Shape {
+            c: 32,
+            h: 16,
+            w: 16,
+        });
         grouped.conv_grouped("g", 32, 3, 1, 1, 4, false);
         assert_eq!(dense.build()[0].flops / 4.0, grouped.build()[0].flops);
     }
@@ -355,9 +380,20 @@ mod tests {
 
     #[test]
     fn pooling_halves_spatial() {
-        let mut b = NetBuilder::new(Shape { c: 64, h: 56, w: 56 });
+        let mut b = NetBuilder::new(Shape {
+            c: 64,
+            h: 56,
+            w: 56,
+        });
         b.maxpool("pool", 2, 2, 0);
-        assert_eq!(b.shape(), Shape { c: 64, h: 28, w: 28 });
+        assert_eq!(
+            b.shape(),
+            Shape {
+                c: 64,
+                h: 28,
+                w: 28
+            }
+        );
         b.gap("gap");
         assert_eq!(b.shape(), Shape { c: 64, h: 1, w: 1 });
     }

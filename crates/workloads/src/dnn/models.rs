@@ -40,7 +40,11 @@ impl CnnModel {
 }
 
 fn input224() -> Shape {
-    Shape { c: 3, h: 224, w: 224 }
+    Shape {
+        c: 3,
+        h: 224,
+        w: 224,
+    }
 }
 
 /// AlexNet (torchvision variant).
@@ -217,7 +221,9 @@ pub fn resnet152() -> CnnModel {
 /// GPU (the §3.4 underutilization argument taken further).
 pub fn mobilenet_v1() -> CnnModel {
     let mut b = NetBuilder::new(input224());
-    b.conv("conv1", 32, 3, 2, 1, false).bn("conv1.bn").relu("conv1.relu");
+    b.conv("conv1", 32, 3, 2, 1, false)
+        .bn("conv1.bn")
+        .relu("conv1.relu");
     // (output channels, stride) per depthwise-separable block.
     let cfg: [(u32, u32); 13] = [
         (64, 1),
@@ -370,10 +376,22 @@ mod tests {
     #[test]
     fn resnet18_and_34_totals() {
         let m18 = resnet18();
-        assert!((mparams(&m18) - 11.69).abs() < 0.3, "params {}", mparams(&m18));
-        assert!((3.2..3.9).contains(&gflops(&m18)), "gflops {}", gflops(&m18));
+        assert!(
+            (mparams(&m18) - 11.69).abs() < 0.3,
+            "params {}",
+            mparams(&m18)
+        );
+        assert!(
+            (3.2..3.9).contains(&gflops(&m18)),
+            "gflops {}",
+            gflops(&m18)
+        );
         let m34 = resnet34();
-        assert!((mparams(&m34) - 21.80).abs() < 0.4, "params {}", mparams(&m34));
+        assert!(
+            (mparams(&m34) - 21.80).abs() < 0.4,
+            "params {}",
+            mparams(&m34)
+        );
     }
 
     #[test]

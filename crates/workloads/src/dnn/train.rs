@@ -29,13 +29,12 @@ pub fn step_flops(model: &CnnModel, batch: u32) -> f64 {
 /// GPU kernels of one training step: fused forward+backward over the
 /// batch, then the optimizer update.
 pub fn step_kernels(model: &CnnModel, spec: &GpuSpec, batch: u32) -> Vec<KernelDesc> {
-    let fwd_bwd_work = spec.flops_to_sm_seconds(
-        TRAIN_FLOPS_FACTOR * model.flops_per_image() * batch as f64,
-    ) / TRAIN_KERNEL_EFFICIENCY;
+    let fwd_bwd_work = spec
+        .flops_to_sm_seconds(TRAIN_FLOPS_FACTOR * model.flops_per_image() * batch as f64)
+        / TRAIN_KERNEL_EFFICIENCY;
     // Backward grids scale with batch; big batches fill the device.
     let blocks = (batch * 64).max(108);
-    let opt_work = spec
-        .flops_to_sm_seconds(OPTIMIZER_FLOPS_PER_PARAM * model.params() as f64)
+    let opt_work = spec.flops_to_sm_seconds(OPTIMIZER_FLOPS_PER_PARAM * model.params() as f64)
         / TRAIN_KERNEL_EFFICIENCY;
     vec![
         KernelDesc::new("cnn.train.fwd_bwd", fwd_bwd_work, blocks, blocks, 0.45),
@@ -46,12 +45,7 @@ pub fn step_kernels(model: &CnnModel, spec: &GpuSpec, batch: u32) -> Vec<KernelD
 /// Activation memory of the backward pass at `batch` (bytes, fp32):
 /// every layer's output is retained.
 pub fn activation_bytes(model: &CnnModel, batch: u32) -> u64 {
-    model
-        .layers
-        .iter()
-        .map(|l| l.out.elems() * 4)
-        .sum::<u64>()
-        * batch as u64
+    model.layers.iter().map(|l| l.out.elems() * 4).sum::<u64>() * batch as u64
 }
 
 /// Resident training footprint: weights + gradients + optimizer state

@@ -138,11 +138,7 @@ impl LlmSpec {
     pub fn model_profile(&self) -> ModelProfile {
         // Stable id from the name + dtype.
         let mut h: u64 = 0xcbf29ce484222325;
-        for b in self
-            .name
-            .bytes()
-            .chain(self.dtype_bytes.to_le_bytes())
-        {
+        for b in self.name.bytes().chain(self.dtype_bytes.to_le_bytes()) {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
@@ -198,9 +194,7 @@ impl LlmSpec {
         self.host_per_completion.as_secs_f64()
             + pre
             + new_tokens as f64
-                * (self.host_per_token.as_secs_f64()
-                    + dec
-                    + self.allreduce_seconds())
+                * (self.host_per_token.as_secs_f64() + dec + self.allreduce_seconds())
     }
 
     /// Per-token tensor-parallel allreduce cost (zero when TP = 1).
@@ -510,7 +504,10 @@ mod tests {
         );
         let mut gpu_steps = 0;
         for _ in 0..4096 {
-            let mut ctx = TaskCtx { rng: &mut rng, now: parfait_simcore::SimTime::ZERO };
+            let mut ctx = TaskCtx {
+                rng: &mut rng,
+                now: parfait_simcore::SimTime::ZERO,
+            };
             match b.next(&mut ctx) {
                 TaskStep::Gpu(_) => gpu_steps += 1,
                 TaskStep::Done => break,

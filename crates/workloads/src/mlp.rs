@@ -165,13 +165,7 @@ impl Mlp {
 
     /// Train `epochs` passes over the dataset with per-epoch shuffling;
     /// returns the final epoch's mean squared error.
-    pub fn fit(
-        &mut self,
-        rng: &mut SimRng,
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        epochs: usize,
-    ) -> f64 {
+    pub fn fit(&mut self, rng: &mut SimRng, xs: &[Vec<f64>], ys: &[f64], epochs: usize) -> f64 {
         assert_eq!(xs.len(), ys.len(), "dataset shape mismatch");
         assert!(!xs.is_empty(), "empty dataset");
         let mut order: Vec<usize> = (0..xs.len()).collect();
@@ -230,17 +224,10 @@ impl Regressor {
 
     /// Fit on raw targets; returns the final-epoch MSE in *original*
     /// units.
-    pub fn fit(
-        &mut self,
-        rng: &mut SimRng,
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        epochs: usize,
-    ) -> f64 {
+    pub fn fit(&mut self, rng: &mut SimRng, xs: &[Vec<f64>], ys: &[f64], epochs: usize) -> f64 {
         assert!(!ys.is_empty(), "empty dataset");
         self.y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let var =
-            ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
         self.y_std = var.sqrt().max(1e-6);
         let scaled: Vec<f64> = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
         let mse = self.net.fit(rng, xs, &scaled, epochs);
@@ -270,11 +257,7 @@ impl Regressor {
 mod tests {
     use super::*;
 
-    fn dataset(
-        rng: &mut SimRng,
-        n: usize,
-        f: impl Fn(&[f64]) -> f64,
-    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn dataset(rng: &mut SimRng, n: usize, f: impl Fn(&[f64]) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect())
             .collect();

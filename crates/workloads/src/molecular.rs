@@ -55,8 +55,7 @@ impl Chemistry {
     /// Noise-free ground truth (eV-ish scale, higher is better here).
     pub fn true_ip(&self, m: &Molecule) -> f64 {
         let f = &m.features;
-        9.0 + 1.5 * (2.5 * f[0]).sin() + 1.2 * f[1] * f[2] - 0.9 * f[3] * f[3]
-            + 0.6 * f[4]
+        9.0 + 1.5 * (2.5 * f[0]).sin() + 1.2 * f[1] * f[2] - 0.9 * f[3] * f[3] + 0.6 * f[4]
             - 0.4 * (f[5] + f[6]).cos()
             + 0.3 * f[7]
     }
@@ -265,7 +264,10 @@ impl Campaign {
             w,
             eng,
             AppCall::new("training", exec, move |_| {
-                Box::new(KernelSeq::new(kernels.clone(), SimDuration::from_millis(40)))
+                Box::new(KernelSeq::new(
+                    kernels.clone(),
+                    SimDuration::from_millis(40),
+                ))
             }),
         );
         self.train_task = Some(id);
@@ -278,7 +280,10 @@ impl Campaign {
             w,
             eng,
             AppCall::new("inference", exec, move |_| {
-                Box::new(KernelSeq::new(kernels.clone(), SimDuration::from_millis(25)))
+                Box::new(KernelSeq::new(
+                    kernels.clone(),
+                    SimDuration::from_millis(25),
+                ))
             }),
         );
         self.infer_task = Some(id);
@@ -351,10 +356,9 @@ impl Driver for Campaign {
         } else if self.train_task == Some(task) {
             self.train_task = None;
             // Actually train the emulator now that the "GPU time" elapsed.
-            let mut net = self
-                .emulator
-                .take()
-                .unwrap_or_else(|| Regressor::new(&mut self.rng, &[FEATURES, 32, 32, 1]).with_lr(0.01));
+            let mut net = self.emulator.take().unwrap_or_else(|| {
+                Regressor::new(&mut self.rng, &[FEATURES, 32, 32, 1]).with_lr(0.01)
+            });
             let mse = net.fit(&mut self.rng, &self.xs, &self.ys, self.cfg.train_epochs);
             self.emulator = Some(net);
             self.close_round(Some(mse));

@@ -100,7 +100,11 @@ mod tests {
         let mut rng = SimRng::new(1);
         let tr = poisson(&mut rng, 4.0, 50_000);
         assert_eq!(tr.len(), 50_000);
-        assert!((tr.mean_gap_secs() - 0.25).abs() < 0.01, "gap {}", tr.mean_gap_secs());
+        assert!(
+            (tr.mean_gap_secs() - 0.25).abs() < 0.01,
+            "gap {}",
+            tr.mean_gap_secs()
+        );
         assert!(tr.arrivals.windows(2).all(|w| w[0] <= w[1]));
     }
 

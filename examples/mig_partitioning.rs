@@ -7,9 +7,7 @@
 //! cargo run --release --example mig_partitioning
 //! ```
 
-use parfait::core::{
-    apply_plan, plan, reconfigure_mig_equal, resize_mps, weightcache, Strategy,
-};
+use parfait::core::{apply_plan, plan, reconfigure_mig_equal, resize_mps, weightcache, Strategy};
 use parfait::faas::{boot, submit, AppCall, Config, ExecutorConfig, FaasWorld, TaskState};
 use parfait::gpu::host::GpuFleet;
 use parfait::gpu::{nvml, GpuSpec};

@@ -23,7 +23,11 @@ fn main() {
         .unwrap_or(0.30);
     println!("Poisson arrivals at {rate:.2} completions/s, 60 requests, A100-80GB\n");
     for (strategy, procs, label) in [
-        (Strategy::TimeSharing, 1usize, "single instance (FaaS default)"),
+        (
+            Strategy::TimeSharing,
+            1usize,
+            "single instance (FaaS default)",
+        ),
         (Strategy::MpsEqual, 4, "4-way MPS partition (this paper)"),
     ] {
         let r = open_loop_serving(&strategy, procs, rate, 60, SEED);

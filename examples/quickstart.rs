@@ -57,7 +57,11 @@ fn main() {
     eng.run(&mut world);
 
     // 5. Report.
-    println!("tasks settled: {} done, {} failed", world.dfk.done_count(), world.dfk.failed_count());
+    println!(
+        "tasks settled: {} done, {} failed",
+        world.dfk.done_count(),
+        world.dfk.failed_count()
+    );
     for row in parfait::faas::monitoring::task_rows(&world.dfk) {
         println!(
             "  task {:>2}  {:<16} {:<6} turnaround {:>7}  exec {:>7}",

@@ -26,7 +26,12 @@ fn platform(strategy: &Strategy, procs: usize) -> (FaasWorld, Engine<FaasWorld>,
     let p = plan(&gpu_spec, 0, procs, strategy).unwrap();
     let specs = apply_plan(&mut fleet, &p).unwrap();
     let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
-    (FaasWorld::new(config, fleet, 99), Engine::new(), llm, gpu_spec)
+    (
+        FaasWorld::new(config, fleet, 99),
+        Engine::new(),
+        llm,
+        gpu_spec,
+    )
 }
 
 fn chat(llm: &LlmSpec, gpu: &GpuSpec, app: &str) -> AppCall {
@@ -82,8 +87,14 @@ fn mps_resize_validates_input() {
     let (mut w, mut eng, _llm, _gpu) = platform(&Strategy::MpsEqual, 2);
     boot(&mut w, &mut eng);
     eng.run(&mut w);
-    assert!(resize_mps(&mut w, &mut eng, 0, &[50]).is_err(), "length mismatch");
-    assert!(resize_mps(&mut w, &mut eng, 0, &[50, 0]).is_err(), "bad pct");
+    assert!(
+        resize_mps(&mut w, &mut eng, 0, &[50]).is_err(),
+        "length mismatch"
+    );
+    assert!(
+        resize_mps(&mut w, &mut eng, 0, &[50, 0]).is_err(),
+        "bad pct"
+    );
 }
 
 #[test]
@@ -94,14 +105,22 @@ fn mig_reconfigure_resets_gpu_and_rebinds_uuids() {
         submit(&mut w, &mut eng, chat(&llm, &gpu, "warm"));
     }
     eng.run(&mut w);
-    let old_uuid = w.workers[0].env.get("CUDA_VISIBLE_DEVICES").cloned().unwrap();
+    let old_uuid = w.workers[0]
+        .env
+        .get("CUDA_VISIBLE_DEVICES")
+        .cloned()
+        .unwrap();
     assert!(old_uuid.contains("3g.40gb"));
 
     let t0 = eng.now();
     let report = reconfigure_mig_equal(&mut w, &mut eng, 0, 2).unwrap();
     assert!(report.gpu_reset);
     eng.run(&mut w);
-    let new_uuid = w.workers[0].env.get("CUDA_VISIBLE_DEVICES").cloned().unwrap();
+    let new_uuid = w.workers[0]
+        .env
+        .get("CUDA_VISIBLE_DEVICES")
+        .cloned()
+        .unwrap();
     assert_ne!(old_uuid, new_uuid, "instances recreated with new UUIDs");
     // Workers only respawn after the GPU reset delay.
     let ready = w.workers[0].ready_at.unwrap();
@@ -154,7 +173,11 @@ fn weight_cache_survives_worker_restart_but_not_gpu_reset() {
     // GPU reset wipes the cache (strategy switch resets the device).
     switch_strategy(&mut w, &mut eng, 0, &Strategy::MpsEqual).unwrap();
     eng.run(&mut w);
-    assert_eq!(w.fleet.device(GpuId(0)).cache_used(), 0, "reset wipes pinned weights");
+    assert_eq!(
+        w.fleet.device(GpuId(0)).cache_used(),
+        0,
+        "reset wipes pinned weights"
+    );
     assert!(w.weight_cache.is_empty());
 }
 
@@ -193,7 +216,11 @@ fn weight_cache_eviction_releases_memory() {
     let freed = weightcache::evict(&mut w, 0, model_id);
     assert_eq!(freed, llm.weight_bytes());
     assert_eq!(w.fleet.device(GpuId(0)).cache_used(), 0);
-    assert_eq!(weightcache::evict(&mut w, 0, model_id), 0, "double evict is a no-op");
+    assert_eq!(
+        weightcache::evict(&mut w, 0, model_id),
+        0,
+        "double evict is a no-op"
+    );
 }
 
 #[test]
@@ -208,10 +235,10 @@ fn paper_listing2_end_to_end() {
     for i in [1u32, 2, 4] {
         let d = fleet.device_mut(GpuId(i));
         d.mps.start();
-        d.set_mode(parfait::gpu::DeviceMode::MpsPartitioned).unwrap();
+        d.set_mode(parfait::gpu::DeviceMode::MpsPartitioned)
+            .unwrap();
     }
-    let specs =
-        parfait::core::parse_accelerators(&["1", "2", "4"], Some(&[50, 25, 30])).unwrap();
+    let specs = parfait::core::parse_accelerators(&["1", "2", "4"], Some(&[50, 25, 30])).unwrap();
     let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
     let mut w = FaasWorld::new(config, fleet, 5);
     let mut eng = Engine::new();
@@ -258,7 +285,8 @@ fn amd_cu_masking_path() {
         .is_err());
     let d = fleet.device_mut(g);
     d.mps.start();
-    d.set_mode(parfait::gpu::DeviceMode::MpsPartitioned).unwrap();
+    d.set_mode(parfait::gpu::DeviceMode::MpsPartitioned)
+        .unwrap();
     let config = Config::new(vec![ExecutorConfig::gpu(
         "gpu",
         vec![

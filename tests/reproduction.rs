@@ -49,7 +49,11 @@ fn abstract_claim_250pct_throughput() {
 fn fig4_any_multiplexing_beats_single_instance() {
     let single = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED);
     for procs in [2usize, 3, 4] {
-        for s in [Strategy::TimeSharing, Strategy::MpsEqual, Strategy::MigEqual] {
+        for s in [
+            Strategy::TimeSharing,
+            Strategy::MpsEqual,
+            Strategy::MigEqual,
+        ] {
             let r = llama_multiplex(&s, procs, N, SEED);
             assert!(
                 r.makespan_s < single.makespan_s,
@@ -113,7 +117,11 @@ fn fig5_timesharing_latency_grows_fastest() {
     let l1 = llama_multiplex(&Strategy::TimeSharing, 1, N, SEED).mean_latency_s;
     let ts4 = llama_multiplex(&Strategy::TimeSharing, 4, N, SEED).mean_latency_s;
     let mps4 = llama_multiplex(&Strategy::MpsEqual, 4, N, SEED).mean_latency_s;
-    assert!(ts4 / l1 > 2.2, "time-sharing latency blowup {:.2}", ts4 / l1);
+    assert!(
+        ts4 / l1 > 2.2,
+        "time-sharing latency blowup {:.2}",
+        ts4 / l1
+    );
     assert!(mps4 / l1 < 1.8, "MPS latency blowup {:.2}", mps4 / l1);
     // "MPS and MIG's inference latency is 44% lower compared to just
     // timesharing when running 4 LLaMa processes".
@@ -147,7 +155,10 @@ fn fig2_knee_and_cpu_gap() {
 fn fig2_thirteen_b_tracks_seven_b_from_above() {
     let t7 = fig2_point(&LlmSpec::llama2_7b(4), 50, SEED);
     let t13 = fig2_point(&LlmSpec::llama2_13b(4), 50, SEED);
-    assert!(t13 > t7, "13B ({t13:.2}s) must be slower than 7B ({t7:.2}s)");
+    assert!(
+        t13 > t7,
+        "13B ({t13:.2}s) must be slower than 7B ({t7:.2}s)"
+    );
     assert!(t13 / t7 < 1.6, "tensor parallelism keeps 13B within 1.6x");
 }
 
@@ -210,7 +221,10 @@ fn section6_overheads_in_paper_bands() {
     );
     // Cold-start decomposition is dominated by the model load (§6).
     let (fi, ctx, load) = o.cold_start_13b;
-    assert!(load > fi + ctx, "model load must dominate: {fi} {ctx} {load}");
+    assert!(
+        load > fi + ctx,
+        "model load must dominate: {fi} {ctx} {load}"
+    );
 }
 
 #[test]

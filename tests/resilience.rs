@@ -41,7 +41,8 @@ fn chaos_kill_respawn_preserves_invariants() {
     // Chaos: at randomized times, kill a random worker and respawn it.
     let mut chaos_rng = SimRng::new(777);
     for i in 0..6u64 {
-        let at = SimTime::from_nanos((10 + i * 17) * 1_000_000_000 + chaos_rng.below(5_000_000_000));
+        let at =
+            SimTime::from_nanos((10 + i * 17) * 1_000_000_000 + chaos_rng.below(5_000_000_000));
         let victim = chaos_rng.below(3) as usize;
         eng.schedule_at(at, move |w: &mut FaasWorld, e| {
             if w.workers[victim].state != WorkerState::Dead {
@@ -89,7 +90,9 @@ fn bad_binding_kills_only_that_worker() {
         ExecutorConfig::cpu("cpu", 1),
         ExecutorConfig::gpu(
             "gpu",
-            vec![parfait::faas::AcceleratorSpec::Mig("MIG-does-not-exist".into())],
+            vec![parfait::faas::AcceleratorSpec::Mig(
+                "MIG-does-not-exist".into(),
+            )],
         ),
     ]);
     let mut w = FaasWorld::new(config, fleet, 9);

@@ -1,0 +1,251 @@
+//! Offline stand-in for `bytes`.
+//!
+//! [`Bytes`] is an `Arc<Vec<u8>>` window (cheap clones, zero-copy
+//! slicing — decoding a frame aliases the wire buffer, which the wire
+//! tests assert by pointer). [`BytesMut`] is a growable buffer that
+//! freezes into [`Bytes`]. Only the big-endian [`Buf`]/[`BufMut`]
+//! accessors this workspace uses are provided.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable, sliceable, immutable byte buffer.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Buffer over static data (copied here; aliasing is only guaranteed
+    /// through [`BytesMut::freeze`] + slicing, which is what the
+    /// workspace's zero-copy assertions exercise).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// Both halves alias the same allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of range");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// A sub-slice sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.end <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::from(v.as_bytes().to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read-side accessors consuming from the front of a buffer.
+pub trait Buf {
+    /// Remaining bytes.
+    fn remaining(&self) -> usize;
+    /// Consume and return the next `n` bytes.
+    fn take_front(&mut self, n: usize) -> Vec<u8>;
+
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.take_front(4);
+        u32::from_be_bytes(b.try_into().expect("4 bytes"))
+    }
+
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let b = self.take_front(8);
+        u64::from_be_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize) {
+        self.take_front(n);
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn take_front(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = self[..n].to_vec();
+        self.start += n;
+        out
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side accessors appending to a buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_aliasing() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(7);
+        m.extend_from_slice(b"xy");
+        let mut b = m.freeze();
+        let alias = b.clone();
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 7);
+        assert_eq!(&b[..], b"xy");
+        // Zero-copy: the advanced view points into the same allocation.
+        assert_eq!(b.as_ptr(), alias[12..].as_ptr());
+    }
+}

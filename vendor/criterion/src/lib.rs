@@ -1,0 +1,368 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the API this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — and measures with
+//! plain wall-clock sampling: per benchmark it times `sample_size`
+//! batches sized to fill `measurement_time`, then prints mean / p50 /
+//! p95 per-iteration time (plus throughput when declared). No plots,
+//! no statistical regression analysis, no target directory state.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that take it from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget each benchmark's samples should fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(
+            &id.into().render(None),
+            sample_size,
+            measurement_time,
+            None,
+            f,
+        );
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts = Vec::new();
+        if let Some(g) = group {
+            parts.push(g.to_string());
+        }
+        if !self.function.is_empty() {
+            parts.push(self.function.clone());
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p.clone());
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and config overrides.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declare per-iteration work so results include throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.into().render(Some(&self.name)),
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.render(Some(&self.name)),
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (report flushing is immediate here, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations so the configured measurement
+    /// budget is split across the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: one untimed warmup call, then estimate cost.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est).round() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    b.samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let p50 = quantile(&b.samples, 0.50);
+    let p95 = quantile(&b.samples, 0.95);
+    let mut line = format!(
+        "{label:<40} time: mean {} p50 {} p95 {}",
+        fmt_time(mean),
+        fmt_time(p50),
+        fmt_time(p95),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  thrpt: {:.3e} elem/s", n as f64 / p50));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  thrpt: {:.3e} B/s", n as f64 / p50));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Interpolated quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Define a benchmark-suite function from target functions, either
+/// plain (`criterion_group!(benches, a, b)`) or with explicit config
+/// (`criterion_group! { name = ..; config = ..; targets = .. }`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` from one or more suite functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_formatting() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(fmt_time(2.5e-9), "2.50 ns");
+        assert_eq!(fmt_time(2.5e-3), "2.50 ms");
+    }
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

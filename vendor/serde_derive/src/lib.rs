@@ -1,0 +1,270 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` with a hand-rolled token-stream
+//! parser (no `syn`/`quote` available offline). Supports what this
+//! workspace derives on: plain structs (named, tuple, unit), enums with
+//! unit / tuple / struct variants, and lifetime-only generics. Output
+//! follows serde's externally-tagged conventions so the JSON shape
+//! matches the real crate. `#[derive(Deserialize)]` expands to nothing —
+//! nothing in the workspace deserializes into typed data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// No-op: the workspace never deserializes into typed values.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive `serde::Serialize` (the stand-in's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generics: collect raw tokens of `<...>` (lifetimes and simple type
+    // params only — all this workspace uses).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            loop {
+                match &toks[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    _ => {}
+                }
+                let s = toks[i].to_string();
+                generics.push_str(&s);
+                // No space after a lifetime tick: `' a` is not a
+                // lifetime, `'a` is.
+                if s != "'" {
+                    generics.push(' ');
+                }
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => derive_struct(&toks[i..]),
+        "enum" => derive_enum(&name, &toks[i..]),
+        other => panic!("cannot derive Serialize for {other}"),
+    };
+
+    let out = format!(
+        "impl {g} ::serde::Serialize for {name} {g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        g = generics,
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// Body for a struct: named → object, tuple(1) → inner, tuple(n) →
+/// array, unit → null.
+fn derive_struct(toks: &[TokenTree]) -> String {
+    match toks.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_field_names(g.stream());
+            object_literal(
+                &fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("&self.{f}")))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = tuple_field_count(g.stream());
+            if n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        _ => "::serde::Value::Null".to_string(),
+    }
+}
+
+/// Body for an enum: a `match` over variants with serde's external
+/// tagging (`"Variant"`, `{"Variant": value}`, `{"Variant": {...}}`).
+fn derive_enum(name: &str, toks: &[TokenTree]) -> String {
+    let g = match toks.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let vtoks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < vtoks.len() {
+        // Skip attributes on the variant.
+        while matches!(&vtoks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let vname = match &vtoks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let payload = match vtoks.get(i) {
+            Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let fields = named_field_names(pg.stream());
+                let pat: Vec<String> = fields.clone();
+                let obj = object_literal(
+                    &fields
+                        .iter()
+                        .map(|f| (f.clone(), f.to_string()))
+                        .collect::<Vec<_>>(),
+                );
+                Some((format!("{{ {} }}", pat.join(", ")), obj))
+            }
+            Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let n = tuple_field_count(pg.stream());
+                let binds: Vec<String> = (0..n).map(|k| format!("f{k}")).collect();
+                let inner = if n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                Some((format!("({})", binds.join(", ")), inner))
+            }
+            _ => None,
+        };
+        // Skip an optional explicit discriminant, then the comma.
+        while i < vtoks.len() && !matches!(&vtoks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        match payload {
+            None => arms.push(format!(
+                "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+            )),
+            Some((pat, inner)) => arms.push(format!(
+                "{name}::{vname} {pat} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
+            )),
+        }
+    }
+    format!("match self {{ {} }}", arms.join("\n"))
+}
+
+/// Render `Value::Object(vec![("name", to_value(expr)), ...])`.
+fn object_literal(fields: &[(String, String)]) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|(f, expr)| {
+            format!("(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({expr}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+/// Field names of a named-fields body, skipping attributes, visibility
+/// and types (commas inside `<...>` don't split fields).
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        names.push(name);
+        i += 1; // name
+        i += 1; // ':'
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Count fields in a tuple body (top-level commas, `<...>`-aware).
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
