@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
-//! extension all`, plus `substrate` (run explicitly, never under `all`):
-//! times the simulator's own hot paths and writes `BENCH_substrate.json`
-//! to the current directory.
+//! extension all`, plus two explicit-only artifacts (never under `all`):
+//! `substrate` times the simulator's own hot paths and writes
+//! `BENCH_substrate.json`; `faults` replays an identical injected fault
+//! schedule under MPS / MIG / time-sharing and writes `BENCH_faults.json`
+//! (the isolation column of Table 1, reproduced).
 //! `--csv` switches the output to CSV; `--completions N` rescales the
 //! §5.2 experiments (default 100, as in the paper).
 
@@ -636,6 +638,50 @@ fn run_extension(opts: &Opts) {
     );
 }
 
+fn run_faults(opts: &Opts) {
+    // Fault runs re-execute work; a smaller completion count than the
+    // throughput figures keeps the artifact quick (override with
+    // --completions).
+    let completions = opts.completions.min(40);
+    let report =
+        parfait_bench::faults::run_and_write(std::path::Path::new("."), 4, completions, opts.seed)
+            .expect("write BENCH_faults.json");
+    let rows = report
+        .modes
+        .iter()
+        .map(|m| {
+            vec![
+                m.mode.clone(),
+                f2(m.clean_makespan_s),
+                f2(m.faulted_makespan_s),
+                format!("{:+.1}%", m.loss_pct),
+                m.recovery.workers_lost.to_string(),
+                m.reexecuted_tasks.to_string(),
+                m.mttr_s.map(f2).unwrap_or_else(|| "-".into()),
+                f3(m.goodput_per_s),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Faults: identical injected schedule per mode, {completions} completions \
+             (written to BENCH_faults.json)"
+        ),
+        &[
+            "mode",
+            "clean (s)",
+            "faulted (s)",
+            "loss",
+            "workers lost",
+            "re-executed",
+            "MTTR (s)",
+            "goodput/s",
+        ],
+        rows,
+    );
+}
+
 fn run_substrate(opts: &Opts) {
     let report = parfait_bench::substrate::run_and_write(std::path::Path::new("."))
         .expect("write BENCH_substrate.json");
@@ -687,6 +733,27 @@ fn main() {
         }
         i += 1;
     }
+    const KNOWN: &[&str] = &[
+        "all",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "overheads",
+        "ablation",
+        "extension",
+        "substrate",
+        "faults",
+    ];
+    if let Some(bad) = which.iter().find(|w| !KNOWN.contains(&w.as_str())) {
+        eprintln!(
+            "repro: unknown artifact `{bad}` (known: {})",
+            KNOWN.join(", ")
+        );
+        std::process::exit(2);
+    }
     if which.is_empty() {
         which.push("all".into());
     }
@@ -719,9 +786,13 @@ fn main() {
     if want("extension") {
         run_extension(&opts);
     }
-    // Substrate timing is a development artifact, not a paper figure:
-    // only on explicit request, so `repro all` output stays stable.
+    // Substrate timing and fault replay are development artifacts, not
+    // paper figures: only on explicit request, so `repro all` output
+    // stays stable.
     if which.iter().any(|w| w == "substrate") {
         run_substrate(&opts);
+    }
+    if which.iter().any(|w| w == "faults") {
+        run_faults(&opts);
     }
 }

@@ -1,0 +1,248 @@
+//! Fault-injection benchmark: the isolation column of Table 1, reproduced.
+//!
+//! `repro faults` runs the §5.2 LLaMa2-7B deployment under MPS, MIG, and
+//! time-sharing, twice per mode — once clean, once with an *identical*
+//! injected fault schedule (a fatal client fault, a silent worker crash,
+//! and a straggler episode, at fixed offsets from measurement start) —
+//! and reports what each isolation mode's blast radius costs: makespan
+//! inflation, workers lost, re-executed tasks, MTTR, and goodput. Under
+//! MPS the client fault poisons the shared context and takes every
+//! co-resident worker down; under MIG and time-sharing it is contained
+//! to one worker. The whole schedule is seeded, so `BENCH_faults.json`
+//! is bit-identical across runs of the same build.
+
+use crate::scenarios::{build_llama_platform, chat_call, mode_label};
+use parfait_core::Strategy;
+use parfait_faas::{
+    boot, install_faults, resume_sampling, submit, FaasWorld, FaultKind, FaultPlan, RecoveryStats,
+    TaskState,
+};
+use parfait_simcore::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Offsets (from measurement start) of the injected fault schedule. The
+/// same offsets are used for every mode, so the only variable is the
+/// isolation mechanism.
+const CLIENT_FAULT_AT_S: u64 = 5;
+const CRASH_AT_S: u64 = 20;
+const STRAGGLER_AT_S: u64 = 35;
+
+fn fault_plan(base: SimTime) -> FaultPlan {
+    FaultPlan::default()
+        .with(
+            base + SimDuration::from_secs(CLIENT_FAULT_AT_S),
+            FaultKind::GpuClientFault { worker: 0 },
+        )
+        .with(
+            base + SimDuration::from_secs(CRASH_AT_S),
+            FaultKind::WorkerCrash { worker: 1 },
+        )
+        .with(
+            base + SimDuration::from_secs(STRAGGLER_AT_S),
+            FaultKind::Straggler {
+                gpu: 0,
+                factor: 0.5,
+                duration: SimDuration::from_secs(10),
+            },
+        )
+}
+
+/// One mode's clean-vs-faulted comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeFaultReport {
+    /// Sharing-mode label (`"mps"`, `"mig"`, `"time-sharing"`).
+    pub mode: String,
+    /// Makespan of the measured phase without faults (s).
+    pub clean_makespan_s: f64,
+    /// Makespan with the injected schedule (s).
+    pub faulted_makespan_s: f64,
+    /// Relative slowdown the faults cost, in percent.
+    pub loss_pct: f64,
+    /// Completions that finished despite the faults.
+    pub completed: usize,
+    /// Tasks that exhausted retries.
+    pub failed: usize,
+    /// Extra attempts beyond the first, summed over all tasks.
+    pub reexecuted_tasks: u64,
+    /// Mean time to recovery over paired incidents (s), if any closed.
+    pub mttr_s: Option<f64>,
+    /// Completions per second of faulted wall time (goodput).
+    pub goodput_per_s: f64,
+    /// Recovery counters for the faulted run.
+    pub recovery: RecoveryStats,
+    /// Engine events fired in the faulted run (trace fingerprint for the
+    /// determinism acceptance check).
+    pub events_fired: u64,
+}
+
+/// The full report written to `BENCH_faults.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultsReport {
+    /// World seed.
+    pub seed: u64,
+    /// Completions in the measured phase, per run.
+    pub completions: usize,
+    /// Fault offsets from measurement start (s), for the record.
+    pub schedule_offsets_s: [u64; 3],
+    /// One entry per sharing mode.
+    pub modes: Vec<ModeFaultReport>,
+}
+
+/// Warm the platform and run `completions` chat requests, optionally
+/// under the fault schedule. Returns (makespan_s, world).
+fn run_phase(
+    strategy: &Strategy,
+    procs: usize,
+    completions: usize,
+    seed: u64,
+    inject: bool,
+) -> (f64, FaasWorld, u64) {
+    let (mut world, mut eng, llm, gpu_spec) = build_llama_platform(strategy, procs, seed);
+    // Faulted runs need headroom for re-execution and for workers lost
+    // mid-flight; the clean run uses the same budget for comparability.
+    world.config.retries = 4;
+    boot(&mut world, &mut eng);
+    for _ in 0..procs {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+    }
+    eng.run(&mut world);
+    assert_eq!(world.dfk.failed_count(), 0, "warmup must be clean");
+    let measure_start = eng.now();
+    resume_sampling(&mut world, &mut eng);
+    if inject {
+        install_faults(&mut world, &mut eng, &fault_plan(measure_start));
+    }
+    for _ in 0..completions {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "chat"));
+    }
+    eng.run(&mut world);
+    let makespan = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "chat")
+        .filter_map(|t| t.finished)
+        .max()
+        .map(|end| end.duration_since(measure_start).as_secs_f64())
+        .unwrap_or(0.0);
+    let fired = eng.events_fired();
+    (makespan, world, fired)
+}
+
+/// Run the clean/faulted pair for one mode.
+pub fn mode_report(
+    strategy: &Strategy,
+    procs: usize,
+    completions: usize,
+    seed: u64,
+) -> ModeFaultReport {
+    let (clean_makespan_s, _, _) = run_phase(strategy, procs, completions, seed, false);
+    let (faulted_makespan_s, world, events_fired) =
+        run_phase(strategy, procs, completions, seed, true);
+    let completed = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "chat" && t.state == TaskState::Done)
+        .count();
+    let failed = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "chat" && t.state == TaskState::Failed)
+        .count();
+    let loss_pct = if clean_makespan_s > 0.0 {
+        (faulted_makespan_s / clean_makespan_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    ModeFaultReport {
+        mode: mode_label(strategy),
+        clean_makespan_s,
+        faulted_makespan_s,
+        loss_pct,
+        completed,
+        failed,
+        reexecuted_tasks: world.dfk.reexecuted_attempts(),
+        mttr_s: world.monitor.mttr_s(),
+        goodput_per_s: if faulted_makespan_s > 0.0 {
+            completed as f64 / faulted_makespan_s
+        } else {
+            0.0
+        },
+        recovery: world.recovery.stats,
+        events_fired,
+    }
+}
+
+/// Run all three modes with the same seed and schedule.
+pub fn measure(procs: usize, completions: usize, seed: u64) -> FaultsReport {
+    let modes = [
+        Strategy::MpsEqual,
+        Strategy::MigEqual,
+        Strategy::TimeSharing,
+    ]
+    .iter()
+    .map(|s| mode_report(s, procs, completions, seed))
+    .collect();
+    FaultsReport {
+        seed,
+        completions,
+        schedule_offsets_s: [CLIENT_FAULT_AT_S, CRASH_AT_S, STRAGGLER_AT_S],
+        modes,
+    }
+}
+
+/// Run the benchmark and write `BENCH_faults.json` into `dir`.
+pub fn run_and_write(
+    dir: &std::path::Path,
+    procs: usize,
+    completions: usize,
+    seed: u64,
+) -> std::io::Result<FaultsReport> {
+    let report = measure(procs, completions, seed);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(dir.join("BENCH_faults.json"), json + "\n")?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance: same seed + same plan ⇒ bit-identical report.
+    #[test]
+    fn faults_report_is_deterministic() {
+        let a = serde_json::to_string(&measure(4, 6, 99)).unwrap();
+        let b = serde_json::to_string(&measure(4, 6, 99)).unwrap();
+        assert_eq!(a, b, "BENCH_faults.json must be bit-identical");
+    }
+
+    /// The isolation contrast the benchmark exists to show: MPS loses
+    /// every co-resident worker to the client fault, MIG and
+    /// time-sharing lose one.
+    #[test]
+    fn mps_blast_radius_exceeds_mig() {
+        let mps = mode_report(&Strategy::MpsEqual, 4, 6, 99);
+        let mig = mode_report(&Strategy::MigEqual, 4, 6, 99);
+        assert!(
+            mps.recovery.workers_lost >= 4,
+            "MPS client fault takes all residents: {:?}",
+            mps.recovery
+        );
+        assert!(
+            mps.recovery.quarantines >= 1,
+            "MPS fault poisons the shared context"
+        );
+        // MIG: the client fault costs one worker, the crash another.
+        assert!(
+            mig.recovery.workers_lost < mps.recovery.workers_lost,
+            "MIG contains the fault: mig={:?} mps={:?}",
+            mig.recovery,
+            mps.recovery
+        );
+        assert_eq!(mig.recovery.quarantines, 0);
+        assert_eq!(mps.completed, 6, "all completions survive under MPS");
+        assert_eq!(mig.completed, 6, "all completions survive under MIG");
+    }
+}

@@ -60,7 +60,10 @@ pub struct MultiplexResult {
     pub mean_utilization: f64,
 }
 
-fn build_llama_platform(
+/// Build the §5.2 deployment: `procs` LLaMa2-7B workers sharing one
+/// A100-80GB under `strategy`, ready to [`boot`]. Shared by the
+/// multiplexing scenarios and the fault-injection benchmark.
+pub fn build_llama_platform(
     strategy: &Strategy,
     procs: usize,
     seed: u64,
@@ -86,7 +89,8 @@ fn build_llama_platform(
     (world, Engine::new(), llm, gpu_spec)
 }
 
-fn chat_call(llm: &LlmSpec, gpu_spec: &GpuSpec, app: &str) -> AppCall {
+/// One paper-profile chat completion against the `"gpu"` executor.
+pub fn chat_call(llm: &LlmSpec, gpu_spec: &GpuSpec, app: &str) -> AppCall {
     let llm = llm.clone();
     let gpu_spec = gpu_spec.clone();
     AppCall::new(app, "gpu", move |_| {

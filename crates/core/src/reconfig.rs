@@ -114,7 +114,7 @@ pub fn resize_mps(
         kill_worker(world, eng, wid, "MPS resize");
         let spec = AcceleratorSpec::GpuPercentage(gpu, pct);
         new_specs.push(spec.clone());
-        respawn_worker(world, eng, wid, Some(spec));
+        respawn_worker(world, eng, wid, Some(spec)).expect("worker was just killed");
     }
     Ok(ReconfigReport {
         gpu,
@@ -160,7 +160,7 @@ pub fn reconfigure_mig_equal(
         .collect();
     eng.schedule_in(MIG_RESET_TIME, move |w: &mut FaasWorld, e| {
         for (wid, spec) in pairs {
-            respawn_worker(w, e, wid, Some(spec));
+            respawn_worker(w, e, wid, Some(spec)).expect("worker was just killed");
         }
     });
     Ok(ReconfigReport {
@@ -200,12 +200,12 @@ pub fn switch_strategy(
             .collect();
         eng.schedule_in(MIG_RESET_TIME, move |w: &mut FaasWorld, e| {
             for (wid, spec) in pairs {
-                respawn_worker(w, e, wid, Some(spec));
+                respawn_worker(w, e, wid, Some(spec)).expect("worker was just killed");
             }
         });
     } else {
         for (&wid, spec) in victims.iter().zip(&new_specs) {
-            respawn_worker(world, eng, wid, Some(spec.clone()));
+            respawn_worker(world, eng, wid, Some(spec.clone())).expect("worker was just killed");
         }
     }
     Ok(ReconfigReport {

@@ -161,6 +161,54 @@ pub struct Config {
     pub node_cores: usize,
     /// Sampling period for node/GPU monitoring records (None = off).
     pub monitoring_period: Option<SimDuration>,
+    /// Failure detection and recovery parameters (heartbeat watchdog,
+    /// retry backoff, restart budget, per-GPU circuit breaker).
+    pub recovery: RecoveryConfig,
+}
+
+/// Failure detection and recovery knobs (see DESIGN.md "Failure model").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Interval between heartbeat-watchdog scans. A crashed (silently
+    /// dead) worker is discovered on the first scan after its silence
+    /// exceeds [`RecoveryConfig::heartbeat_timeout`].
+    pub heartbeat_period: SimDuration,
+    /// Heartbeat silence that declares a worker dead. Should be a small
+    /// multiple of `heartbeat_period` to bound false positives.
+    pub heartbeat_timeout: SimDuration,
+    /// First retry delay; attempt `n` of a task waits
+    /// `backoff_base * 2^(n-1)`, capped at `backoff_cap`.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the exponential retry backoff.
+    pub backoff_cap: SimDuration,
+    /// Uniform jitter fraction added on top of each backoff delay
+    /// (`delay * (1 + jitter * U[0,1))`), drawn from the seeded recovery
+    /// stream so runs stay reproducible. Clamped to `[0, 1]`.
+    pub backoff_jitter: f64,
+    /// Automatic restarts allowed per worker slot across the run.
+    /// Fault-induced deaths auto-respawn while budget remains; explicit
+    /// [`crate::world::kill_worker`] calls never auto-respawn.
+    pub restart_budget: u32,
+    /// Contained client faults on one GPU before its circuit breaker
+    /// trips and the device is quarantined.
+    pub breaker_threshold: u32,
+    /// How long a quarantined GPU stays fenced before re-admission.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            heartbeat_period: SimDuration::from_millis(500),
+            heartbeat_timeout: SimDuration::from_secs(2),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(10),
+            backoff_jitter: 0.25,
+            restart_budget: 3,
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(30),
+        }
+    }
 }
 
 impl Default for Config {
@@ -172,6 +220,7 @@ impl Default for Config {
             wire: WireCodec::default(),
             node_cores: 24,
             monitoring_period: Some(SimDuration::from_millis(500)),
+            recovery: RecoveryConfig::default(),
         }
     }
 }

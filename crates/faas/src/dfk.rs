@@ -46,6 +46,9 @@ pub struct TaskRecord {
     pub worker: Option<usize>,
     /// Remaining retry budget.
     pub retries_left: u32,
+    /// Dispatch attempts so far (1 after the first dispatch). Drives the
+    /// retry-backoff exponent and the re-executed-work accounting.
+    pub attempts: u32,
     /// Failure reason, if failed.
     pub error: Option<String>,
     /// Dependencies.
@@ -132,6 +135,7 @@ impl Dfk {
             finished: if failed_dep { Some(now) } else { None },
             worker: None,
             retries_left: retries,
+            attempts: 0,
             error: failed_dep.then(|| "dependency failed before submission".to_string()),
             depends_on: call.depends_on,
             pending_deps: if failed_dep { 0 } else { pending },
@@ -193,6 +197,16 @@ impl Dfk {
         t.state = TaskState::Running;
         t.dispatched = Some(now);
         t.worker = Some(worker);
+        t.attempts += 1;
+    }
+
+    /// Attempts beyond the first, summed over all tasks — work the
+    /// platform re-executed because of failures.
+    pub fn reexecuted_attempts(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| u64::from(t.attempts.saturating_sub(1)))
+            .sum()
     }
 
     /// The body began executing (model resident).

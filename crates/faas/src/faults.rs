@@ -1,0 +1,441 @@
+//! Deterministic fault injection and the recovery bookkeeping it drives.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultEvent`]s — either authored
+//! explicitly or realized from [`StochasticFaults`] rates through a
+//! dedicated `SimRng` stream, so the *same seed always produces the same
+//! fault timeline*. [`install_faults`] arms the plan on the engine;
+//! [`inject_fault`] applies one fault with the blast radius its device
+//! mode implies:
+//!
+//! | fault                  | MPS (shared context)        | MIG / exclusive        |
+//! |------------------------|-----------------------------|------------------------|
+//! | fatal client fault     | all co-resident clients die | one worker dies        |
+//! | device ECC/Xid fault   | device quarantined          | device quarantined     |
+//! | process crash          | one worker (silent)         | one worker (silent)    |
+//!
+//! Detection and repair (heartbeat watchdog, backoff retry, budgeted
+//! respawn, per-GPU circuit breaker) live in [`crate::world`]; this module
+//! holds the plan types, the injection dispatch, and [`RecoveryState`].
+
+use crate::monitoring::FaultPhase;
+use crate::world::{
+    crash_worker, fault_kill_worker, note_client_fault, quarantine_gpu, FaasWorld, WorkerState,
+};
+use parfait_gpu::host::resync;
+use parfait_gpu::{DeviceMode, GpuId};
+use parfait_simcore::{Engine, SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+/// RNG stream id for realizing stochastic fault plans (distinct from the
+/// recovery-jitter stream and the worker streams at `1000 + id`).
+const FAULT_PLAN_STREAM: u64 = 618;
+
+/// What breaks.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// Worker process dies silently; the watchdog discovers it after the
+    /// heartbeat timeout.
+    WorkerCrash {
+        /// Target worker id.
+        worker: usize,
+    },
+    /// Fatal GPU fault raised by one client's work (illegal address,
+    /// assert). Blast radius depends on the device mode: under MPS every
+    /// co-resident client shares the faulted context and dies with it;
+    /// under MIG or exclusive modes exactly one worker is lost.
+    GpuClientFault {
+        /// Worker whose kernel faults.
+        worker: usize,
+    },
+    /// Uncorrectable device-level fault (double-bit ECC, Xid). The GPU is
+    /// quarantined and every resident is lost, regardless of mode.
+    DeviceFault {
+        /// Target device index.
+        gpu: u32,
+    },
+    /// The provider fails to hand over the process slot on the worker's
+    /// next provisioning attempt.
+    ProvisioningFailure {
+        /// Target worker id.
+        worker: usize,
+    },
+    /// Transient slowdown: every kernel on the device runs at
+    /// `1/factor` speed for `duration` (thermal throttle, noisy
+    /// neighbour on the host).
+    Straggler {
+        /// Target device index.
+        gpu: u32,
+        /// Rate multiplier in `(0, 1]` — `0.5` halves throughput.
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: SimDuration,
+    },
+    /// The worker's next model load dies with a transient out-of-memory;
+    /// the task fails and retries.
+    ModelLoadOom {
+        /// Target worker id.
+        worker: usize,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultEvent {
+    /// Absolute injection time.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Rates for drawing a random-but-reproducible fault schedule. Arrivals
+/// are Poisson (exponential inter-arrival times) over `[0, horizon)`;
+/// targets are drawn uniformly. Everything comes from one dedicated RNG
+/// stream, so the realized schedule is a pure function of the world seed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StochasticFaults {
+    /// Window faults may arrive in.
+    pub horizon: SimDuration,
+    /// Silent process crashes per hour (across all workers).
+    pub crash_rate_per_hour: f64,
+    /// Fatal client faults per hour (across all workers).
+    pub client_fault_rate_per_hour: f64,
+    /// Device ECC/Xid faults per hour (across all GPUs).
+    pub device_fault_rate_per_hour: f64,
+    /// Straggler episodes per hour (across all GPUs).
+    pub straggler_rate_per_hour: f64,
+    /// Slowdown factor stragglers apply.
+    pub straggler_factor: f64,
+    /// How long each straggler episode lasts.
+    pub straggler_duration: SimDuration,
+}
+
+/// A complete fault schedule: explicit events plus optional stochastic
+/// rates realized at install time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Explicitly scheduled faults.
+    pub events: Vec<FaultEvent>,
+    /// Rates to realize into additional events (seeded, reproducible).
+    pub stochastic: Option<StochasticFaults>,
+}
+
+impl FaultPlan {
+    /// Plan a single fault.
+    pub fn one(at: SimTime, kind: FaultKind) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent { at, kind }],
+            stochastic: None,
+        }
+    }
+
+    /// Add a fault to the schedule (builder style).
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+}
+
+fn realize_stochastic(
+    s: &StochasticFaults,
+    rng: &mut SimRng,
+    base: SimTime,
+    workers: usize,
+    gpus: usize,
+) -> Vec<FaultEvent> {
+    let mut out = Vec::new();
+    let horizon = s.horizon.as_secs_f64();
+    let mut draw = |rate_per_hour: f64,
+                    rng: &mut SimRng,
+                    mk: &mut dyn FnMut(&mut SimRng) -> Option<FaultKind>| {
+        if rate_per_hour <= 0.0 {
+            return;
+        }
+        let mean_gap = 3600.0 / rate_per_hour;
+        let mut t = rng.exp(mean_gap);
+        while t < horizon {
+            if let Some(kind) = mk(rng) {
+                out.push(FaultEvent {
+                    at: base + SimDuration::from_secs_f64(t),
+                    kind,
+                });
+            }
+            t += rng.exp(mean_gap);
+        }
+    };
+    if workers > 0 {
+        draw(s.crash_rate_per_hour, rng, &mut |r| {
+            Some(FaultKind::WorkerCrash {
+                worker: r.below(workers as u64) as usize,
+            })
+        });
+        draw(s.client_fault_rate_per_hour, rng, &mut |r| {
+            Some(FaultKind::GpuClientFault {
+                worker: r.below(workers as u64) as usize,
+            })
+        });
+    }
+    if gpus > 0 {
+        draw(s.device_fault_rate_per_hour, rng, &mut |r| {
+            Some(FaultKind::DeviceFault {
+                gpu: r.below(gpus as u64) as u32,
+            })
+        });
+        let factor = s.straggler_factor;
+        let duration = s.straggler_duration;
+        draw(s.straggler_rate_per_hour, rng, &mut |r| {
+            Some(FaultKind::Straggler {
+                gpu: r.below(gpus as u64) as u32,
+                factor,
+                duration,
+            })
+        });
+    }
+    out
+}
+
+/// Realize and arm a fault plan on the engine. Events in the past fire
+/// immediately (at `eng.now()`). Returns the realized schedule — explicit
+/// events plus any stochastic draws — sorted by injection time, for
+/// embedding in reports.
+pub fn install_faults(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    plan: &FaultPlan,
+) -> Vec<FaultEvent> {
+    let mut events = plan.events.clone();
+    if let Some(s) = &plan.stochastic {
+        let mut rng = world.rng.split(FAULT_PLAN_STREAM);
+        events.extend(realize_stochastic(
+            s,
+            &mut rng,
+            eng.now(),
+            world.workers.len(),
+            world.fleet.len(),
+        ));
+    }
+    events.sort_by_key(|e| e.at); // stable: simultaneous faults keep plan order
+    for ev in &events {
+        let kind = ev.kind.clone();
+        let at = ev.at.max(eng.now());
+        eng.schedule_at(at, move |w: &mut FaasWorld, e| inject_fault(w, e, &kind));
+    }
+    events
+}
+
+/// Apply one fault right now, with mode-dependent blast radius.
+pub fn inject_fault(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, kind: &FaultKind) {
+    let now = eng.now();
+    match kind {
+        FaultKind::WorkerCrash { worker } => {
+            let Some(w) = world.workers.get(*worker) else {
+                return;
+            };
+            if matches!(w.state, WorkerState::Dead | WorkerState::Crashed) {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "worker-crash",
+                None,
+                Some(*worker),
+                "process crashed silently",
+            );
+            crash_worker(world, eng, *worker, "injected process crash");
+        }
+        FaultKind::GpuClientFault { worker } => {
+            let Some(w) = world.workers.get(*worker) else {
+                return;
+            };
+            let Some((gpu, _)) = w.gpu else {
+                return; // no context — nothing to fault against
+            };
+            world.recovery.stats.faults_injected += 1;
+            let mode = world.fleet.device(gpu).mode();
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "gpu-client-fault",
+                Some(gpu.0),
+                Some(*worker),
+                format!("fatal CUDA fault under {mode:?}"),
+            );
+            match mode {
+                // One MPS server process serves every client: a fatal
+                // fault poisons the shared context and takes the whole
+                // device's residents down.
+                DeviceMode::MpsDefault | DeviceMode::MpsPartitioned => {
+                    quarantine_gpu(world, eng, gpu, "MPS shared context poisoned");
+                }
+                // Hardware (MIG) or temporal (time-sharing / vGPU)
+                // isolation contains the fault to the faulting client.
+                DeviceMode::TimeSharing | DeviceMode::Mig | DeviceMode::Vgpu { .. } => {
+                    fault_kill_worker(
+                        world,
+                        eng,
+                        *worker,
+                        "gpu-client-fault",
+                        "fatal CUDA fault (contained)",
+                    );
+                    if !note_client_fault(world, eng, gpu) {
+                        crate::world::auto_respawn(world, eng, *worker);
+                    }
+                }
+            }
+        }
+        FaultKind::DeviceFault { gpu } => {
+            if (*gpu as usize) >= world.fleet.len() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "device-fault",
+                Some(*gpu),
+                None,
+                "uncorrectable ECC/Xid error",
+            );
+            quarantine_gpu(world, eng, GpuId(*gpu), "uncorrectable ECC/Xid error");
+        }
+        FaultKind::ProvisioningFailure { worker } => {
+            if world.workers.get(*worker).is_none() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "provisioning-failure",
+                None,
+                Some(*worker),
+                "next provisioning attempt will fail",
+            );
+            world.workers[*worker].provision_poisoned = true;
+        }
+        FaultKind::Straggler {
+            gpu,
+            factor,
+            duration,
+        } => {
+            if (*gpu as usize) >= world.fleet.len() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            let id = GpuId(*gpu);
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "straggler",
+                Some(*gpu),
+                None,
+                format!("kernel rates scaled by {factor:.2} for {duration:?}"),
+            );
+            world.fleet.device_mut(id).set_slowdown(now, *factor);
+            resync(world, eng, id);
+            let g = *gpu;
+            eng.schedule_in(*duration, move |w: &mut FaasWorld, e| {
+                let id = GpuId(g);
+                let t = e.now();
+                w.fleet.device_mut(id).set_slowdown(t, 1.0);
+                resync(w, e, id);
+                w.monitor.fault_event(
+                    t,
+                    FaultPhase::Recovered,
+                    "straggler-cleared",
+                    Some(g),
+                    None,
+                    "kernel rates restored",
+                );
+            });
+        }
+        FaultKind::ModelLoadOom { worker } => {
+            if world.workers.get(*worker).is_none() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "model-load-oom",
+                None,
+                None,
+                format!("worker {worker}: next model load will OOM"),
+            );
+            world.workers[*worker].model_load_poisoned = true;
+        }
+    }
+}
+
+/// Per-GPU circuit-breaker state.
+#[derive(Debug, Clone, Default)]
+pub struct GpuHealth {
+    /// `Some(t)` while quarantined; re-admission is scheduled for `t`.
+    pub open_until: Option<SimTime>,
+    /// Contained client faults since the last trip/re-admission.
+    pub consecutive_faults: u32,
+    /// Workers parked during quarantine, respawned at re-admission.
+    pub parked: Vec<usize>,
+}
+
+/// Counters summarizing a run's fault and recovery activity.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RecoveryStats {
+    /// Faults actually applied (injections against dead targets are
+    /// dropped and not counted).
+    pub faults_injected: u64,
+    /// Worker processes lost to faults (crash, blast radius, provider).
+    pub workers_lost: u64,
+    /// Crashes discovered by the heartbeat watchdog.
+    pub crashes_detected: u64,
+    /// Automatic respawns started (within the restart budget).
+    pub respawns: u64,
+    /// Task retries scheduled with backoff.
+    pub retries_scheduled: u64,
+    /// Circuit-breaker trips (device quarantines).
+    pub quarantines: u64,
+    /// Queued tasks failed over to a surviving executor.
+    pub failovers: u64,
+}
+
+/// The platform's recovery machinery: watchdog flag, jitter RNG, per-GPU
+/// breakers, and counters. Owned by [`FaasWorld`].
+#[derive(Debug)]
+pub struct RecoveryState {
+    /// Backoff-jitter RNG (its own stream; consuming jitter never
+    /// perturbs workload randomness).
+    pub(crate) rng: SimRng,
+    gpu_health: Vec<GpuHealth>,
+    /// True while the heartbeat watchdog is ticking.
+    pub(crate) watchdog_armed: bool,
+    /// Run counters.
+    pub stats: RecoveryStats,
+}
+
+impl RecoveryState {
+    /// Fresh state for a fleet of `gpus` devices.
+    pub fn new(rng: SimRng, gpus: usize) -> Self {
+        RecoveryState {
+            rng,
+            gpu_health: (0..gpus).map(|_| GpuHealth::default()).collect(),
+            watchdog_armed: false,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Breaker state for a device, if tracked.
+    pub fn health(&self, gpu: GpuId) -> Option<&GpuHealth> {
+        self.gpu_health.get(gpu.0 as usize)
+    }
+
+    /// Mutable breaker state, growing the table if the fleet gained
+    /// devices after construction.
+    pub(crate) fn health_mut(&mut self, gpu: GpuId) -> &mut GpuHealth {
+        let i = gpu.0 as usize;
+        if i >= self.gpu_health.len() {
+            self.gpu_health.resize_with(i + 1, GpuHealth::default);
+        }
+        &mut self.gpu_health[i]
+    }
+}

@@ -23,6 +23,7 @@ pub mod app;
 pub mod cache;
 pub mod config;
 pub mod dfk;
+pub mod faults;
 pub mod monitoring;
 pub mod strategy;
 pub mod wire;
@@ -30,9 +31,15 @@ pub mod world;
 
 pub use app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 pub use cache::WeightCache;
-pub use config::{AcceleratorSpec, Config, ExecutorConfig, ProviderConfig};
+pub use config::{AcceleratorSpec, Config, ExecutorConfig, ProviderConfig, RecoveryConfig};
 pub use dfk::{Dfk, FailureOutcome, TaskRecord, TaskState};
+pub use faults::{
+    inject_fault, install_faults, FaultEvent, FaultKind, FaultPlan, GpuHealth, RecoveryState,
+    RecoveryStats, StochasticFaults,
+};
+pub use monitoring::{FaultPhase, FaultRecord};
 pub use world::{
-    boot, cancel, kick_executor, kill_worker, respawn_worker, resume_sampling, run, shutdown,
-    submit, Driver, FaasWorld, Worker, WorkerState,
+    add_worker, boot, cancel, crash_worker, gpu_quarantined, kick_executor, kill_worker,
+    quarantine_gpu, respawn_worker, resume_sampling, run, shutdown, submit, Driver, FaasWorld,
+    RespawnError, Worker, WorkerState,
 };

@@ -43,6 +43,11 @@ pub enum WorkerEventKind {
     TaskEnd,
     /// Killed (shutdown or reconfiguration).
     Killed,
+    /// Process lost silently (fault injection); the platform does not
+    /// know yet — detection is a later `Killed` from the watchdog.
+    Crashed,
+    /// Automatically restarted by the recovery layer (budgeted).
+    Respawned,
 }
 
 /// One worker lifecycle event.
@@ -79,6 +84,35 @@ pub struct TaskRow {
     pub error: Option<String>,
 }
 
+/// Lifecycle phase of a fault incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultPhase {
+    /// The fault occurred (injection time).
+    Injected,
+    /// The platform noticed (watchdog timeout, CUDA error, breaker trip).
+    Detected,
+    /// Service restored (worker ready again, GPU re-admitted, straggler
+    /// cleared).
+    Recovered,
+}
+
+/// One fault/recovery event, the resilience analogue of [`WorkerEvent`].
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRecord {
+    /// Event time.
+    pub t: SimTime,
+    /// Incident phase.
+    pub phase: FaultPhase,
+    /// Fault kind label, e.g. `"worker-crash"`, `"gpu-client-fault"`.
+    pub kind: &'static str,
+    /// Affected device, when the incident is device-scoped.
+    pub gpu: Option<u32>,
+    /// Affected worker, when the incident is worker-scoped.
+    pub worker: Option<usize>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
 /// One periodic executor-queue sample.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct QueueSample {
@@ -99,6 +133,8 @@ pub struct Monitoring {
     pub queue_samples: Vec<QueueSample>,
     /// Worker events, in time order.
     pub worker_events: Vec<WorkerEvent>,
+    /// Fault and recovery events, in time order.
+    pub fault_records: Vec<FaultRecord>,
 }
 
 impl Monitoring {
@@ -121,6 +157,66 @@ impl Monitoring {
             kind,
             detail: detail.into(),
         });
+    }
+
+    /// Append a fault/recovery record.
+    pub fn fault_event(
+        &mut self,
+        t: SimTime,
+        phase: FaultPhase,
+        kind: &'static str,
+        gpu: Option<u32>,
+        worker: Option<usize>,
+        detail: impl Into<String>,
+    ) {
+        self.fault_records.push(FaultRecord {
+            t,
+            phase,
+            kind,
+            gpu,
+            worker,
+            detail: detail.into(),
+        });
+    }
+
+    /// Mean time to recovery in seconds over closed incidents, or `None`
+    /// if no incident both opened and closed.
+    ///
+    /// Incidents are tracked per subject (a worker index, or a GPU index
+    /// for device-scoped records): the first loss-phase record
+    /// (`Injected` or `Detected`) opens an incident, the next `Recovered`
+    /// for the same subject closes it. Unclosed incidents (budget
+    /// exhausted, run ended mid-outage) are excluded.
+    pub fn mttr_s(&self) -> Option<f64> {
+        use std::collections::HashMap;
+        // Subject key: workers and GPUs live in disjoint key spaces.
+        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+        enum Subject {
+            Worker(usize),
+            Gpu(u32),
+        }
+        let mut open: HashMap<Subject, SimTime> = HashMap::new();
+        let mut total = 0.0;
+        let mut closed = 0u64;
+        for r in &self.fault_records {
+            let subject = match (r.worker, r.gpu) {
+                (Some(w), _) => Subject::Worker(w),
+                (None, Some(g)) => Subject::Gpu(g),
+                (None, None) => continue,
+            };
+            match r.phase {
+                FaultPhase::Injected | FaultPhase::Detected => {
+                    open.entry(subject).or_insert(r.t);
+                }
+                FaultPhase::Recovered => {
+                    if let Some(t0) = open.remove(&subject) {
+                        total += r.t.duration_since(t0).as_secs_f64();
+                        closed += 1;
+                    }
+                }
+            }
+        }
+        (closed > 0).then(|| total / closed as f64)
     }
 
     /// Mean utilization of `gpu` over all samples.
@@ -194,12 +290,14 @@ pub fn export_json(dfk: &Dfk, monitor: &Monitoring) -> String {
         samples: &'a [UtilSample],
         queue_samples: &'a [QueueSample],
         worker_events: &'a [WorkerEvent],
+        fault_records: &'a [FaultRecord],
     }
     serde_json::to_string_pretty(&Snapshot {
         tasks: task_rows(dfk),
         samples: &monitor.samples,
         queue_samples: &monitor.queue_samples,
         worker_events: &monitor.worker_events,
+        fault_records: &monitor.fault_records,
     })
     .expect("monitoring snapshot serializes")
 }
@@ -294,6 +392,66 @@ mod tests {
         assert!((m.mean_queue_depth(0) - 3.0).abs() < 1e-12);
         assert_eq!(m.peak_queue_depth(0), 8);
         assert_eq!(m.peak_queue_depth(5), 0);
+    }
+
+    #[test]
+    fn mttr_pairs_loss_with_recovery_per_subject() {
+        let mut m = Monitoring::new();
+        assert_eq!(m.mttr_s(), None);
+        let s = SimTime::from_secs;
+        // Worker 0: injected at 10, detected at 12, recovered at 16 → 6 s.
+        m.fault_event(
+            s(10),
+            FaultPhase::Injected,
+            "worker-crash",
+            None,
+            Some(0),
+            "",
+        );
+        m.fault_event(
+            s(12),
+            FaultPhase::Detected,
+            "worker-crash",
+            None,
+            Some(0),
+            "",
+        );
+        m.fault_event(
+            s(16),
+            FaultPhase::Recovered,
+            "worker-restored",
+            None,
+            Some(0),
+            "",
+        );
+        // GPU 1: detected at 20, recovered at 30 → 10 s.
+        m.fault_event(
+            s(20),
+            FaultPhase::Detected,
+            "gpu-quarantine",
+            Some(1),
+            None,
+            "",
+        );
+        m.fault_event(
+            s(30),
+            FaultPhase::Recovered,
+            "gpu-readmitted",
+            Some(1),
+            None,
+            "",
+        );
+        // Worker 5: lost, never recovered → excluded.
+        m.fault_event(
+            s(40),
+            FaultPhase::Detected,
+            "worker-crash",
+            None,
+            Some(5),
+            "",
+        );
+        let mttr = m.mttr_s().unwrap();
+        assert!((mttr - 8.0).abs() < 1e-9, "mttr {mttr}");
     }
 
     #[test]

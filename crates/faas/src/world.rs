@@ -22,8 +22,9 @@
 use crate::app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 use crate::cache::WeightCache;
 use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig};
-use crate::dfk::{Dfk, FailureOutcome};
-use crate::monitoring::{Monitoring, QueueSample, UtilSample, WorkerEventKind};
+use crate::dfk::{Dfk, FailureOutcome, TaskState};
+use crate::faults::RecoveryState;
+use crate::monitoring::{FaultPhase, Monitoring, QueueSample, UtilSample, WorkerEventKind};
 use parfait_gpu::context::ColdStartBreakdown;
 use parfait_gpu::host::{launch_kernel, resync, GpuFleet, GpuHost};
 use parfait_gpu::mps::MPS_ENV_VAR;
@@ -56,6 +57,9 @@ pub enum WorkerState {
     Idle,
     /// Executing a task.
     Busy,
+    /// Process lost silently (injected crash); the platform still thinks
+    /// it is alive until the heartbeat watchdog times out.
+    Crashed,
     /// Terminated.
     Dead,
 }
@@ -111,6 +115,18 @@ pub struct Worker {
     /// Incarnation counter; timers from older incarnations are ignored.
     epoch: u64,
     rng: SimRng,
+    /// When the process silently crashed (set while `Crashed`; the
+    /// watchdog compares this against the heartbeat timeout).
+    pub(crate) crashed_at: Option<SimTime>,
+    /// Automatic restarts consumed from the recovery budget.
+    pub restarts_used: u32,
+    /// True between a budgeted auto-respawn and the next Ready; closes
+    /// the fault incident (MTTR) when cold start completes.
+    pub(crate) recovering: bool,
+    /// Injected fault: the next provider hand-over fails.
+    pub(crate) provision_poisoned: bool,
+    /// Injected fault: the next model load dies with a transient OOM.
+    pub(crate) model_load_poisoned: bool,
 }
 
 impl Worker {
@@ -168,7 +184,14 @@ pub struct FaasWorld {
     cpu_event: Option<EventId>,
     driver: Option<Box<dyn Driver>>,
     sampler_armed: bool,
+    /// Failure-detection and recovery machinery (watchdog, backoff RNG,
+    /// per-GPU circuit breakers, fault statistics).
+    pub recovery: RecoveryState,
 }
+
+/// RNG stream id for recovery jitter (distinct from worker streams at
+/// `1000 + id` and the fault-plan realization stream in `faults`).
+const RECOVERY_STREAM: u64 = 617;
 
 impl GpuHost for FaasWorld {
     fn fleet_mut(&mut self) -> &mut GpuFleet {
@@ -218,9 +241,15 @@ impl FaasWorld {
                     awaiting_kernel: None,
                     epoch: 0,
                     rng: rng.split(1000 + id as u64),
+                    crashed_at: None,
+                    restarts_used: 0,
+                    recovering: false,
+                    provision_poisoned: false,
+                    model_load_poisoned: false,
                 });
             }
         }
+        let recovery = RecoveryState::new(rng.split(RECOVERY_STREAM), fleet.len());
         FaasWorld {
             config,
             fleet,
@@ -236,6 +265,7 @@ impl FaasWorld {
             cpu_event: None,
             driver: None,
             sampler_armed: false,
+            recovery,
         }
     }
 
@@ -319,6 +349,26 @@ fn schedule_spawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
         if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Provisioning {
             return;
         }
+        if w.workers[wid].provision_poisoned {
+            // Injected provider failure: the slot never materializes.
+            let now = e.now();
+            w.workers[wid].provision_poisoned = false;
+            w.workers[wid].state = WorkerState::Dead;
+            w.workers[wid].recovering = false;
+            w.recovery.stats.workers_lost += 1;
+            w.monitor.fault_event(
+                now,
+                FaultPhase::Detected,
+                "provisioning-failure",
+                None,
+                Some(wid),
+                "provider failed to hand over the process slot",
+            );
+            w.monitor
+                .worker_event(now, wid, WorkerEventKind::Killed, "provisioning failed");
+            auto_respawn(w, e, wid);
+            return;
+        }
         begin_cold_start(w, e, wid);
     });
 }
@@ -393,6 +443,22 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
     if let Some(spec) = world.workers[wid].accel.clone() {
         match resolve_accel(&world.fleet, &spec) {
             Ok((gpu, binding, env)) => {
+                if gpu_quarantined(world, gpu) {
+                    // The breaker is open: park instead of burning the
+                    // restart budget on a doomed context creation. The
+                    // worker respawns when the device is re-admitted.
+                    let w = &mut world.workers[wid];
+                    w.state = WorkerState::Dead;
+                    w.recovering = false;
+                    world.recovery.health_mut(gpu).parked.push(wid);
+                    world.monitor.worker_event(
+                        now,
+                        wid,
+                        WorkerEventKind::Killed,
+                        format!("GPU {} quarantined; parked for re-admission", gpu.0),
+                    );
+                    return;
+                }
                 let label = world.workers[wid].label.clone();
                 match world
                     .fleet
@@ -440,6 +506,19 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
     world
         .monitor
         .worker_event(now, wid, WorkerEventKind::Ready, cold);
+    if world.workers[wid].recovering {
+        // Auto-respawn completed: close the fault incident (MTTR).
+        world.workers[wid].recovering = false;
+        let gpu = world.workers[wid].gpu.map(|(g, _)| g.0);
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Recovered,
+            "worker-restored",
+            gpu,
+            Some(wid),
+            "respawn complete",
+        );
+    }
     kick_executor(world, eng, world.workers[wid].executor);
 }
 
@@ -562,6 +641,26 @@ fn begin_model_load(
         );
         return;
     };
+    if world.workers[wid].model_load_poisoned {
+        // Injected transient OOM: the attempt fails, the worker survives,
+        // and the retry (with backoff) loads cleanly.
+        world.workers[wid].model_load_poisoned = false;
+        world.monitor.fault_event(
+            eng.now(),
+            FaultPhase::Detected,
+            "model-load-oom",
+            None,
+            None,
+            format!("worker {wid}: model {} load hit transient OOM", m.id),
+        );
+        finish_task(
+            world,
+            eng,
+            wid,
+            Err("model load failed: injected out-of-memory".into()),
+        );
+        return;
+    }
     // Decide the load path: stock (whole blob into the process context)
     // or through the §7 GPU-resident weight cache (shared weights pinned
     // device-wide, only private KV/workspace per process).
@@ -851,7 +950,6 @@ fn finish_task(
         world.workers[wid].state = WorkerState::Idle;
         world.workers[wid].idle_since = Some(now);
     }
-    let exec = world.workers[wid].executor;
     let terminal = match result {
         Ok(()) => {
             world.workers[wid].tasks_completed += 1;
@@ -864,7 +962,7 @@ fn finish_task(
         }
         Err(e) => match world.dfk.mark_failed(run.task, now, &e) {
             FailureOutcome::Retry => {
-                world.queues[exec].push_back(run.task);
+                schedule_retry(world, eng, run.task);
                 false
             }
             FailureOutcome::Fatal { cascade } => {
@@ -907,6 +1005,7 @@ pub fn kill_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usiz
     w.model_bytes = 0;
     w.ready_at = None;
     w.idle_since = None;
+    w.crashed_at = None;
     let gpu_binding = w.gpu.take();
     if let Some((gpu, ctx)) = gpu_binding {
         let _ = world.fleet.device_mut(gpu).destroy_context(now, ctx);
@@ -917,38 +1016,78 @@ pub fn kill_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usiz
         .worker_event(now, wid, WorkerEventKind::Killed, reason.to_string());
 }
 
+/// Why [`respawn_worker`] refused to act.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespawnError {
+    /// The worker id does not exist.
+    UnknownWorker(usize),
+    /// The worker is not `Dead` (respawning a live or still-crashed
+    /// worker would leak its context and task).
+    NotDead {
+        /// The worker that was targeted.
+        worker: usize,
+        /// Its actual state.
+        state: WorkerState,
+    },
+}
+
+impl std::fmt::Display for RespawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespawnError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            RespawnError::NotDead { worker, state } => {
+                write!(f, "worker {worker} is {state:?}, not Dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RespawnError {}
+
 /// Restart a dead worker, optionally with a new accelerator binding — the
 /// §6 MPS-resize path (process restart to change the GPU percentage).
+///
+/// Returns an error (instead of panicking) when the worker is unknown or
+/// not `Dead`; the world is left untouched in that case.
 pub fn respawn_worker(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     wid: usize,
     new_accel: Option<AcceleratorSpec>,
-) {
+) -> Result<(), RespawnError> {
     {
-        let w = &mut world.workers[wid];
-        assert_eq!(w.state, WorkerState::Dead, "respawn requires a dead worker");
+        let Some(w) = world.workers.get_mut(wid) else {
+            return Err(RespawnError::UnknownWorker(wid));
+        };
+        if w.state != WorkerState::Dead {
+            return Err(RespawnError::NotDead {
+                worker: wid,
+                state: w.state,
+            });
+        }
         if let Some(a) = new_accel {
             w.accel = Some(a);
         }
         w.state = WorkerState::Provisioning;
     }
     schedule_spawn(world, eng, wid);
+    Ok(())
 }
 
 /// Add a brand-new worker to an executor at runtime (elastic scale-out;
 /// §2.1's "rapid spin up of function instances"). The accelerator slot is
 /// taken from the executor config's list, cycled by worker index, unless
-/// `accel` overrides it. Returns the new worker's id.
+/// `accel` overrides it. Returns the new worker's id, or `None` (without
+/// touching the world) when `exec` is out of range.
 pub fn add_worker(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     exec: usize,
     accel: Option<AcceleratorSpec>,
-) -> usize {
+) -> Option<usize> {
     let id = world.workers.len();
     let within = world.workers.iter().filter(|w| w.executor == exec).count();
-    let ex = &world.config.executors[exec];
+    let ex = world.config.executors.get(exec)?;
     let slot = accel.or_else(|| ex.accelerator_for(within).cloned());
     let rng = world.rng.split(1000 + id as u64);
     world.workers.push(Worker {
@@ -971,9 +1110,14 @@ pub fn add_worker(
         awaiting_kernel: None,
         epoch: 0,
         rng,
+        crashed_at: None,
+        restarts_used: 0,
+        recovering: false,
+        provision_poisoned: false,
+        model_load_poisoned: false,
     });
     schedule_spawn(world, eng, id);
-    id
+    Some(id)
 }
 
 /// Kill every worker (platform shutdown).
@@ -981,6 +1125,374 @@ pub fn shutdown(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
     for wid in 0..world.workers.len() {
         kill_worker(world, eng, wid, "shutdown");
     }
+}
+
+// ---------------------------------------------------------------------
+// Failure detection & recovery
+// ---------------------------------------------------------------------
+
+/// Crash a worker process *silently*: the process is gone, but unlike
+/// [`kill_worker`] the platform does not notice — the in-flight task stays
+/// `Running` and the worker stays occupied until the heartbeat watchdog
+/// times out and declares it dead. This is the injection point for
+/// process-crash faults.
+pub fn crash_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, reason: &str) {
+    let now = eng.now();
+    let Some(w) = world.workers.get(wid) else {
+        return;
+    };
+    if matches!(w.state, WorkerState::Dead | WorkerState::Crashed) {
+        return;
+    }
+    // The process is gone: its CPU jobs stop consuming cores and the
+    // driver reaps its GPU context (kernels die with it). The *platform*
+    // still believes the worker is alive — the task table is untouched.
+    cancel_cpu_jobs(world, eng, wid);
+    {
+        let w = &mut world.workers[wid];
+        w.state = WorkerState::Crashed;
+        w.crashed_at = Some(now);
+        w.epoch += 1; // pending timers of the dead incarnation are stale
+        w.awaiting_kernel = None;
+        w.loaded_models.clear();
+        w.model_bytes = 0;
+        w.ready_at = None;
+        w.idle_since = None;
+    }
+    if let Some((gpu, ctx)) = world.workers[wid].gpu.take() {
+        let _ = world.fleet.device_mut(gpu).destroy_context(now, ctx);
+        resync(world, eng, gpu);
+    }
+    world.recovery.stats.workers_lost += 1;
+    world
+        .monitor
+        .worker_event(now, wid, WorkerEventKind::Crashed, reason.to_string());
+    arm_watchdog(world, eng);
+}
+
+/// Start the heartbeat watchdog if it is not already ticking. It disarms
+/// itself once no crashed-but-undetected workers remain, so an idle
+/// platform's event queue still drains.
+pub(crate) fn arm_watchdog(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    if world.recovery.watchdog_armed {
+        return;
+    }
+    world.recovery.watchdog_armed = true;
+    let period = world.config.recovery.heartbeat_period;
+    eng.schedule_in(period, watchdog_tick);
+}
+
+fn watchdog_tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    let now = eng.now();
+    let timeout = world.config.recovery.heartbeat_timeout;
+    let expired: Vec<usize> = world
+        .workers
+        .iter()
+        .filter(|w| {
+            w.state == WorkerState::Crashed
+                && w.crashed_at
+                    .is_some_and(|t0| now.duration_since(t0) >= timeout)
+        })
+        .map(|w| w.id)
+        .collect();
+    for wid in expired {
+        detect_worker_death(world, eng, wid);
+    }
+    if world
+        .workers
+        .iter()
+        .any(|w| w.state == WorkerState::Crashed)
+    {
+        eng.schedule_in(world.config.recovery.heartbeat_period, watchdog_tick);
+    } else {
+        world.recovery.watchdog_armed = false;
+    }
+}
+
+/// The watchdog noticed a crashed worker: tear it down (failing its task,
+/// which re-queues with backoff) and start a budgeted respawn.
+fn detect_worker_death(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    let silent = world.workers[wid]
+        .crashed_at
+        .map(|t0| now.duration_since(t0).as_secs_f64())
+        .unwrap_or(0.0);
+    world.recovery.stats.crashes_detected += 1;
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Detected,
+        "worker-crash",
+        None,
+        Some(wid),
+        format!("heartbeat silent for {silent:.2}s"),
+    );
+    kill_worker(world, eng, wid, "heartbeat timeout");
+    if let Some(gpu) = worker_target_gpu(world, wid) {
+        if gpu_quarantined(world, gpu) {
+            world.recovery.health_mut(gpu).parked.push(wid);
+            return;
+        }
+    }
+    auto_respawn(world, eng, wid);
+}
+
+/// Respawn a dead worker if its restart budget allows; marks it
+/// `recovering` so the fault incident closes (MTTR) when it comes back
+/// `Idle`. Returns whether a respawn was started.
+pub(crate) fn auto_respawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) -> bool {
+    let now = eng.now();
+    let budget = world.config.recovery.restart_budget;
+    let used = world.workers[wid].restarts_used;
+    if used >= budget {
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Detected,
+            "restart-budget-exhausted",
+            None,
+            Some(wid),
+            format!("{used}/{budget} restarts used; worker stays down"),
+        );
+        return false;
+    }
+    world.workers[wid].restarts_used = used + 1;
+    world.workers[wid].recovering = true;
+    if respawn_worker(world, eng, wid, None).is_err() {
+        world.workers[wid].recovering = false;
+        return false;
+    }
+    world.recovery.stats.respawns += 1;
+    world.monitor.worker_event(
+        now,
+        wid,
+        WorkerEventKind::Respawned,
+        format!("automatic restart {}/{budget}", used + 1),
+    );
+    true
+}
+
+/// Re-queue a failed-but-retryable task after exponential backoff with
+/// seeded jitter (immediate re-queueing hammers a still-broken executor).
+fn schedule_retry(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId) {
+    let rc = &world.config.recovery;
+    let attempt = world.dfk.task(task).attempts.max(1);
+    let exp = (attempt - 1).min(16);
+    let base = rc.backoff_base.as_secs_f64() * (1u64 << exp) as f64;
+    let capped = base.min(rc.backoff_cap.as_secs_f64());
+    let jitter = rc.backoff_jitter.clamp(0.0, 1.0);
+    let mult = 1.0 + jitter * world.recovery.rng.f64();
+    world.recovery.stats.retries_scheduled += 1;
+    eng.schedule_in(
+        SimDuration::from_secs_f64(capped * mult),
+        move |w: &mut FaasWorld, e| {
+            // The task may have been cancelled (or failed over and
+            // already re-queued) while backing off.
+            if w.dfk.task(task).state != TaskState::Ready {
+                return;
+            }
+            let exec = w.dfk.task(task).executor;
+            if w.queues[exec].contains(&task) {
+                return;
+            }
+            w.queues[exec].push_back(task);
+            kick_executor(w, e, exec);
+        },
+    );
+}
+
+/// Kill a worker as collateral of a GPU-side fault, recording the loss.
+pub(crate) fn fault_kill_worker(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    kind: &'static str,
+    reason: &str,
+) {
+    // Crashed workers still hold a task, so they get killed too; only an
+    // already-Dead worker is skipped.
+    if world.workers[wid].state == WorkerState::Dead {
+        return;
+    }
+    let gpu = world.workers[wid].gpu.map(|(g, _)| g.0);
+    world.recovery.stats.workers_lost += 1;
+    world.monitor.fault_event(
+        eng.now(),
+        FaultPhase::Detected,
+        kind,
+        gpu,
+        Some(wid),
+        reason.to_string(),
+    );
+    kill_worker(world, eng, wid, reason);
+}
+
+/// Record a contained client fault against a device's circuit breaker;
+/// trips (quarantines) after `breaker_threshold` faults. Returns whether
+/// the breaker tripped.
+pub(crate) fn note_client_fault(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: GpuId,
+) -> bool {
+    let threshold = world.config.recovery.breaker_threshold;
+    let h = world.recovery.health_mut(gpu);
+    if h.open_until.is_some() {
+        return true;
+    }
+    h.consecutive_faults += 1;
+    if h.consecutive_faults >= threshold {
+        quarantine_gpu(world, eng, gpu, "circuit breaker tripped");
+        true
+    } else {
+        false
+    }
+}
+
+/// Is the device's circuit breaker currently open?
+pub fn gpu_quarantined(world: &FaasWorld, gpu: GpuId) -> bool {
+    world
+        .recovery
+        .health(gpu)
+        .is_some_and(|h| h.open_until.is_some())
+}
+
+/// Quarantine a GPU: mark it unhealthy, kill every resident client
+/// (device-level blast radius), park its workers for re-admission, fail
+/// queued work over to surviving executors, and schedule re-admission
+/// after the cooldown.
+pub fn quarantine_gpu(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: GpuId,
+    reason: &str,
+) {
+    let now = eng.now();
+    if gpu_quarantined(world, gpu) {
+        return;
+    }
+    let until = now + world.config.recovery.breaker_cooldown;
+    {
+        let h = world.recovery.health_mut(gpu);
+        h.open_until = Some(until);
+        h.consecutive_faults = 0;
+    }
+    world.recovery.stats.quarantines += 1;
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Detected,
+        "gpu-quarantine",
+        Some(gpu.0),
+        None,
+        reason.to_string(),
+    );
+    world.fleet.device_mut(gpu).mark_unhealthy(now);
+    let residents: Vec<usize> = world
+        .workers
+        .iter()
+        .filter(|w| w.gpu.map(|(g, _)| g) == Some(gpu))
+        .map(|w| w.id)
+        .collect();
+    for wid in residents {
+        fault_kill_worker(world, eng, wid, "gpu-blast-radius", reason);
+    }
+    // Park every dead worker slotted on this device (the residents just
+    // killed, plus any earlier casualties): they respawn at re-admission
+    // instead of failing cold start against an unhealthy device.
+    let parked: Vec<usize> = (0..world.workers.len())
+        .filter(|&wid| {
+            world.workers[wid].state == WorkerState::Dead
+                && worker_target_gpu(world, wid) == Some(gpu)
+        })
+        .collect();
+    world.recovery.health_mut(gpu).parked = parked;
+    fail_over_queues(world, eng);
+    eng.schedule_at(until, move |w: &mut FaasWorld, e| readmit_gpu(w, e, gpu));
+}
+
+/// Cooldown elapsed: close the breaker, mark the device healthy again,
+/// and respawn its parked workers (budget permitting).
+fn readmit_gpu(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, gpu: GpuId) {
+    let now = eng.now();
+    let parked = {
+        let h = world.recovery.health_mut(gpu);
+        if h.open_until.is_none() {
+            return; // already re-admitted
+        }
+        h.open_until = None;
+        h.consecutive_faults = 0;
+        std::mem::take(&mut h.parked)
+    };
+    world.fleet.device_mut(gpu).mark_healthy();
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Recovered,
+        "gpu-readmitted",
+        Some(gpu.0),
+        None,
+        "cooldown elapsed",
+    );
+    for wid in parked {
+        if world.workers[wid].state == WorkerState::Dead {
+            auto_respawn(world, eng, wid);
+        }
+    }
+    for e in 0..world.queues.len() {
+        kick_executor(world, eng, e);
+    }
+}
+
+/// Move queued tasks off executors with no live workers onto the
+/// healthiest surviving executor (most idle workers, ties to the lowest
+/// index). Tasks keep their identity; only their placement changes.
+fn fail_over_queues(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
+    let live_counts: Vec<usize> = (0..world.queues.len())
+        .map(|e| {
+            world
+                .workers
+                .iter()
+                .filter(|w| {
+                    w.executor == e && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
+                })
+                .count()
+        })
+        .collect();
+    let Some(target) = (0..world.queues.len())
+        .filter(|&e| live_counts[e] > 0)
+        .max_by(|&a, &b| live_counts[a].cmp(&live_counts[b]).then(b.cmp(&a)))
+    else {
+        return; // nowhere to fail over to; queues drain at re-admission
+    };
+    let mut moved = 0usize;
+    for (e, &live) in live_counts.iter().enumerate() {
+        if e == target || live > 0 {
+            continue;
+        }
+        while let Some(task) = world.queues[e].pop_front() {
+            world.dfk.task_mut(task).executor = target;
+            world.queues[target].push_back(task);
+            moved += 1;
+        }
+    }
+    if moved > 0 {
+        world.recovery.stats.failovers += moved as u64;
+        world.monitor.fault_event(
+            eng.now(),
+            FaultPhase::Detected,
+            "queue-failover",
+            None,
+            None,
+            format!("{moved} queued tasks moved to executor {target}"),
+        );
+        kick_executor(world, eng, target);
+    }
+}
+
+/// The GPU a worker is (or would be, after respawn) bound to.
+fn worker_target_gpu(world: &FaasWorld, wid: usize) -> Option<GpuId> {
+    if let Some((gpu, _)) = world.workers[wid].gpu {
+        return Some(gpu);
+    }
+    let spec = world.workers[wid].accel.as_ref()?;
+    resolve_accel(&world.fleet, spec).ok().map(|(g, _, _)| g)
 }
 
 fn sample_monitors(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
@@ -1005,12 +1517,16 @@ fn sample_monitors(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
             depth: q.len(),
         });
     }
-    // Keep sampling while work remains or workers are still coming up.
+    // Keep sampling while work remains or workers are still coming up
+    // (or silently crashed — the watchdog will generate more events).
     let active = !world.dfk.all_settled()
         || world.workers.iter().any(|w| {
             matches!(
                 w.state,
-                WorkerState::Provisioning | WorkerState::ColdStart | WorkerState::Busy
+                WorkerState::Provisioning
+                    | WorkerState::ColdStart
+                    | WorkerState::Busy
+                    | WorkerState::Crashed
             )
         });
     if active {

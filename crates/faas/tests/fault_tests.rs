@@ -1,0 +1,447 @@
+//! Fault injection, detection, and recovery: blast radius per device
+//! mode, heartbeat watchdog, backoff retry, restart budget, circuit
+//! breaker, and end-to-end determinism.
+
+use parfait_faas::app::bodies::{CpuBurn, KernelSeq};
+use parfait_faas::monitoring::export_json;
+use parfait_faas::*;
+use parfait_gpu::{DeviceMode, GpuFleet, GpuId, GpuSpec, KernelDesc, GIB};
+use parfait_simcore::{Engine, SimDuration, SimTime};
+
+fn fleet_one(mode: DeviceMode) -> GpuFleet {
+    let mut fleet = GpuFleet::new();
+    let g = fleet.add(GpuSpec::a100_80gb());
+    let d = fleet.device_mut(g);
+    if matches!(mode, DeviceMode::MpsDefault | DeviceMode::MpsPartitioned) {
+        d.mps.start();
+    }
+    d.set_mode(mode).unwrap();
+    fleet
+}
+
+fn cpu_call(app: &str, secs: u64) -> AppCall {
+    AppCall::new(app, "cpu", move |_| {
+        Box::new(CpuBurn::new(SimDuration::from_secs(secs)))
+    })
+}
+
+fn gpu_call(app: &str, sm_seconds: f64) -> AppCall {
+    AppCall::new(app, "gpu", move |_| {
+        Box::new(KernelSeq::new(
+            vec![KernelDesc::new("k", sm_seconds, 75_600, 75_600, 0.0)],
+            SimDuration::ZERO,
+        ))
+    })
+}
+
+/// The acceptance scenario, MPS half: a fatal client fault under
+/// `MpsDefault` poisons the shared context — every co-resident worker on
+/// the device dies and the device is quarantined — yet every task still
+/// completes after re-admission.
+#[test]
+fn mps_client_fault_kills_all_residents_then_recovers() {
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![
+            AcceleratorSpec::Gpu(0),
+            AcceleratorSpec::Gpu(0),
+            AcceleratorSpec::Gpu(0),
+        ],
+    )]);
+    config.retries = 3;
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::MpsDefault), 42);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let ids: Vec<TaskId> = (0..6)
+        .map(|i| submit(&mut w, &mut eng, gpu_call(&format!("t{i}"), 3.0)))
+        .collect();
+    let plan = FaultPlan::one(
+        SimTime::from_secs(15),
+        FaultKind::GpuClientFault { worker: 0 },
+    );
+    install_faults(&mut w, &mut eng, &plan);
+
+    eng.run_until(&mut w, SimTime::from_secs(16));
+    assert!(
+        w.workers.iter().all(|wk| wk.state == WorkerState::Dead),
+        "MPS blast radius: every co-resident client dies, states: {:?}",
+        w.workers.iter().map(|wk| wk.state).collect::<Vec<_>>()
+    );
+    assert!(gpu_quarantined(&w, GpuId(0)), "device quarantined");
+    assert!(!w.fleet.device(GpuId(0)).is_healthy());
+    assert_eq!(w.fleet.device(GpuId(0)).context_count(), 0);
+    assert_eq!(w.recovery.stats.quarantines, 1);
+    assert!(w.recovery.stats.workers_lost >= 3);
+
+    eng.run(&mut w);
+    assert!(
+        !gpu_quarantined(&w, GpuId(0)),
+        "cooldown elapsed, breaker closed"
+    );
+    assert!(w.fleet.device(GpuId(0)).is_healthy());
+    for id in &ids {
+        assert_eq!(
+            w.dfk.task(*id).state,
+            TaskState::Done,
+            "task {} must complete after re-admission",
+            id.0
+        );
+    }
+    assert!(w.recovery.stats.respawns >= 3, "parked workers respawned");
+    assert!(w.monitor.mttr_s().is_some(), "incidents paired for MTTR");
+}
+
+/// The acceptance scenario, MIG half: the *same* fault under MIG is
+/// contained to the faulting instance — exactly one worker dies, the
+/// others never stop, and the breaker does not trip.
+#[test]
+fn mig_client_fault_is_contained_to_one_instance() {
+    let mut fleet = fleet_one(DeviceMode::Mig);
+    let d = fleet.device_mut(GpuId(0));
+    let uuids: Vec<String> = (0..3)
+        .map(|_| {
+            let iid = d.mig_create("2g.20gb").unwrap();
+            d.mig.get(iid).unwrap().uuid.clone()
+        })
+        .collect();
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        uuids.iter().cloned().map(AcceleratorSpec::Mig).collect(),
+    )]);
+    config.retries = 3;
+    let mut w = FaasWorld::new(config, fleet, 42);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let ids: Vec<TaskId> = (0..6)
+        .map(|i| submit(&mut w, &mut eng, gpu_call(&format!("t{i}"), 3.0)))
+        .collect();
+    let plan = FaultPlan::one(
+        SimTime::from_secs(15),
+        FaultKind::GpuClientFault { worker: 0 },
+    );
+    install_faults(&mut w, &mut eng, &plan);
+
+    eng.run_until(&mut w, SimTime::from_secs(16));
+    // The victim died (and may already be cold-starting its respawn).
+    assert_eq!(w.recovery.stats.workers_lost, 1, "exactly one worker lost");
+    assert_eq!(w.workers[0].restarts_used, 1, "victim respawning");
+    let survivors = w
+        .workers
+        .iter()
+        .skip(1)
+        .filter(|wk| matches!(wk.state, WorkerState::Idle | WorkerState::Busy))
+        .count();
+    assert_eq!(
+        survivors,
+        2,
+        "MIG contains the fault: co-resident instances untouched, states: {:?}",
+        w.workers.iter().map(|wk| wk.state).collect::<Vec<_>>()
+    );
+    assert!(!gpu_quarantined(&w, GpuId(0)), "one fault does not trip");
+    assert!(w.fleet.device(GpuId(0)).is_healthy());
+
+    eng.run(&mut w);
+    for id in &ids {
+        assert_eq!(w.dfk.task(*id).state, TaskState::Done);
+    }
+    assert_eq!(w.recovery.stats.quarantines, 0);
+    assert!(w.recovery.stats.respawns >= 1, "victim respawned");
+}
+
+/// A silent crash is invisible until the heartbeat watchdog times out; the
+/// task held by the crashed worker is only failed (and retried) at
+/// detection time.
+#[test]
+fn watchdog_detects_silent_crash_after_timeout() {
+    let config = Config::new(vec![ExecutorConfig::cpu("cpu", 1)]);
+    let timeout = config.recovery.heartbeat_timeout;
+    let mut w = FaasWorld::new(config, GpuFleet::new(), 7);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let id = submit(&mut w, &mut eng, cpu_call("long", 60));
+    let crash_at = SimTime::from_secs(10);
+    install_faults(
+        &mut w,
+        &mut eng,
+        &FaultPlan::one(crash_at, FaultKind::WorkerCrash { worker: 0 }),
+    );
+
+    eng.run_until(&mut w, crash_at + SimDuration::from_millis(1));
+    assert_eq!(w.workers[0].state, WorkerState::Crashed);
+    assert_eq!(
+        w.dfk.task(id).state,
+        TaskState::Running,
+        "platform has not noticed yet"
+    );
+
+    eng.run(&mut w);
+    let detected = w
+        .monitor
+        .fault_records
+        .iter()
+        .find(|r| r.kind == "worker-crash" && matches!(r.phase, FaultPhase::Detected))
+        .expect("watchdog records the detection");
+    let silence = detected.t.duration_since(crash_at);
+    assert!(
+        silence >= timeout,
+        "detected after only {silence:?} of silence"
+    );
+    assert!(
+        silence <= timeout + SimDuration::from_secs(1),
+        "detection is prompt: {silence:?}"
+    );
+    assert_eq!(w.dfk.task(id).state, TaskState::Done, "retried and done");
+    assert_eq!(w.recovery.stats.crashes_detected, 1);
+    assert_eq!(w.recovery.stats.respawns, 1);
+}
+
+/// Failed attempts re-queue with exponential backoff, not instantly: the
+/// gap between consecutive dispatches of the same task grows.
+#[test]
+fn retries_back_off_exponentially() {
+    let mut config = Config::new(vec![ExecutorConfig::cpu("cpu", 1)]);
+    config.retries = 3;
+    let mut w = FaasWorld::new(config, GpuFleet::new(), 9);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    // A GPU step on a CPU-only worker fails instantly on every attempt.
+    let id = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("doomed", "cpu", |_| {
+            Box::new(KernelSeq::new(
+                vec![KernelDesc::new("k", 1.0, 75_600, 75_600, 0.0)],
+                SimDuration::ZERO,
+            ))
+        }),
+    );
+    eng.run(&mut w);
+    assert_eq!(w.dfk.task(id).state, TaskState::Failed);
+    assert_eq!(w.dfk.task(id).attempts, 4, "1 try + 3 retries");
+    assert_eq!(w.recovery.stats.retries_scheduled, 3);
+    let detail = format!("task {}", id.0);
+    let starts: Vec<SimTime> = w
+        .monitor
+        .worker_events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, parfait_faas::monitoring::WorkerEventKind::TaskStart)
+                && e.detail == detail
+        })
+        .map(|e| e.t)
+        .collect();
+    assert_eq!(starts.len(), 4);
+    let gaps: Vec<f64> = starts
+        .windows(2)
+        .map(|p| p[1].duration_since(p[0]).as_secs_f64())
+        .collect();
+    // base 100 ms doubling, jitter in [1, 1.25): each gap is at least the
+    // deterministic floor and the sequence grows.
+    assert!(gaps[0] >= 0.1, "first backoff {gaps:?}");
+    assert!(gaps[1] >= 0.2, "second backoff {gaps:?}");
+    assert!(gaps[2] >= 0.4, "third backoff {gaps:?}");
+    assert!(gaps[0] < gaps[1] && gaps[1] < gaps[2], "growing: {gaps:?}");
+}
+
+/// Auto-respawn is budgeted: after `restart_budget` restarts the worker
+/// stays down and the exhaustion is recorded.
+#[test]
+fn restart_budget_caps_auto_respawns() {
+    let mut config = Config::new(vec![ExecutorConfig::cpu("cpu", 1)]);
+    config.recovery.restart_budget = 2;
+    let mut w = FaasWorld::new(config, GpuFleet::new(), 11);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let plan = FaultPlan::default()
+        .with(SimTime::from_secs(10), FaultKind::WorkerCrash { worker: 0 })
+        .with(SimTime::from_secs(40), FaultKind::WorkerCrash { worker: 0 })
+        .with(SimTime::from_secs(80), FaultKind::WorkerCrash { worker: 0 });
+    install_faults(&mut w, &mut eng, &plan);
+    eng.run(&mut w);
+    assert_eq!(w.workers[0].state, WorkerState::Dead, "stays down");
+    assert_eq!(w.recovery.stats.respawns, 2);
+    assert_eq!(w.workers[0].restarts_used, 2);
+    assert!(w
+        .monitor
+        .fault_records
+        .iter()
+        .any(|r| r.kind == "restart-budget-exhausted"));
+}
+
+/// Contained client faults accumulate on the per-GPU breaker and trip it
+/// at the threshold, quarantining the device.
+#[test]
+fn breaker_trips_after_repeated_contained_faults() {
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    config.retries = 5;
+    config.recovery.breaker_threshold = 2;
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 13);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let id = submit(&mut w, &mut eng, gpu_call("t", 100.0));
+    let plan = FaultPlan::default()
+        .with(
+            SimTime::from_secs(15),
+            FaultKind::GpuClientFault { worker: 0 },
+        )
+        .with(
+            SimTime::from_secs(30),
+            FaultKind::GpuClientFault { worker: 0 },
+        );
+    install_faults(&mut w, &mut eng, &plan);
+    eng.run_until(&mut w, SimTime::from_secs(20));
+    assert!(
+        !gpu_quarantined(&w, GpuId(0)),
+        "below threshold: no quarantine yet"
+    );
+    eng.run_until(&mut w, SimTime::from_secs(31));
+    assert!(gpu_quarantined(&w, GpuId(0)), "second fault trips");
+    eng.run(&mut w);
+    assert_eq!(w.recovery.stats.quarantines, 1);
+    // 100 SM-seconds never fit before a fault; the task exhausts retries
+    // or completes after re-admission — either way the world drains.
+    let t = w.dfk.task(id);
+    assert!(matches!(t.state, TaskState::Done | TaskState::Failed));
+}
+
+/// Provisioning failures and model-load OOMs are absorbed: the worker
+/// retries provisioning (budgeted) and the task retries its load.
+#[test]
+fn provisioning_failure_and_model_oom_recover() {
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    config.retries = 2;
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 17);
+    let mut eng = Engine::new();
+    // Poison the first provisioning attempt before boot.
+    inject_fault(
+        &mut w,
+        &mut eng,
+        &FaultKind::ProvisioningFailure { worker: 0 },
+    );
+    boot(&mut w, &mut eng);
+    let model = ModelProfile::private(7, GIB);
+    let id = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("infer", "gpu", move |_| {
+            Box::new(
+                KernelSeq::new(
+                    vec![KernelDesc::new("k", 1.0, 75_600, 75_600, 0.0)],
+                    SimDuration::ZERO,
+                )
+                .with_model(model),
+            )
+        }),
+    );
+    install_faults(
+        &mut w,
+        &mut eng,
+        &FaultPlan::one(SimTime::from_secs(1), FaultKind::ModelLoadOom { worker: 0 }),
+    );
+    eng.run(&mut w);
+    assert_eq!(w.dfk.task(id).state, TaskState::Done);
+    assert_eq!(w.recovery.stats.respawns, 1, "provisioning retried");
+    assert!(w.dfk.task(id).attempts >= 2, "load OOM burned one attempt");
+    assert!(w
+        .monitor
+        .fault_records
+        .iter()
+        .any(|r| r.kind == "provisioning-failure"));
+    assert!(w
+        .monitor
+        .fault_records
+        .iter()
+        .any(|r| r.kind == "model-load-oom"));
+}
+
+/// A straggler episode slows kernels and then clears, recording both
+/// phases.
+#[test]
+fn straggler_slows_then_clears() {
+    let config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 19);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    // 216 SM-seconds on 108 SMs ≈ 2 s of device time at nominal rate.
+    let fast = submit(&mut w, &mut eng, gpu_call("fast", 216.0));
+    let plan = FaultPlan::one(
+        SimTime::from_secs(2),
+        FaultKind::Straggler {
+            gpu: 0,
+            factor: 0.25,
+            duration: SimDuration::from_secs(60),
+        },
+    );
+    install_faults(&mut w, &mut eng, &plan);
+    eng.run(&mut w);
+    let t = w.dfk.task(fast);
+    assert_eq!(t.state, TaskState::Done);
+    // At quarter speed the ~2 s kernel takes ~8 s.
+    let dur = t
+        .finished
+        .unwrap()
+        .duration_since(t.started.unwrap())
+        .as_secs_f64();
+    assert!(dur > 4.0, "straggler must stretch the kernel, took {dur}s");
+    assert_eq!(w.fleet.device(GpuId(0)).slowdown(), 1.0, "restored");
+    assert!(w
+        .monitor
+        .fault_records
+        .iter()
+        .any(|r| r.kind == "straggler-cleared"));
+}
+
+/// Same seed + same plan ⇒ bit-identical monitoring export (fault
+/// records, task rows, worker events), including stochastic draws.
+#[test]
+fn fault_runs_are_deterministic() {
+    fn run_once() -> (String, u64, u64) {
+        let mut config = Config::new(vec![ExecutorConfig::gpu(
+            "gpu",
+            vec![AcceleratorSpec::Gpu(0), AcceleratorSpec::Gpu(0)],
+        )]);
+        config.retries = 3;
+        let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 12345);
+        let mut eng = Engine::new();
+        boot(&mut w, &mut eng);
+        for i in 0..8 {
+            submit(&mut w, &mut eng, gpu_call(&format!("t{i}"), 2.0));
+        }
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(12),
+                kind: FaultKind::WorkerCrash { worker: 0 },
+            }],
+            stochastic: Some(StochasticFaults {
+                horizon: SimDuration::from_secs(120),
+                crash_rate_per_hour: 30.0,
+                client_fault_rate_per_hour: 30.0,
+                device_fault_rate_per_hour: 0.0,
+                straggler_rate_per_hour: 20.0,
+                straggler_factor: 0.5,
+                straggler_duration: SimDuration::from_secs(5),
+            }),
+        };
+        let realized = install_faults(&mut w, &mut eng, &plan);
+        eng.run(&mut w);
+        (
+            export_json(&w.dfk, &w.monitor),
+            realized.len() as u64,
+            eng.events_fired(),
+        )
+    }
+    let (a_json, a_events, a_fired) = run_once();
+    let (b_json, b_events, b_fired) = run_once();
+    assert_eq!(a_events, b_events, "identical realized schedules");
+    assert_eq!(a_fired, b_fired, "identical event traces");
+    assert_eq!(a_json, b_json, "bit-identical monitoring export");
+}

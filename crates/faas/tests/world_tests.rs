@@ -335,7 +335,7 @@ fn kill_and_respawn_worker_reloads_model() {
         "context memory freed"
     );
 
-    respawn_worker(&mut w, &mut eng, 0, Some(AcceleratorSpec::Gpu(0)));
+    respawn_worker(&mut w, &mut eng, 0, Some(AcceleratorSpec::Gpu(0))).unwrap();
     let b = submit(&mut w, &mut eng, mk());
     eng.run(&mut w);
     let tb = w.dfk.task(b);
@@ -471,7 +471,7 @@ fn kill_sole_worker_mid_task_recovers_after_respawn() {
     assert_eq!(w.workers[0].state, WorkerState::Dead);
     assert!(w.workers[0].current_task().is_none(), "no orphaned task");
     assert_eq!(w.dfk.task(id).state, TaskState::Ready, "task requeued");
-    respawn_worker(&mut w, &mut eng, 0, None);
+    respawn_worker(&mut w, &mut eng, 0, None).unwrap();
     eng.run(&mut w);
     assert_eq!(w.dfk.task(id).state, TaskState::Done);
     assert_eq!(w.dfk.done_count(), 1);
@@ -696,4 +696,148 @@ fn orphaned_kernel_completion_cannot_resume_next_task() {
     // by walltime — cleanly, with no stuck tasks or panics.
     assert_eq!(w.dfk.failed_count(), 3);
     assert_eq!(w.fleet.device(GpuId(0)).active_kernels(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Worker death at awkward lifecycle points
+// ---------------------------------------------------------------------
+
+/// Drive the engine in small steps until `cond` holds (or panic).
+fn run_until_cond(
+    w: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    limit_s: u64,
+    mut cond: impl FnMut(&FaasWorld) -> bool,
+) {
+    let mut t = 0u64;
+    while t < limit_s * 100 {
+        t += 1;
+        eng.run_until(w, SimTime::from_nanos(t * 10_000_000));
+        if cond(w) {
+            return;
+        }
+    }
+    panic!("condition not reached within {limit_s}s");
+}
+
+#[test]
+fn kill_during_cold_start_leaves_clean_state() {
+    let config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 23);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    run_until_cond(&mut w, &mut eng, 30, |w| {
+        w.workers[0].state == WorkerState::ColdStart
+    });
+    kill_worker(&mut w, &mut eng, 0, "mid-cold-start kill");
+    assert_eq!(w.workers[0].state, WorkerState::Dead);
+    assert_eq!(w.fleet.device(GpuId(0)).context_count(), 0);
+    assert_eq!(w.fleet.device(GpuId(0)).memory_used(), 0);
+    // The stale cold-start completion timer must not resurrect it.
+    eng.run(&mut w);
+    assert_eq!(w.workers[0].state, WorkerState::Dead);
+    // And the slot is fully reusable.
+    respawn_worker(&mut w, &mut eng, 0, None).unwrap();
+    let id = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("after", "gpu", |_| {
+            Box::new(KernelSeq::new(vec![gpu_kernel(1.0)], SimDuration::ZERO))
+        }),
+    );
+    eng.run(&mut w);
+    assert_eq!(w.dfk.task(id).state, TaskState::Done);
+}
+
+#[test]
+fn kill_mid_model_load_keeps_cache_and_device_consistent() {
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    config.retries = 2;
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 29);
+    w.weight_cache.set_enabled(true);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let model = ModelProfile {
+        id: 7,
+        bytes: 5 * GIB,
+        shared_bytes: 4 * GIB,
+    };
+    let id = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("infer", "gpu", move |_| {
+            Box::new(KernelSeq::new(vec![gpu_kernel(1.0)], SimDuration::ZERO).with_model(model))
+        }),
+    );
+    // Wait until the load is in flight: dispatched, not yet started.
+    run_until_cond(&mut w, &mut eng, 60, |w| {
+        w.dfk.task(id).dispatched.is_some() && w.dfk.task(id).started.is_none()
+    });
+    assert_eq!(w.workers[0].state, WorkerState::Busy);
+    kill_worker(&mut w, &mut eng, 0, "mid-model-load kill");
+    assert_eq!(w.workers[0].state, WorkerState::Dead);
+    assert!(!w.workers[0].has_model(7), "partial load not recorded");
+    assert_eq!(w.fleet.device(GpuId(0)).active_kernels(), 0);
+    // The shared weights live in the device-wide cache and survive the
+    // process; only the private context allocation is torn down.
+    assert!(w.weight_cache.contains(0, 7));
+    assert_eq!(
+        w.fleet.device(GpuId(0)).cache_used(),
+        4 * GIB,
+        "pinned shared weights survive the process"
+    );
+    respawn_worker(&mut w, &mut eng, 0, None).unwrap();
+    eng.run(&mut w);
+    let t = w.dfk.task(id);
+    assert_eq!(t.state, TaskState::Done, "retry completes: {:?}", t.error);
+    assert!(w.workers[0].has_model(7));
+    assert_eq!(w.dfk.reexecuted_attempts(), 1);
+}
+
+#[test]
+fn walltime_expiry_racing_kernel_completion_is_clean() {
+    let mut config = Config::new(vec![ExecutorConfig::gpu(
+        "gpu",
+        vec![AcceleratorSpec::Gpu(0)],
+    )]);
+    config.retries = 0;
+    let mut w = FaasWorld::new(config, fleet_one(DeviceMode::TimeSharing), 31);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    // 216 SM-seconds on 108 SMs = exactly 2 s of device time; the
+    // walltime limit expires at the very nanosecond the kernel would
+    // complete. The walltime timer is scheduled first (at body start),
+    // so FIFO ordering fires it first and the completion must be inert.
+    let racing = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("racing", "gpu", |_| {
+            Box::new(KernelSeq::new(vec![gpu_kernel(216.0)], SimDuration::ZERO))
+        })
+        .with_walltime(SimDuration::from_secs(2)),
+    );
+    eng.run(&mut w);
+    let t = w.dfk.task(racing);
+    assert_eq!(t.state, TaskState::Failed);
+    assert!(t.error.as_deref().unwrap().contains("walltime exceeded"));
+    assert_eq!(w.fleet.device(GpuId(0)).active_kernels(), 0);
+    assert_eq!(w.fleet.device(GpuId(0)).memory_used(), 0);
+    assert_eq!(w.workers[0].state, WorkerState::Idle, "worker survives");
+    // The worker is immediately reusable for a task that fits its limit.
+    let ok = submit(
+        &mut w,
+        &mut eng,
+        AppCall::new("fits", "gpu", |_| {
+            Box::new(KernelSeq::new(vec![gpu_kernel(54.0)], SimDuration::ZERO))
+        })
+        .with_walltime(SimDuration::from_secs(2)),
+    );
+    eng.run(&mut w);
+    assert_eq!(w.dfk.task(ok).state, TaskState::Done);
 }

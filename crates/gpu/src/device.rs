@@ -271,6 +271,14 @@ pub struct GpuDevice {
     ts_quantum_end: SimTime,
     ts_switch_end: SimTime,
 
+    /// Cleared by an uncorrectable (ECC/Xid-style) fault; an unhealthy
+    /// device refuses new contexts and launches until re-admitted.
+    healthy: bool,
+    /// Straggler multiplier on every kernel rate (1.0 = nominal). Models
+    /// transient slowdowns: thermal throttling, a flaky PCIe link, a
+    /// noisy neighbour outside the simulated node.
+    slowdown: f64,
+
     last: SimTime,
     busy_sms: TimeWeighted,
     kernels_completed: u64,
@@ -305,6 +313,8 @@ impl GpuDevice {
             ts_pending: None,
             ts_quantum_end: SimTime::ZERO,
             ts_switch_end: SimTime::ZERO,
+            healthy: true,
+            slowdown: 1.0,
             last: SimTime::ZERO,
             busy_sms: TimeWeighted::new(SimTime::ZERO, 0.0),
             kernels_completed: 0,
@@ -333,6 +343,40 @@ impl GpuDevice {
     /// Current mode.
     pub fn mode(&self) -> DeviceMode {
         self.mode
+    }
+
+    /// Is the device healthy (no uncorrected fault outstanding)?
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Record an uncorrectable (ECC/Xid-style) fault: the device refuses
+    /// new contexts and launches until [`GpuDevice::mark_healthy`].
+    /// Existing contexts/kernels are untouched — the platform layer is
+    /// responsible for tearing down residents (the blast radius).
+    pub fn mark_unhealthy(&mut self, now: SimTime) {
+        self.advance(now);
+        self.healthy = false;
+    }
+
+    /// Clear the fault state (driver reload / re-admission).
+    pub fn mark_healthy(&mut self) {
+        self.healthy = true;
+    }
+
+    /// Current straggler rate multiplier (1.0 = nominal).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Scale every kernel rate by `factor` from `now` on (transient
+    /// straggler: thermal throttling, flaky link). `factor` is clamped to
+    /// a small positive value; `1.0` restores nominal speed. The owner
+    /// should `resync` afterwards.
+    pub fn set_slowdown(&mut self, now: SimTime, factor: f64) {
+        self.advance(now);
+        self.slowdown = factor.max(1e-6);
+        self.recompute(now);
     }
 
     /// Change the sharing mode. Requires an idle device (no contexts) —
@@ -436,6 +480,9 @@ impl GpuDevice {
         label: &str,
         binding: CtxBinding,
     ) -> Result<CtxId> {
+        if !self.healthy {
+            return Err(GpuError::Unhealthy);
+        }
         let (mig_instance, vgpu_slot, mps_pct) = match (&self.mode, &binding) {
             (DeviceMode::TimeSharing, CtxBinding::Bare) => (None, None, None),
             (DeviceMode::MpsDefault, CtxBinding::Bare) => (None, None, None),
@@ -612,6 +659,9 @@ impl GpuDevice {
         desc: KernelDesc,
         tag: u64,
     ) -> Result<KernelId> {
+        if !self.healthy {
+            return Err(GpuError::Unhealthy);
+        }
         if !self.ctxs.contains_key(&ctx.0) {
             return Err(GpuError::UnknownContext(ctx.0));
         }
@@ -951,6 +1001,11 @@ impl GpuDevice {
                     let mut rate = scratch.eff[p] * bw_scale * interference;
                     if self.pool_overcommitted(c) {
                         rate *= self.spec.uvm_penalty;
+                    }
+                    // Gated so the nominal case multiplies by nothing and
+                    // the arbitration bit-stream is untouched.
+                    if self.slowdown != 1.0 {
+                        rate *= self.slowdown;
                     }
                     scratch.rate[p] = rate;
                 }
@@ -1458,6 +1513,49 @@ mod tests {
         let a_meek = d.attained_service(b);
         assert!((a_meek - 200.0).abs() < 1e-6, "meek un-starved: {a_meek}");
         assert!((d.attained_service(a) - 540.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unhealthy_device_refuses_new_work() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        d.mark_unhealthy(SimTime::ZERO);
+        assert!(!d.is_healthy());
+        assert_eq!(
+            d.launch(SimTime::ZERO, c, big_kernel(10.0), 0),
+            Err(GpuError::Unhealthy)
+        );
+        assert_eq!(
+            d.create_context(SimTime::ZERO, "p1", CtxBinding::Bare),
+            Err(GpuError::Unhealthy)
+        );
+        // Teardown of residents still works while quarantined.
+        assert!(d.destroy_context(SimTime::ZERO, c).is_ok());
+        d.mark_healthy();
+        assert!(d
+            .create_context(SimTime::ZERO, "p2", CtxBinding::Bare)
+            .is_ok());
+    }
+
+    #[test]
+    fn slowdown_stretches_completion_and_restores() {
+        let mut d = dev(DeviceMode::TimeSharing);
+        let c = d
+            .create_context(SimTime::ZERO, "p0", CtxBinding::Bare)
+            .unwrap();
+        d.launch(SimTime::ZERO, c, big_kernel(108.0), 0).unwrap();
+        // Nominal: 1 s. At half rate the remaining work takes twice as long.
+        d.set_slowdown(SimTime::ZERO, 0.5);
+        let wake = d.next_wake(SimTime::ZERO).unwrap();
+        assert!((wake.as_secs_f64() - 2.0).abs() < 1e-6, "wake {wake}");
+        // Half the work done by t=1; restoring speed finishes at t=1.5.
+        d.set_slowdown(t(1.0), 1.0);
+        let wake = d.next_wake(t(1.0)).unwrap();
+        assert!((wake.as_secs_f64() - 1.5).abs() < 1e-6, "wake {wake}");
+        let done = d.collect_finished(wake);
+        assert_eq!(done.len(), 1);
     }
 
     #[test]

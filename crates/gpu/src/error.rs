@@ -46,6 +46,9 @@ pub enum GpuError {
         /// Bytes the context actually holds.
         held: u64,
     },
+    /// The device is quarantined after an uncorrectable (ECC/Xid-style)
+    /// fault; no new contexts or kernels until it is re-admitted.
+    Unhealthy,
 }
 
 impl fmt::Display for GpuError {
@@ -78,6 +81,9 @@ impl fmt::Display for GpuError {
             }
             GpuError::BadFree { requested, held } => {
                 write!(f, "freeing {requested} B but context holds {held} B")
+            }
+            GpuError::Unhealthy => {
+                write!(f, "device marked unhealthy (uncorrectable fault)")
             }
         }
     }

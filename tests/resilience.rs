@@ -47,7 +47,7 @@ fn chaos_kill_respawn_preserves_invariants() {
         eng.schedule_at(at, move |w: &mut FaasWorld, e| {
             if w.workers[victim].state != WorkerState::Dead {
                 kill_worker(w, e, victim, "chaos monkey");
-                respawn_worker(w, e, victim, None);
+                respawn_worker(w, e, victim, None).expect("worker was just killed");
             }
         });
     }
