@@ -6,11 +6,13 @@
 //! ```
 //!
 //! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
-//! extension all`, plus two explicit-only artifacts (never under `all`):
-//! `substrate` times the simulator's own hot paths and writes
+//! extension all`, plus three explicit-only artifacts (never under
+//! `all`): `substrate` times the simulator's own hot paths and writes
 //! `BENCH_substrate.json`; `faults` replays an identical injected fault
 //! schedule under MPS / MIG / time-sharing and writes `BENCH_faults.json`
-//! (the isolation column of Table 1, reproduced).
+//! (the isolation column of Table 1, reproduced); `lint` runs the
+//! determinism static-analysis pass (`parfait-lint`) over the workspace
+//! and writes `BENCH_lint.json`.
 //! `--csv` switches the output to CSV; `--completions N` rescales the
 //! §5.2 experiments (default 100, as in the paper).
 
@@ -466,7 +468,7 @@ fn run_extension(opts: &Opts) {
 
     // Dynamic batching: the other §3.4 lever, measured end to end.
     {
-        use parfait_simcore::{SimDuration, SimRng};
+        use parfait_simcore::{streams, SimDuration, SimRng};
         use parfait_workloads::batching::{BatchPolicy, BatchingDriver, BatchingService};
         use std::cell::RefCell;
         use std::rc::Rc;
@@ -491,7 +493,7 @@ fn run_extension(opts: &Opts) {
             });
             let mut eng = parfait_simcore::Engine::new();
             parfait_faas::boot(&mut world, &mut eng);
-            let mut rng = SimRng::new(opts.seed).split(999);
+            let mut rng = SimRng::new(opts.seed).split(streams::BATCH_ARRIVALS);
             let tr = parfait_workloads::trace::poisson(&mut rng, 200.0, 400);
             for a in tr.arrivals {
                 let svc2 = Rc::clone(&svc);
@@ -682,6 +684,40 @@ fn run_faults(opts: &Opts) {
     );
 }
 
+fn run_lint(opts: &Opts) {
+    let report = parfait_bench::lint::run_and_write(std::path::Path::new("."))
+        .expect("write BENCH_lint.json");
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let rows = report
+        .budgets
+        .iter()
+        .map(|b| {
+            vec![
+                b.crate_name.clone(),
+                format!("{}/{}", b.panics, b.base_panics),
+                format!("{}/{}", b.unwraps, b.base_unwraps),
+                if b.over { "OVER" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Lint: determinism audit, {} files, {} stream id(s), {} — written to BENCH_lint.json",
+            report.files_scanned,
+            report.streams.len(),
+            if report.clean { "clean" } else { "FAILING" }
+        ),
+        &["crate", "panic!/budget", "unwrap/budget", "status"],
+        rows,
+    );
+    if !report.clean {
+        std::process::exit(1);
+    }
+}
+
 fn run_substrate(opts: &Opts) {
     let report = parfait_bench::substrate::run_and_write(std::path::Path::new("."))
         .expect("write BENCH_substrate.json");
@@ -746,6 +782,7 @@ fn main() {
         "extension",
         "substrate",
         "faults",
+        "lint",
     ];
     if let Some(bad) = which.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -794,5 +831,8 @@ fn main() {
     }
     if which.iter().any(|w| w == "faults") {
         run_faults(&opts);
+    }
+    if which.iter().any(|w| w == "lint") {
+        run_lint(&opts);
     }
 }

@@ -129,6 +129,42 @@ fn run_phase(
     (makespan, world, fired)
 }
 
+/// Run one faulted phase for `strategy` and return the mode report
+/// together with a line-oriented event trace: every fault-incident
+/// record (inject/detect/recover) and every chat task's lifecycle row.
+/// Two runs with the same seed must produce byte-identical traces — the
+/// root `tests/determinism.rs` acceptance test byte-compares this (and
+/// the serialized report) across runs under both MPS and MIG.
+pub fn traced_mode_run(
+    strategy: &Strategy,
+    procs: usize,
+    completions: usize,
+    seed: u64,
+) -> (ModeFaultReport, String) {
+    let report = mode_report(strategy, procs, completions, seed);
+    // Re-run the faulted phase to harvest the world; run_phase is a pure
+    // function of (strategy, procs, completions, seed, inject).
+    let (_, world, events_fired) = run_phase(strategy, procs, completions, seed, true);
+    let mut trace = String::new();
+    trace.push_str(&format!(
+        "mode={} seed={} events_fired={}\n",
+        report.mode, seed, events_fired
+    ));
+    for r in &world.monitor.fault_records {
+        trace.push_str(&format!(
+            "fault t={:?} phase={:?} kind={} gpu={:?} worker={:?} detail={}\n",
+            r.t, r.phase, r.kind, r.gpu, r.worker, r.detail
+        ));
+    }
+    for t in world.dfk.tasks() {
+        trace.push_str(&format!(
+            "task id={:?} app={} state={:?} submitted={:?} finished={:?} attempts={}\n",
+            t.id, t.app, t.state, t.submitted, t.finished, t.attempts
+        ));
+    }
+    (report, trace)
+}
+
 /// Run the clean/faulted pair for one mode.
 pub fn mode_report(
     strategy: &Strategy,

@@ -8,6 +8,7 @@
 //! repro -- <artifact>`) and the Criterion benches wrap these.
 
 pub mod faults;
+pub mod lint;
 pub mod report;
 pub mod scenarios;
 pub mod substrate;

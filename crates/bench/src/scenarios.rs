@@ -549,7 +549,7 @@ pub fn open_loop_serving(
     assert_eq!(world.dfk.failed_count(), 0, "warmup failed");
     // Generate the arrival trace and schedule submissions at those
     // offsets from "now".
-    let mut rng = parfait_simcore::SimRng::new(seed).split(4242);
+    let mut rng = parfait_simcore::SimRng::new(seed).split(parfait_simcore::streams::ARRIVAL_TRACE);
     let tr = trace::poisson(&mut rng, rate_per_sec, requests);
     let t0 = eng.now();
     resume_sampling(&mut world, &mut eng);

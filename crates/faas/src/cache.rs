@@ -14,13 +14,16 @@
 //! survives context teardown but is wiped by a GPU reset — exactly the
 //! semantics a CUDA IPC / driver-pinned region would have.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Weight-cache state for the whole node (keyed by GPU index + model id).
+///
+/// Entries live in a `BTreeMap` so that eviction scans and per-GPU sweeps
+/// visit keys in a seed-independent order (determinism rule D1).
 #[derive(Debug, Default)]
 pub struct WeightCache {
     enabled: bool,
-    entries: HashMap<(u32, u64), u64>,
+    entries: BTreeMap<(u32, u64), u64>,
     /// Re-bind count.
     pub hits: u64,
     /// Cold-load count (cache populated on miss while enabled).

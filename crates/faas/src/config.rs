@@ -244,6 +244,7 @@ impl Config {
     /// a worker with a bad binding otherwise dies at cold-start time.
     pub fn validate(&self, gpu_count: u32) -> Vec<ConfigIssue> {
         let mut issues = Vec::new();
+        // lint:allow(hash-order, membership probe for duplicate labels; issues are pushed in executor-vec order, the set is never iterated)
         let mut seen = std::collections::HashSet::new();
         for (ei, e) in self.executors.iter().enumerate() {
             if !seen.insert(e.label.clone()) {

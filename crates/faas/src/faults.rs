@@ -23,12 +23,8 @@ use crate::world::{
 };
 use parfait_gpu::host::resync;
 use parfait_gpu::{DeviceMode, GpuId};
-use parfait_simcore::{Engine, SimDuration, SimRng, SimTime};
+use parfait_simcore::{streams, Engine, SimDuration, SimRng, SimTime};
 use serde::Serialize;
-
-/// RNG stream id for realizing stochastic fault plans (distinct from the
-/// recovery-jitter stream and the worker streams at `1000 + id`).
-const FAULT_PLAN_STREAM: u64 = 618;
 
 /// What breaks.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -204,7 +200,7 @@ pub fn install_faults(
 ) -> Vec<FaultEvent> {
     let mut events = plan.events.clone();
     if let Some(s) = &plan.stochastic {
-        let mut rng = world.rng.split(FAULT_PLAN_STREAM);
+        let mut rng = world.rng.split(streams::FAULT_REALIZATION);
         events.extend(realize_stochastic(
             s,
             &mut rng,

@@ -188,6 +188,7 @@ impl Monitoring {
     /// for the same subject closes it. Unclosed incidents (budget
     /// exhausted, run ended mid-outage) are excluded.
     pub fn mttr_s(&self) -> Option<f64> {
+        // lint:allow(hash-order, open-incident table is only probed by key (entry/remove); it is never iterated, so its order cannot reach any sim-visible or reported value)
         use std::collections::HashMap;
         // Subject key: workers and GPUs live in disjoint key spaces.
         #[derive(PartialEq, Eq, Hash, Clone, Copy)]
@@ -195,6 +196,7 @@ impl Monitoring {
             Worker(usize),
             Gpu(u32),
         }
+        // lint:allow(hash-order, keyed lookups only; iteration order never escapes)
         let mut open: HashMap<Subject, SimTime> = HashMap::new();
         let mut total = 0.0;
         let mut closed = 0u64;

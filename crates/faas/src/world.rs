@@ -31,8 +31,8 @@ use parfait_gpu::mps::MPS_ENV_VAR;
 use parfait_gpu::{CtxBinding, GpuId, KernelDone};
 use parfait_simcore::resource::{PsJobId, PsPool};
 use parfait_simcore::timeline::{SpanId, Timeline};
-use parfait_simcore::{Engine, EventId, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use parfait_simcore::{streams, Engine, EventId, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Kernel tags carry (worker, launch-sequence) so completions of aborted
 /// or superseded launches cannot resume the wrong task. 20 bits of worker
@@ -100,7 +100,7 @@ pub struct Worker {
     /// Tasks completed over all incarnations.
     pub tasks_completed: u64,
     /// Models resident in this worker's GPU memory.
-    loaded_models: HashSet<u64>,
+    loaded_models: BTreeSet<u64>,
     /// Bytes held by resident models.
     model_bytes: u64,
     current: Option<Running>,
@@ -189,10 +189,6 @@ pub struct FaasWorld {
     pub recovery: RecoveryState,
 }
 
-/// RNG stream id for recovery jitter (distinct from worker streams at
-/// `1000 + id` and the fault-plan realization stream in `faults`).
-const RECOVERY_STREAM: u64 = 617;
-
 impl GpuHost for FaasWorld {
     fn fleet_mut(&mut self) -> &mut GpuFleet {
         &mut self.fleet
@@ -233,14 +229,14 @@ impl FaasWorld {
                     spawned_at: SimTime::ZERO,
                     ready_at: None,
                     tasks_completed: 0,
-                    loaded_models: HashSet::new(),
+                    loaded_models: BTreeSet::new(),
                     model_bytes: 0,
                     current: None,
                     idle_since: None,
                     kernel_seq: 0,
                     awaiting_kernel: None,
                     epoch: 0,
-                    rng: rng.split(1000 + id as u64),
+                    rng: rng.split(streams::WORKER_BASE + id as u64),
                     crashed_at: None,
                     restarts_used: 0,
                     recovering: false,
@@ -249,7 +245,7 @@ impl FaasWorld {
                 });
             }
         }
-        let recovery = RecoveryState::new(rng.split(RECOVERY_STREAM), fleet.len());
+        let recovery = RecoveryState::new(rng.split(streams::RETRY_JITTER), fleet.len());
         FaasWorld {
             config,
             fleet,
@@ -1089,7 +1085,7 @@ pub fn add_worker(
     let within = world.workers.iter().filter(|w| w.executor == exec).count();
     let ex = world.config.executors.get(exec)?;
     let slot = accel.or_else(|| ex.accelerator_for(within).cloned());
-    let rng = world.rng.split(1000 + id as u64);
+    let rng = world.rng.split(streams::WORKER_BASE + id as u64);
     world.workers.push(Worker {
         id,
         executor: exec,
@@ -1102,7 +1098,7 @@ pub fn add_worker(
         spawned_at: eng.now(),
         ready_at: None,
         tasks_completed: 0,
-        loaded_models: HashSet::new(),
+        loaded_models: BTreeSet::new(),
         model_bytes: 0,
         current: None,
         idle_since: None,

@@ -8,14 +8,14 @@
 //! translates into a paging slowdown (`GpuSpec::uvm_penalty`).
 
 use crate::error::{GpuError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Byte-accurate allocator keyed by an opaque owner id (GPU context).
 #[derive(Debug, Clone)]
 pub struct MemoryPool {
     capacity: u64,
     used: u64,
-    by_owner: HashMap<u32, u64>,
+    by_owner: BTreeMap<u32, u64>,
     /// Admit allocations beyond capacity (CUDA unified memory).
     allow_oversubscription: bool,
     /// High-water mark of `used`.
@@ -28,7 +28,7 @@ impl MemoryPool {
         MemoryPool {
             capacity,
             used: 0,
-            by_owner: HashMap::new(),
+            by_owner: BTreeMap::new(),
             allow_oversubscription: false,
             peak: 0,
         }

@@ -1,0 +1,8 @@
+// A2 fixture: an annotation that suppresses nothing, plus a malformed
+// annotation missing its reason (A1).
+pub fn quiet() -> u64 {
+    // lint:allow(hash-order, nothing hashed here any more)
+    let v = vec![1u64, 2, 3];
+    // lint:allow(wall-clock)
+    v.iter().sum()
+}

@@ -1,0 +1,6 @@
+// D1 fixture: annotated HashSet whose order provably never escapes.
+pub fn has_duplicates(labels: &[String]) -> bool {
+    // lint:allow(hash-order, membership probe only; the set is never iterated)
+    let mut seen = std::collections::HashSet::new();
+    labels.iter().any(|l| !seen.insert(l.clone()))
+}

@@ -1,0 +1,22 @@
+// D1 fixture: ordered containers only; HashMap in test code is exempt.
+use std::collections::BTreeMap;
+
+pub struct PlacementTable {
+    pub by_worker: BTreeMap<u32, u64>,
+}
+
+pub fn total(t: &PlacementTable) -> u64 {
+    t.by_worker.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashed_in_tests_is_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u64);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,10 @@
+// D1 fixture: HashMap in sim-visible code, no annotation.
+use std::collections::HashMap;
+
+pub struct PlacementTable {
+    pub by_worker: HashMap<u32, u64>,
+}
+
+pub fn total(t: &PlacementTable) -> u64 {
+    t.by_worker.values().sum()
+}

@@ -1,0 +1,8 @@
+// D2 fixture: simulated time only; the word "instant" in comments and
+// strings must not trip the rule.
+pub fn horizon_ms(now_ms: u64, budget_ms: u64) -> u64 {
+    // The decision is instant in sim time: no wall clock involved.
+    let label = "Instant::now is banned here";
+    let _ = label;
+    now_ms + budget_ms
+}

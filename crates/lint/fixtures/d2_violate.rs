@@ -1,0 +1,15 @@
+// D2 fixture: wall-clock reads in simulation code.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos()
+}
+
+pub fn epoch_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+// D3 fixture: annotated bare id (e.g. replaying a stream id recorded in
+// an external artifact).
+pub fn replay_stream(rng: &mut SimRng) -> SimRng {
+    // lint:allow(rng-stream, id replayed verbatim from a recorded artifact header)
+    rng.split(9001)
+}

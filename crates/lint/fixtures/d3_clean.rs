@@ -1,0 +1,12 @@
+// D3 fixture: registry constants only; str::split stays untouched.
+use parfait_simcore::streams;
+
+pub fn seed_streams(rng: &mut SimRng, worker: usize) -> (SimRng, SimRng) {
+    let jitter = rng.split(streams::RETRY_JITTER);
+    let worker_rng = rng.split(streams::WORKER_BASE + worker as u64);
+    (jitter, worker_rng)
+}
+
+pub fn first_field(label: &str) -> &str {
+    label.split('.').next().unwrap_or(label)
+}

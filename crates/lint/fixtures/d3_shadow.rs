@@ -1,0 +1,7 @@
+// D3 fixture: a local const reusing a registry name must be flagged even
+// though split(RETRY_JITTER) then resolves to a registered name.
+const RETRY_JITTER: u64 = 9;
+
+pub fn seed(rng: &mut SimRng) -> SimRng {
+    rng.split(RETRY_JITTER)
+}

@@ -1,0 +1,8 @@
+// D3 fixture: bare integer stream ids and an unregistered local const.
+const RECOVERY_STREAM: u64 = 617;
+
+pub fn seed_streams(rng: &mut SimRng) -> (SimRng, SimRng) {
+    let jitter = rng.split(617);
+    let faults = rng.split(RECOVERY_STREAM);
+    (jitter, faults)
+}

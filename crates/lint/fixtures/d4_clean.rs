@@ -1,0 +1,15 @@
+// D4 fixture: single-threaded event handling; "spawn" as a plain method
+// name (task spawning into the sim queue) is not thread::spawn.
+pub struct EventQueue {
+    inner: Vec<u64>,
+}
+
+impl EventQueue {
+    pub fn spawn(&mut self, ev: u64) {
+        self.inner.push(ev);
+    }
+}
+
+pub fn fan_out(q: &mut EventQueue) {
+    q.spawn(1);
+}

@@ -1,0 +1,12 @@
+// D4 fixture: blocking primitives and threads in event-handler code.
+use std::sync::Mutex;
+
+pub struct SharedQueue {
+    inner: Mutex<Vec<u64>>,
+}
+
+pub fn fan_out(q: &'static SharedQueue) {
+    std::thread::spawn(move || {
+        q.inner.lock().unwrap().push(1);
+    });
+}

@@ -1,0 +1,22 @@
+// D5 fixture: panics and unwraps confined to test code count zero.
+pub fn checked_div(a: u64, b: u64) -> Option<u64> {
+    a.checked_div(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides() {
+        assert_eq!(checked_div(6, 3).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asserts_hard() {
+        if checked_div(1, 0).is_none() {
+            panic!("expected");
+        }
+    }
+}

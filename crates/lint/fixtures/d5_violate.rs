@@ -1,0 +1,17 @@
+// D5 fixture: two panic! sites and three .unwrap() sites outside tests.
+pub fn checked_div(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    a / b
+}
+
+pub fn parse_pair(s: &str) -> (u64, u64) {
+    let mut it = s.split(',');
+    let a = it.next().unwrap().parse().unwrap();
+    let b = it.next().unwrap().parse().unwrap_or(0);
+    if a > b {
+        panic!("pair out of order");
+    }
+    (a, b)
+}

@@ -1,0 +1,4 @@
+//! Registry fixture: duplicate id and a computed initializer.
+pub const RETRY_JITTER: u64 = 617;
+pub const FAULT_REALIZATION: u64 = 617;
+pub const DERIVED: u64 = RETRY_JITTER + 1;

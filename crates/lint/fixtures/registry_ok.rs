@@ -1,0 +1,4 @@
+//! Registry fixture: unique literal ids.
+pub const RETRY_JITTER: u64 = 617;
+pub const FAULT_REALIZATION: u64 = 618;
+pub const WORKER_BASE: u64 = 1000;

@@ -1,0 +1,545 @@
+//! A minimal Rust lexer, sufficient for the determinism rules.
+//!
+//! This is not a full grammar: it tokenizes identifiers, numeric / string
+//! / char literals and single-character punctuation, skips comments
+//! (while harvesting `lint:allow` annotations from line comments), and
+//! distinguishes lifetimes from char literals. Everything the rule engine
+//! needs — `use` paths, method-call shapes, attribute blocks — is
+//! recovered from token patterns, never from parsing.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (any radix, suffix allowed).
+    Int,
+    /// Float literal.
+    Float,
+    /// String / raw string / byte string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Source text (empty for string literals — contents never matter
+    /// to the rules, and dropping them keeps fixtures from tripping
+    /// ident matches).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this exactly the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Is this exactly the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A parsed `// lint:allow(rule, reason)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment sits on. The annotation covers violations on
+    /// this line and the next one.
+    pub line: u32,
+    /// Rule id being allowed, e.g. `hash-order`.
+    pub rule: String,
+    /// Free-form justification (must be non-empty).
+    pub reason: String,
+}
+
+/// Lexer output.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream, comments and whitespace removed.
+    pub toks: Vec<Tok>,
+    /// Well-formed allow annotations.
+    pub allows: Vec<Allow>,
+    /// `(line, problem)` for annotations that did not parse.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Rule ids accepted inside `lint:allow(...)`.
+pub const ALLOWABLE_RULES: &[&str] = &["hash-order", "wall-clock", "rng-stream", "sync-primitive"];
+
+fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
+    // Anchor to the start of the comment body (past doc-comment `/`/`!`
+    // markers): `// lint:allow(...)` is an annotation, while prose that
+    // merely *mentions* lint:allow mid-sentence (docs, examples) is not.
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(body) = body.strip_prefix("lint:allow(") else {
+        return;
+    };
+    // Find the matching close paren (reasons may contain balanced parens).
+    let mut depth = 1usize;
+    let mut end = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        out.malformed
+            .push((line, "unterminated lint:allow annotation".into()));
+        return;
+    };
+    let inner = &body[..end];
+    let Some((rule, reason)) = inner.split_once(',') else {
+        out.malformed.push((
+            line,
+            "lint:allow needs a reason: lint:allow(rule, why it is safe)".into(),
+        ));
+        return;
+    };
+    let rule = rule.trim().to_string();
+    let reason = reason.trim().to_string();
+    if !ALLOWABLE_RULES.contains(&rule.as_str()) {
+        out.malformed.push((
+            line,
+            format!(
+                "unknown lint:allow rule `{rule}` (allowable: {})",
+                ALLOWABLE_RULES.join(", ")
+            ),
+        ));
+        return;
+    }
+    if reason.is_empty() {
+        out.malformed
+            .push((line, format!("empty reason in lint:allow({rule}, ...)")));
+        return;
+    }
+    out.allows.push(Allow { line, rule, reason });
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Strip a numeric type suffix (`u64`, `usize`, `f32`, ...) if present.
+fn strip_suffix(text: &str) -> &str {
+    const SUFFIXES: &[&str] = &[
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ];
+    for s in SUFFIXES {
+        if let Some(stripped) = text.strip_suffix(s) {
+            if !stripped.is_empty() {
+                return stripped;
+            }
+        }
+    }
+    text
+}
+
+/// Parse an integer literal's value (underscores and radix prefixes ok).
+pub fn int_value(text: &str) -> Option<u64> {
+    let t = strip_suffix(text).replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        u64::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Consume a `"..."` string starting at `b[i]` (the opening quote).
+/// Returns the index just past the closing quote, bumping `line` for
+/// embedded newlines.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a raw string `r##"..."##` whose `r` sits at `b[i]`.
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // past `r`
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return i; // not actually a raw string; caller guarded, but be safe
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && b[j] == '#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Does a raw/byte string start at `b[i]`? Returns the prefix length to
+/// skip to reach the `r`/quote that [`skip_raw_string`]/[`skip_string`]
+/// expect, or `None`.
+fn string_prefix(b: &[char], i: usize) -> Option<(bool, usize)> {
+    // Returns (is_raw, offset of `r` or `"` from i).
+    let n = b.len();
+    let at = |k: usize| b.get(i + k).copied();
+    match b[i] {
+        'r' => match at(1) {
+            Some('"') | Some('#') => {
+                // r"..." or r#"..."# or r#ident (raw identifier).
+                if at(1) == Some('#') {
+                    // Distinguish r#"..." from r#ident.
+                    let mut k = 1;
+                    while i + k < n && b[i + k] == '#' {
+                        k += 1;
+                    }
+                    if at(k) == Some('"') {
+                        Some((true, 0))
+                    } else {
+                        None // raw identifier, lex as ident
+                    }
+                } else {
+                    Some((true, 0))
+                }
+            }
+            _ => None,
+        },
+        'b' => match at(1) {
+            Some('"') => Some((false, 1)),
+            Some('r') if matches!(at(2), Some('"') | Some('#')) => Some((true, 1)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Tokenize `src`, collecting allow annotations along the way.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            scan_annotation(&text, line, &mut out);
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // String-ish literals (plain, raw, byte, raw byte).
+        if c == '"' {
+            let start_line = line;
+            i = skip_string(&b, i, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        if let Some((raw, off)) = string_prefix(&b, i) {
+            let start_line = line;
+            i = if raw {
+                skip_raw_string(&b, i + off, &mut line)
+            } else {
+                skip_string(&b, i + off, &mut line)
+            };
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime. Byte char `b'x'` reaches here as the
+        // ident `b` followed by the quote, which the `'` arm handles.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            if next == Some('\\') {
+                // Escape: consume to the closing quote.
+                let mut j = i + 2;
+                if j < n {
+                    j += 1; // the escaped char
+                }
+                // \u{...} and multi-char escapes: scan to the quote.
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = j + 1;
+            } else if after == Some('\'') {
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i += 3;
+            } else {
+                // Lifetime: 'ident (no closing quote).
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Raw identifier r#ident.
+        if c == 'r'
+            && b.get(i + 1) == Some(&'#')
+            && b.get(i + 2).is_some_and(|&x| is_ident_start(x))
+        {
+            let mut j = i + 2;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i + 2..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n
+                && (is_ident_continue(b[j])
+                    || (b[j] == '.' && b.get(j + 1).is_some_and(|&x| x.is_ascii_digit())))
+            {
+                j += 1;
+            }
+            let text: String = b[i..j].iter().collect();
+            let core = strip_suffix(&text);
+            let is_hex = core.starts_with("0x") || core.starts_with("0X");
+            let kind =
+                if core.contains('.') || (!is_hex && (core.contains('e') || core.contains('E'))) {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                };
+            out.toks.push(Tok { kind, text, line });
+            i = j;
+            continue;
+        }
+        // Anything else: one punctuation char.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).toks.iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_ints() {
+        let l = lex("let x = 42;");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "42", ";"]);
+        assert_eq!(l.toks[3].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn comments_are_skipped_strings_opaque() {
+        let l = lex("a // HashMap in a comment\nlet s = \"HashMap\"; /* HashSet */ b");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "let", "s", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let l = lex(r###"let a = r#"Instant::now()"#; let b = b"SystemTime"; let c = br"x";"###);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "a", "let", "b", "let", "c"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        assert_eq!(kinds("1.5 2e9 0xFE 1_000 3u64 10usize"), {
+            use TokKind::*;
+            vec![Float, Float, Int, Int, Int, Int]
+        });
+    }
+
+    #[test]
+    fn int_values_parse() {
+        assert_eq!(int_value("617"), Some(617));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("0x29a"), Some(666));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let l = lex("a\n/* two\nlines */\nb");
+        assert_eq!(l.toks[0].line, 1);
+        assert_eq!(l.toks[1].line, 4);
+    }
+
+    #[test]
+    fn annotations_parse() {
+        let l = lex("// lint:allow(hash-order, keys are probed, never iterated (safe))\nx");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rule, "hash-order");
+        assert!(l.allows[0].reason.contains("never iterated"));
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_are_not_annotations() {
+        let l = lex("// justify the site with `lint:allow(hash-order, why)` as usual\nx");
+        assert!(l.allows.is_empty());
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_reported() {
+        assert_eq!(lex("// lint:allow(hash-order)").malformed.len(), 1);
+        assert_eq!(lex("// lint:allow(no-such-rule, x)").malformed.len(), 1);
+        assert_eq!(lex("// lint:allow(wall-clock, )").malformed.len(), 1);
+    }
+}

@@ -1,0 +1,410 @@
+#![warn(missing_docs)]
+
+//! # parfait-lint
+//!
+//! A from-scratch, dependency-free determinism static-analysis pass over
+//! the PARFAIT workspace. The simulation's claim to validity is that
+//! every experiment is a pure function of configuration and seed —
+//! PR 2's fault traces are "bit-identical under the same seed", and the
+//! MPS-vs-MIG comparisons are only trustworthy if two runs of the same
+//! plan cannot silently diverge. This crate turns that invariant from a
+//! code-review convention into a checked property:
+//!
+//! * **D1 `hash-order`** — no `HashMap`/`HashSet` in sim-visible crates
+//!   unless the site carries a `// lint:allow(hash-order, reason)`
+//!   annotation proving iteration order never escapes.
+//! * **D2 `wall-clock`** — no `Instant::now`/`SystemTime` outside the
+//!   bench harness's wall-clock timing.
+//! * **D3 `rng-stream`** — every `SimRng::split` id must be a named
+//!   constant from the central `simcore::streams` registry; the registry
+//!   itself is checked for duplicate ids (R1).
+//! * **D4 `sync-primitive`** — no `thread::spawn`/`Mutex`-family
+//!   primitives in the event-handler crates (`simcore`, `faas`).
+//! * **D5 `panic-budget`** — per-crate non-test `panic!`/`.unwrap()`
+//!   budgets against a checked-in baseline, so new unwraps in hot paths
+//!   fail CI while legacy ones are ratcheted down over time.
+//!
+//! See `DESIGN.md` § "Determinism invariants & lint catalog" for the
+//! full catalog, the annotation format and the baseline workflow.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{
+    lint_file, parse_registry, Diagnostic, FileCtx, FileFindings, Registry, RuleSet, CATALOG,
+};
+
+use rules::BudgetCounts;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the checked-in D5 baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Workspace-relative path of the stream registry source.
+pub const REGISTRY_PATH: &str = "crates/simcore/src/streams.rs";
+
+/// Rule profile for a crate directory under `crates/`, plus the root
+/// facade package. `None` for directories the lint skips entirely
+/// (`vendor/` stand-ins are third-party API surface, not sim code).
+fn profile(dir: &str) -> Option<(&'static str, RuleSet)> {
+    match dir {
+        // Event-handler crates: the full catalog.
+        "simcore" => Some(("parfait-simcore", RuleSet::sim_visible_full())),
+        "faas" => Some(("parfait-faas", RuleSet::sim_visible_full())),
+        // Sim-visible state, but no event-handler paths of their own.
+        "gpu" => Some((
+            "parfait-gpu",
+            RuleSet {
+                d1: true,
+                d2: true,
+                d3: true,
+                d4: false,
+                d5: true,
+            },
+        )),
+        "workloads" => Some((
+            "parfait-workloads",
+            RuleSet {
+                d1: true,
+                d2: true,
+                d3: true,
+                d4: false,
+                d5: true,
+            },
+        )),
+        "core" => Some((
+            "parfait-core",
+            RuleSet {
+                d1: true,
+                d2: true,
+                d3: true,
+                d4: false,
+                d5: true,
+            },
+        )),
+        // The bench harness owns the only legitimate wall clock (D2 off)
+        // and builds serialized artifacts from sim state, so hash-order
+        // is a real hazard there too — but the ISSUE scopes D1 to
+        // sim-visible crates; bench gets D3/D5.
+        "bench" => Some((
+            "parfait-bench",
+            RuleSet {
+                d1: false,
+                d2: false,
+                d3: true,
+                d4: false,
+                d5: true,
+            },
+        )),
+        // The lint holds itself to determinism and panic hygiene.
+        "lint" => Some((
+            "parfait-lint",
+            RuleSet {
+                d1: false,
+                d2: true,
+                d3: false,
+                d4: false,
+                d5: true,
+            },
+        )),
+        _ => None,
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-wide lint result.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All diagnostics (D1–D4, R1, A1/A2), sorted by path.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-crate D5 counters: crate → (panics, unwraps).
+    pub budgets: BudgetCounts,
+    /// The parsed stream registry (name, id) in declaration order.
+    pub registry: Vec<(String, u64)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// One crate's budget check against the baseline.
+#[derive(Debug, Clone)]
+pub struct BudgetCheck {
+    /// Crate name.
+    pub crate_name: String,
+    /// Current non-test `panic!` count.
+    pub panics: u64,
+    /// Current non-test `.unwrap()` count.
+    pub unwraps: u64,
+    /// Baseline `panic!` budget.
+    pub base_panics: u64,
+    /// Baseline `.unwrap()` budget.
+    pub base_unwraps: u64,
+}
+
+impl BudgetCheck {
+    /// Did this crate exceed its budget (a D5 failure)?
+    pub fn over(&self) -> bool {
+        self.panics > self.base_panics || self.unwraps > self.base_unwraps
+    }
+
+    /// Is the crate now under budget (baseline should be re-recorded)?
+    pub fn under(&self) -> bool {
+        !self.over() && (self.panics < self.base_panics || self.unwraps < self.base_unwraps)
+    }
+}
+
+/// The checked-in D5 baseline: crate → (panic budget, unwrap budget).
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Budgets per crate.
+    pub entries: BTreeMap<String, (u64, u64)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format: `<crate> <panics> <unwraps>` per
+    /// line, `#` comments and blank lines skipped.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let (Some(name), Some(p), Some(u), None) = (it.next(), it.next(), it.next(), it.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<crate> <panics> <unwraps>`, got `{line}`",
+                    ln + 1
+                ));
+            };
+            let (Ok(p), Ok(u)) = (p.parse::<u64>(), u.parse::<u64>()) else {
+                return Err(format!("baseline line {}: non-numeric budget", ln + 1));
+            };
+            entries.insert(name.to_string(), (p, u));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load from `root`, treating a missing file as an empty baseline
+    /// (every non-zero count then fails, which is the right default for
+    /// a fresh checkout that lost the file).
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        match fs::read_to_string(root.join(BASELINE_FILE)) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("reading {BASELINE_FILE}: {e}")),
+        }
+    }
+
+    /// Render the baseline file for `counts`.
+    pub fn render(counts: &BudgetCounts) -> String {
+        let mut out = String::from(
+            "# parfait-lint D5 panic/unwrap budget baseline.\n\
+             # One line per crate: <crate> <panic! count> <.unwrap() count>,\n\
+             # counted outside #[test]/#[cfg(test)] code. CI fails when a crate\n\
+             # exceeds its budget; re-record with `parfait-lint --baseline` after\n\
+             # deliberately removing (never after adding) panic paths.\n",
+        );
+        for (name, (p, u)) in counts {
+            out.push_str(&format!("{name} {p} {u}\n"));
+        }
+        out
+    }
+
+    /// Compare current counts against the baseline.
+    pub fn check(&self, budgets: &BudgetCounts) -> Vec<BudgetCheck> {
+        let mut out = Vec::new();
+        for (name, (panics, unwraps)) in budgets {
+            let (bp, bu) = self.entries.get(name).copied().unwrap_or((0, 0));
+            out.push(BudgetCheck {
+                crate_name: name.clone(),
+                panics: *panics,
+                unwraps: *unwraps,
+                base_panics: bp,
+                base_unwraps: bu,
+            });
+        }
+        out
+    }
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// Scans `src/` of every profiled crate under `crates/` plus the root
+/// facade package's `src/`. Fixture directories, `tests/`, `benches/`
+/// and `vendor/` are out of scope by construction: integration tests
+/// and stand-in dependencies cannot put nondeterminism into sim-visible
+/// state.
+pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+
+    // Parse the stream registry first; D3 resolves against it.
+    let reg_path = root.join(REGISTRY_PATH);
+    let (registry, mut reg_diags) = match fs::read_to_string(&reg_path) {
+        Ok(src) => parse_registry(REGISTRY_PATH, &src),
+        Err(_) => (
+            Registry::default(),
+            vec![Diagnostic {
+                code: "R1",
+                id: "stream-registry",
+                path: REGISTRY_PATH.to_string(),
+                line: 1,
+                msg: "stream registry missing: crates/simcore/src/streams.rs not found".into(),
+            }],
+        ),
+    };
+    report.diagnostics.append(&mut reg_diags);
+    report.registry = registry.entries.clone();
+
+    // (dir under crates/, crate name, ruleset, src root)
+    let mut targets: Vec<(String, RuleSet, PathBuf)> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d.file_name().map(|n| n.to_string_lossy().into_owned());
+            if let Some((crate_name, rules)) = name.as_deref().and_then(profile) {
+                targets.push((crate_name.to_string(), rules, d.join("src")));
+            }
+        }
+    }
+    // Root facade package: wall-clock and panic hygiene only.
+    targets.push((
+        "parfait".to_string(),
+        RuleSet {
+            d1: false,
+            d2: true,
+            d3: false,
+            d4: false,
+            d5: true,
+        },
+        root.join("src"),
+    ));
+
+    for (crate_name, rules, src_root) in targets {
+        let mut files = Vec::new();
+        rust_files(&src_root, &mut files)?;
+        let mut panics = 0u64;
+        let mut unwraps = 0u64;
+        for f in files {
+            let src = fs::read_to_string(&f)?;
+            let path = rel(root, &f);
+            let ctx = FileCtx {
+                crate_name: crate_name.clone(),
+                path: path.clone(),
+                rules,
+                is_registry: path == REGISTRY_PATH,
+            };
+            let findings = lint_file(&ctx, &src, &registry);
+            report.diagnostics.extend(findings.diagnostics);
+            panics += findings.panics;
+            unwraps += findings.unwraps;
+            report.files_scanned += 1;
+        }
+        if rules.d5 {
+            report.budgets.insert(crate_name, (panics, unwraps));
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut counts = BudgetCounts::new();
+        counts.insert("parfait-faas".into(), (3, 12));
+        counts.insert("parfait-gpu".into(), (0, 1));
+        let text = Baseline::render(&counts);
+        let base = Baseline::parse(&text).expect("parses");
+        assert_eq!(base.entries.get("parfait-faas"), Some(&(3, 12)));
+        assert_eq!(base.entries.get("parfait-gpu"), Some(&(0, 1)));
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("parfait-faas 3").is_err());
+        assert!(Baseline::parse("parfait-faas three twelve").is_err());
+        assert!(Baseline::parse("# comment only\n").is_ok());
+    }
+
+    #[test]
+    fn budget_check_over_under() {
+        let mut base = Baseline::default();
+        base.entries.insert("a".into(), (1, 5));
+        let mut counts = BudgetCounts::new();
+        counts.insert("a".into(), (2, 5));
+        assert!(base.check(&counts)[0].over());
+        counts.insert("a".into(), (1, 3));
+        let c = base.check(&counts);
+        assert!(!c[0].over() && c[0].under());
+        counts.insert("a".into(), (1, 5));
+        let c = base.check(&counts);
+        assert!(!c[0].over() && !c[0].under());
+    }
+
+    #[test]
+    fn missing_baseline_is_zero_budget() {
+        let base = Baseline::load(Path::new("/nonexistent-dir-for-lint-test")).expect("empty ok");
+        let mut counts = BudgetCounts::new();
+        counts.insert("a".into(), (0, 1));
+        assert!(base.check(&counts)[0].over());
+    }
+}

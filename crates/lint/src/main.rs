@@ -1,0 +1,162 @@
+//! `parfait-lint` CLI.
+//!
+//! Modes:
+//! * default — report all diagnostics and budget status, exit 0
+//!   (advisory; useful while fixing a batch of findings).
+//! * `--deny` — exit 1 on any diagnostic or budget overrun (CI mode).
+//! * `--baseline` — re-record `lint-baseline.txt` from current counts.
+//! * `--list-rules` — print the rule catalog and exit.
+//! * `--root DIR` — lint the workspace rooted at DIR instead of
+//!   auto-discovering from the current directory.
+
+use parfait_lint::{find_workspace_root, run_workspace, Baseline, BASELINE_FILE, CATALOG};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    deny: bool,
+    baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        deny: false,
+        baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--baseline" => opts.baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "parfait-lint: determinism static analysis for the PARFAIT workspace\n\n\
+                     USAGE: parfait-lint [--root DIR] [--deny | --baseline] [--list-rules]\n\n\
+                     \x20 --root DIR    lint the workspace at DIR (default: discover from cwd)\n\
+                     \x20 --deny        exit nonzero on any finding or budget overrun (CI mode)\n\
+                     \x20 --baseline    re-record {BASELINE_FILE} from current D5 counts\n\
+                     \x20 --list-rules  print the rule catalog and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if opts.deny && opts.baseline {
+        return Err("--deny and --baseline are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("parfait-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in CATALOG {
+            println!("{:>2} {:<16} {}", r.code, r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("parfait-lint: no workspace root found (try --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parfait-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+
+    if opts.baseline {
+        let text = Baseline::render(&report.budgets);
+        if let Err(e) = std::fs::write(root.join(BASELINE_FILE), text) {
+            eprintln!("parfait-lint: writing {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "recorded {} crate budget(s) to {BASELINE_FILE}",
+            report.budgets.len()
+        );
+        // A recorded baseline still doesn't absolve D1-D4 findings.
+        return if report.diagnostics.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            report_footer(&report, true);
+            ExitCode::from(1)
+        };
+    }
+
+    let baseline = match Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("parfait-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let checks = baseline.check(&report.budgets);
+    let mut over = false;
+    for c in &checks {
+        if c.over() {
+            over = true;
+            println!(
+                "{}: [D5 panic-budget] {} panic!/{} .unwrap() exceed baseline {}/{} \
+                 (remove them or consciously re-record with --baseline)",
+                c.crate_name, c.panics, c.unwraps, c.base_panics, c.base_unwraps
+            );
+        } else if c.under() {
+            println!(
+                "note: {} is under budget ({}/{} vs baseline {}/{}); \
+                 run `parfait-lint --baseline` to ratchet down",
+                c.crate_name, c.panics, c.unwraps, c.base_panics, c.base_unwraps
+            );
+        }
+    }
+
+    let fail = !report.diagnostics.is_empty() || over;
+    report_footer(&report, fail);
+    if fail && opts.deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_footer(report: &parfait_lint::WorkspaceReport, fail: bool) {
+    println!(
+        "parfait-lint: {} file(s), {} stream id(s), {} finding(s){}",
+        report.files_scanned,
+        report.registry.len(),
+        report.diagnostics.len(),
+        if fail { " — FAIL" } else { " — clean" }
+    );
+}

@@ -1,0 +1,563 @@
+//! The determinism rule catalog (D1–D5) and the per-file rule engine.
+//!
+//! Scope model: each scanned file carries a [`FileCtx`] naming its crate
+//! and the subset of rules that apply there. Sim-visible crates (whose
+//! state can reach event ordering or reported numbers) get the full set;
+//! the wall-clock bench harness is exempt from D2; the lint itself is
+//! only held to D2/D5. Test code — `#[test]` functions, `#[cfg(test)]`
+//! modules, and everything behind a test attribute — is exempt from all
+//! rules: nondeterminism there cannot reach sim-visible state, and test
+//! assertions are free to unwrap.
+
+use crate::lexer::{int_value, lex, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One finding, pointing at a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Catalog code, e.g. `D1`.
+    pub code: &'static str,
+    /// Rule id, e.g. `hash-order`.
+    pub id: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.path, self.line, self.code, self.id, self.msg
+        )
+    }
+}
+
+/// Which rules apply to a file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// D1: no `HashMap`/`HashSet`.
+    pub d1: bool,
+    /// D2: no `Instant`/`SystemTime`.
+    pub d2: bool,
+    /// D3: `SimRng::split` must use `simcore::streams` constants.
+    pub d3: bool,
+    /// D4: no `Mutex`/`RwLock`/`Condvar`/`thread::spawn`.
+    pub d4: bool,
+    /// D5: count `panic!`/`.unwrap()` against the budget baseline.
+    pub d5: bool,
+}
+
+impl RuleSet {
+    /// Everything on (sim-visible event-handler crates).
+    pub fn sim_visible_full() -> Self {
+        RuleSet {
+            d1: true,
+            d2: true,
+            d3: true,
+            d4: true,
+            d5: true,
+        }
+    }
+}
+
+/// Per-file lint context.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Cargo package name, e.g. `parfait-faas`.
+    pub crate_name: String,
+    /// Workspace-relative path used in diagnostics.
+    pub path: String,
+    /// Applicable rules.
+    pub rules: RuleSet,
+    /// True for `simcore/src/streams.rs` itself (exempt from the
+    /// shadowing check — it *defines* the registry names).
+    pub is_registry: bool,
+}
+
+/// The parsed `simcore::streams` registry: constant name → id value.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Stream-constant names and values, in declaration order.
+    pub entries: Vec<(String, u64)>,
+}
+
+impl Registry {
+    /// Is `name` a registered stream constant?
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Parse the registry source: every `pub const NAME: u64 = <int>;` is a
+/// stream id. Duplicate values and non-literal initializers are
+/// diagnosed (rule `stream-registry`).
+pub fn parse_registry(path: &str, src: &str) -> (Registry, Vec<Diagnostic>) {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mask = test_mask(toks);
+    let mut reg = Registry::default();
+    let mut diags = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !mask[i]
+            && toks[i].is_ident("const")
+            && i + 4 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("u64")
+            && toks[i + 4].is_punct('=')
+        {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            let ok =
+                i + 6 < toks.len() && toks[i + 5].kind == TokKind::Int && toks[i + 6].is_punct(';');
+            if !ok {
+                diags.push(Diagnostic {
+                    code: "R1",
+                    id: "stream-registry",
+                    path: path.to_string(),
+                    line,
+                    msg: format!(
+                        "stream constant `{name}` must be initialized with a plain \
+                         integer literal so the lint (and reviewers) can check ids"
+                    ),
+                });
+                i += 1;
+                continue;
+            }
+            let value = int_value(&toks[i + 5].text).unwrap_or(u64::MAX);
+            if let Some((prev, _)) = reg.entries.iter().find(|(_, v)| *v == value) {
+                diags.push(Diagnostic {
+                    code: "R1",
+                    id: "stream-registry",
+                    path: path.to_string(),
+                    line,
+                    msg: format!(
+                        "duplicate stream id {value}: `{name}` collides with `{prev}` \
+                         (correlated RNG streams break split independence)"
+                    ),
+                });
+            }
+            reg.entries.push((name, value));
+            i += 7;
+            continue;
+        }
+        i += 1;
+    }
+    (reg, diags)
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileFindings {
+    /// Rule violations (already filtered through allow annotations).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Non-test `panic!` sites (D5 numerator).
+    pub panics: u64,
+    /// Non-test `.unwrap()` sites (D5 numerator).
+    pub unwraps: u64,
+}
+
+/// Mark every token that is test-only: an attribute containing the ident
+/// `test` (and not `not`, so `cfg(not(test))` stays production code)
+/// plus the item it decorates, through the item's closing brace (or
+/// trailing semicolon). Covers `#[test]`, `#[cfg(test)] mod ... { }`,
+/// and attribute stacks like `#[test] #[should_panic]`.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        if j < n && toks[j].is_punct('!') {
+            j += 1;
+        }
+        if j >= n || !toks[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut k = j + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while k < n && depth > 0 {
+            if toks[k].is_punct('[') {
+                depth += 1;
+            } else if toks[k].is_punct(']') {
+                depth -= 1;
+            } else if toks[k].is_ident("test") {
+                has_test = true;
+            } else if toks[k].is_ident("not") {
+                has_not = true;
+            }
+            k += 1;
+        }
+        if !has_test || has_not {
+            i = k;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut m = k;
+        while m < n && toks[m].is_punct('#') {
+            let mut mm = m + 1;
+            if mm < n && toks[mm].is_punct('[') {
+                let mut d = 1usize;
+                mm += 1;
+                while mm < n && d > 0 {
+                    if toks[mm].is_punct('[') {
+                        d += 1;
+                    } else if toks[mm].is_punct(']') {
+                        d -= 1;
+                    }
+                    mm += 1;
+                }
+                m = mm;
+            } else {
+                break;
+            }
+        }
+        // The decorated item runs to its body's closing brace, or to the
+        // first `;` for brace-less items.
+        let mut p = m;
+        while p < n && !toks[p].is_punct('{') && !toks[p].is_punct(';') {
+            p += 1;
+        }
+        let end = if p < n && toks[p].is_punct('{') {
+            let mut d = 1usize;
+            let mut q = p + 1;
+            while q < n && d > 0 {
+                if toks[q].is_punct('{') {
+                    d += 1;
+                } else if toks[q].is_punct('}') {
+                    d -= 1;
+                }
+                q += 1;
+            }
+            q
+        } else {
+            (p + 1).min(n)
+        };
+        for slot in mask.iter_mut().take(end).skip(attr_start) {
+            *slot = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Is the `.split(` at token index `i` (the `split` ident) an RNG split?
+/// Receiver heuristic: the token before the dot is an identifier whose
+/// name contains `rng` (any case), or a `)` within a short window of a
+/// `SimRng` path (constructor chains like `SimRng::new(s).split(..)`).
+/// `str::split` receivers (`label.split('.')`) fall outside both.
+fn is_rng_split(toks: &[Tok], i: usize) -> bool {
+    if i < 2 || !toks[i - 1].is_punct('.') || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let recv = &toks[i - 2];
+    if recv.kind == TokKind::Ident {
+        return recv.text.to_ascii_lowercase().contains("rng");
+    }
+    if recv.is_punct(')') {
+        let lo = i.saturating_sub(14);
+        return toks[lo..i].iter().any(|t| t.is_ident("SimRng"));
+    }
+    false
+}
+
+/// Lint one file against the registry.
+pub fn lint_file(ctx: &FileCtx, src: &str, reg: &Registry) -> FileFindings {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mask = test_mask(toks);
+    let mut out = FileFindings::default();
+    let mut allow_used = vec![false; lexed.allows.len()];
+
+    for (line, msg) in &lexed.malformed {
+        out.diagnostics.push(Diagnostic {
+            code: "A1",
+            id: "bad-annotation",
+            path: ctx.path.clone(),
+            line: *line,
+            msg: msg.clone(),
+        });
+    }
+
+    // An annotation covers its own line (trailing comment) and the next.
+    let allowed = |line: u32, rule: &str, used: &mut Vec<bool>| -> bool {
+        let mut hit = false;
+        for (ai, a) in lexed.allows.iter().enumerate() {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                used[ai] = true;
+                hit = true;
+            }
+        }
+        hit
+    };
+
+    let diag =
+        |code: &'static str, id: &'static str, line: u32, msg: String, out: &mut FileFindings| {
+            out.diagnostics.push(Diagnostic {
+                code,
+                id,
+                path: ctx.path.clone(),
+                line,
+                msg,
+            });
+        };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        let line = t.line;
+        match t.text.as_str() {
+            "HashMap" | "HashSet"
+                if ctx.rules.d1 && !allowed(line, "hash-order", &mut allow_used) =>
+            {
+                diag(
+                    "D1",
+                    "hash-order",
+                    line,
+                    format!(
+                        "`{}` in sim-visible crate `{}`: iteration order is \
+                         seed-dependent and can leak into event ordering or reported \
+                         numbers; use BTreeMap/BTreeSet (or sorted iteration) or \
+                         justify with `// lint:allow(hash-order, <why order never \
+                         escapes>)`",
+                        t.text, ctx.crate_name
+                    ),
+                    &mut out,
+                );
+            }
+            "Instant" | "SystemTime"
+                if ctx.rules.d2 && !allowed(line, "wall-clock", &mut allow_used) =>
+            {
+                diag(
+                    "D2",
+                    "wall-clock",
+                    line,
+                    format!(
+                        "`{}` outside the bench harness: wall-clock reads make runs \
+                         machine-dependent; simulation code must use SimTime only",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+            "Mutex" | "RwLock" | "Condvar"
+                if ctx.rules.d4 && !allowed(line, "sync-primitive", &mut allow_used) =>
+            {
+                diag(
+                    "D4",
+                    "sync-primitive",
+                    line,
+                    format!(
+                        "`{}` in event-handler crate `{}`: the engine is \
+                         single-threaded by design; blocking primitives in event \
+                         paths reintroduce host-scheduling nondeterminism",
+                        t.text, ctx.crate_name
+                    ),
+                    &mut out,
+                );
+            }
+            "spawn" if ctx.rules.d4 => {
+                // thread::spawn — walk back over the `::`.
+                let mut j = i;
+                while j > 0 && toks[j - 1].is_punct(':') {
+                    j -= 1;
+                }
+                if j > 0
+                    && toks[j - 1].is_ident("thread")
+                    && !allowed(line, "sync-primitive", &mut allow_used)
+                {
+                    diag(
+                        "D4",
+                        "sync-primitive",
+                        line,
+                        "`thread::spawn` in event-handler crate: event ordering must \
+                         never depend on host scheduling"
+                            .to_string(),
+                        &mut out,
+                    );
+                }
+            }
+            "split" if ctx.rules.d3 && is_rng_split(toks, i) => {
+                // Collect the argument tokens to the matching `)`.
+                let mut depth = 1usize;
+                let mut j = i + 2; // past `(`
+                let mut bare_int: Option<u32> = None;
+                let mut has_registered = false;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('(') {
+                        depth += 1;
+                    } else if toks[j].is_punct(')') {
+                        depth -= 1;
+                    } else if toks[j].kind == TokKind::Int {
+                        bare_int.get_or_insert(toks[j].line);
+                    } else if toks[j].kind == TokKind::Ident && reg.contains(&toks[j].text) {
+                        has_registered = true;
+                    }
+                    j += 1;
+                }
+                if let Some(int_line) = bare_int {
+                    if !allowed(int_line, "rng-stream", &mut allow_used)
+                        && !allowed(line, "rng-stream", &mut allow_used)
+                    {
+                        diag(
+                            "D3",
+                            "rng-stream",
+                            line,
+                            "bare integer stream id in `SimRng::split`: name the stream \
+                             in `simcore::streams` so collisions are centrally checked"
+                                .to_string(),
+                            &mut out,
+                        );
+                    }
+                } else if !has_registered && !allowed(line, "rng-stream", &mut allow_used) {
+                    diag(
+                        "D3",
+                        "rng-stream",
+                        line,
+                        "`SimRng::split` argument names no `simcore::streams` constant; \
+                         stream ids must come from the central registry"
+                            .to_string(),
+                        &mut out,
+                    );
+                }
+            }
+            // A local `const` reusing a registry name shadows the
+            // central id — the lint would then accept `split(NAME)`
+            // while the value silently diverges.
+            "const"
+                if ctx.rules.d3
+                    && !ctx.is_registry
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|t2| t2.kind == TokKind::Ident && reg.contains(&t2.text)) =>
+            {
+                diag(
+                    "D3",
+                    "rng-stream",
+                    toks[i + 1].line,
+                    format!(
+                        "local const `{}` shadows a simcore::streams registry name; \
+                         import the registry constant instead",
+                        toks[i + 1].text
+                    ),
+                    &mut out,
+                );
+            }
+            "panic" if ctx.rules.d5 && toks.get(i + 1).is_some_and(|t2| t2.is_punct('!')) => {
+                out.panics += 1;
+            }
+            "unwrap"
+                if ctx.rules.d5
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t2| t2.is_punct('(')) =>
+            {
+                out.unwraps += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    for (ai, a) in lexed.allows.iter().enumerate() {
+        if !allow_used[ai] {
+            out.diagnostics.push(Diagnostic {
+                code: "A2",
+                id: "unused-allow",
+                path: ctx.path.clone(),
+                line: a.line,
+                msg: format!(
+                    "lint:allow({}) suppresses nothing — stale annotations hide future \
+                     violations; delete it",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    out.diagnostics
+        .sort_by(|a, b| (a.line, a.id).cmp(&(b.line, b.id)));
+    out
+}
+
+/// Catalog entry, for reports and `--list-rules`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Catalog code (`D1` ... `A2`).
+    pub code: &'static str,
+    /// Rule id used in diagnostics and allow annotations.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The full rule catalog.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        code: "D1",
+        id: "hash-order",
+        summary: "no HashMap/HashSet in sim-visible crates unless order provably never escapes",
+    },
+    RuleInfo {
+        code: "D2",
+        id: "wall-clock",
+        summary: "no Instant/SystemTime outside the bench wall-clock harness",
+    },
+    RuleInfo {
+        code: "D3",
+        id: "rng-stream",
+        summary: "every SimRng::split id must be a named simcore::streams constant",
+    },
+    RuleInfo {
+        code: "D4",
+        id: "sync-primitive",
+        summary: "no Mutex/RwLock/Condvar/thread::spawn in event-handler crates",
+    },
+    RuleInfo {
+        code: "D5",
+        id: "panic-budget",
+        summary: "non-test panic!/.unwrap() counts per crate must not exceed the baseline",
+    },
+    RuleInfo {
+        code: "R1",
+        id: "stream-registry",
+        summary: "the streams registry itself: literal initializers, duplicate-free ids",
+    },
+    RuleInfo {
+        code: "A1",
+        id: "bad-annotation",
+        summary: "lint:allow annotations must name a known rule and carry a reason",
+    },
+    RuleInfo {
+        code: "A2",
+        id: "unused-allow",
+        summary: "lint:allow annotations that suppress nothing must be deleted",
+    },
+];
+
+/// Look up catalog info by rule id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    CATALOG.iter().find(|r| r.id == id)
+}
+
+/// Per-crate D5 counters.
+pub type BudgetCounts = BTreeMap<String, (u64, u64)>;

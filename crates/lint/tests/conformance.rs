@@ -1,0 +1,213 @@
+//! Fixture-based conformance suite: every rule D1–D5 (plus R1 and the
+//! annotation rules A1/A2) has at least one violating fixture that must
+//! be flagged and one clean fixture that must pass untouched.
+
+use parfait_lint::rules::RuleSet;
+use parfait_lint::{lint_file, parse_registry, FileCtx, Registry};
+
+fn registry() -> Registry {
+    let (reg, diags) = parse_registry(
+        "fixtures/registry_ok.rs",
+        include_str!("../fixtures/registry_ok.rs"),
+    );
+    assert!(diags.is_empty(), "ok registry must parse clean: {diags:?}");
+    assert_eq!(reg.entries.len(), 3);
+    reg
+}
+
+fn ctx(rules: RuleSet) -> FileCtx {
+    FileCtx {
+        crate_name: "parfait-fixture".into(),
+        path: "fixture.rs".into(),
+        rules,
+        is_registry: false,
+    }
+}
+
+fn only(rule: &str) -> RuleSet {
+    RuleSet {
+        d1: rule == "d1",
+        d2: rule == "d2",
+        d3: rule == "d3",
+        d4: rule == "d4",
+        d5: rule == "d5",
+    }
+}
+
+#[test]
+fn d1_violating_fixture_is_flagged() {
+    let f = lint_file(
+        &ctx(only("d1")),
+        include_str!("../fixtures/d1_violate.rs"),
+        &registry(),
+    );
+    assert_eq!(f.diagnostics.len(), 2, "{:?}", f.diagnostics); // use + field
+    assert!(f
+        .diagnostics
+        .iter()
+        .all(|d| d.code == "D1" && d.id == "hash-order"));
+}
+
+#[test]
+fn d1_clean_fixture_passes() {
+    let f = lint_file(
+        &ctx(only("d1")),
+        include_str!("../fixtures/d1_clean.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d1_allow_annotation_suppresses_without_a2() {
+    let f = lint_file(
+        &ctx(only("d1")),
+        include_str!("../fixtures/d1_allowed.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d2_violating_fixture_is_flagged() {
+    let f = lint_file(
+        &ctx(only("d2")),
+        include_str!("../fixtures/d2_violate.rs"),
+        &registry(),
+    );
+    // `use Instant`, `Instant::now`, `SystemTime::now`.
+    assert_eq!(f.diagnostics.len(), 3, "{:?}", f.diagnostics);
+    assert!(f
+        .diagnostics
+        .iter()
+        .all(|d| d.code == "D2" && d.id == "wall-clock"));
+}
+
+#[test]
+fn d2_clean_fixture_passes_despite_comments_and_strings() {
+    let f = lint_file(
+        &ctx(only("d2")),
+        include_str!("../fixtures/d2_clean.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d3_violating_fixture_is_flagged() {
+    let f = lint_file(
+        &ctx(only("d3")),
+        include_str!("../fixtures/d3_violate.rs"),
+        &registry(),
+    );
+    // Bare `split(617)` plus `split(RECOVERY_STREAM)` (unregistered name).
+    assert_eq!(f.diagnostics.len(), 2, "{:?}", f.diagnostics);
+    assert!(f
+        .diagnostics
+        .iter()
+        .all(|d| d.code == "D3" && d.id == "rng-stream"));
+}
+
+#[test]
+fn d3_clean_fixture_passes_and_str_split_is_ignored() {
+    let f = lint_file(
+        &ctx(only("d3")),
+        include_str!("../fixtures/d3_clean.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d3_allow_annotation_suppresses() {
+    let f = lint_file(
+        &ctx(only("d3")),
+        include_str!("../fixtures/d3_allowed.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d3_registry_name_shadowing_is_flagged() {
+    let f = lint_file(
+        &ctx(only("d3")),
+        include_str!("../fixtures/d3_shadow.rs"),
+        &registry(),
+    );
+    assert_eq!(f.diagnostics.len(), 1, "{:?}", f.diagnostics);
+    assert!(f.diagnostics[0].msg.contains("shadows"));
+}
+
+#[test]
+fn d4_violating_fixture_is_flagged() {
+    let f = lint_file(
+        &ctx(only("d4")),
+        include_str!("../fixtures/d4_violate.rs"),
+        &registry(),
+    );
+    // `use Mutex`, the `Mutex<...>` field, and `thread::spawn`.
+    assert_eq!(f.diagnostics.len(), 3, "{:?}", f.diagnostics);
+    assert!(f
+        .diagnostics
+        .iter()
+        .all(|d| d.code == "D4" && d.id == "sync-primitive"));
+}
+
+#[test]
+fn d4_clean_fixture_passes_with_non_thread_spawn() {
+    let f = lint_file(
+        &ctx(only("d4")),
+        include_str!("../fixtures/d4_clean.rs"),
+        &registry(),
+    );
+    assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn d5_violating_fixture_counts_panics_and_unwraps() {
+    let f = lint_file(
+        &ctx(only("d5")),
+        include_str!("../fixtures/d5_violate.rs"),
+        &registry(),
+    );
+    assert_eq!((f.panics, f.unwraps), (2, 3));
+}
+
+#[test]
+fn d5_clean_fixture_counts_zero_outside_tests() {
+    let f = lint_file(
+        &ctx(only("d5")),
+        include_str!("../fixtures/d5_clean.rs"),
+        &registry(),
+    );
+    assert_eq!((f.panics, f.unwraps), (0, 0));
+}
+
+#[test]
+fn unused_and_malformed_annotations_are_flagged() {
+    let f = lint_file(
+        &ctx(RuleSet::sim_visible_full()),
+        include_str!("../fixtures/allow_unused.rs"),
+        &registry(),
+    );
+    let a1 = f.diagnostics.iter().filter(|d| d.code == "A1").count();
+    let a2 = f.diagnostics.iter().filter(|d| d.code == "A2").count();
+    assert_eq!((a1, a2), (1, 1), "{:?}", f.diagnostics);
+}
+
+#[test]
+fn registry_duplicates_and_computed_ids_are_flagged() {
+    let (reg, diags) = parse_registry(
+        "fixtures/registry_dup.rs",
+        include_str!("../fixtures/registry_dup.rs"),
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}"); // duplicate 617 + computed DERIVED
+    assert!(diags
+        .iter()
+        .all(|d| d.code == "R1" && d.id == "stream-registry"));
+    assert!(diags
+        .iter()
+        .any(|d| d.msg.contains("duplicate stream id 617")));
+    assert_eq!(reg.entries.len(), 2);
+}

@@ -1,0 +1,62 @@
+//! The lint eats its own dog food: the checked-in workspace must be
+//! clean under `--deny` semantics, and the real `simcore::streams`
+//! registry must parse with unique ids.
+
+use parfait_lint::{run_workspace, Baseline};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let report = run_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 30, "suspiciously few files scanned");
+}
+
+#[test]
+fn real_registry_has_unique_ids() {
+    let report = run_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.registry.len() >= 6,
+        "registry entries: {:?}",
+        report.registry
+    );
+    let mut ids: Vec<u64> = report.registry.iter().map(|(_, v)| *v).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), report.registry.len(), "duplicate stream ids");
+}
+
+#[test]
+fn budgets_fit_checked_in_baseline() {
+    let report = run_workspace(workspace_root()).expect("workspace scan");
+    let baseline = Baseline::load(workspace_root()).expect("baseline parses");
+    let over: Vec<String> = baseline
+        .check(&report.budgets)
+        .iter()
+        .filter(|c| c.over())
+        .map(|c| {
+            format!(
+                "{}: {}/{} vs baseline {}/{}",
+                c.crate_name, c.panics, c.unwraps, c.base_panics, c.base_unwraps
+            )
+        })
+        .collect();
+    assert!(
+        over.is_empty(),
+        "crates over panic/unwrap budget:\n{}",
+        over.join("\n")
+    );
+}

@@ -25,6 +25,8 @@
 //!   knowing about it.
 //! * [`rng::SimRng`] — splittable xoshiro256++ PRNG plus the distributions
 //!   the workloads need (exponential, normal, lognormal, Pareto, Zipf).
+//! * [`streams`] — the central registry of RNG stream ids; every
+//!   `SimRng::split` site must name one of its constants (lint rule D3).
 //! * [`resource`] — FIFO and processor-sharing resources for modelling CPU
 //!   pools and queues.
 //! * [`stats`] — streaming statistics, histograms and time-weighted gauges.
@@ -34,6 +36,7 @@ pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod streams;
 pub mod time;
 pub mod timeline;
 

@@ -1,0 +1,93 @@
+//! Central registry of RNG stream ids.
+//!
+//! Every [`crate::SimRng::split`] call in the workspace must name a
+//! constant from this module (enforced by `parfait-lint` rule D3, see
+//! DESIGN.md). Splitting on ad-hoc integer literals is how simulators
+//! silently lose reproducibility: two subsystems pick the same id, their
+//! draws become correlated, and "bit-identical under the same seed" stops
+//! being checkable. Centralizing the ids makes collisions a compile-time
+//! review question and a tested invariant ([`ALL`] must be duplicate-free).
+//!
+//! The numeric values are frozen: changing one changes every trace and
+//! BENCH artifact downstream. Add new streams with fresh ids; never reuse
+//! or renumber.
+
+/// Recovery machinery: exponential-backoff retry jitter and respawn
+/// scheduling in `parfait-faas::world` (historically hard-coded as 617).
+pub const RETRY_JITTER: u64 = 617;
+
+/// Realization of stochastic fault plans in `parfait-faas::faults`
+/// (historically hard-coded as 618).
+pub const FAULT_REALIZATION: u64 = 618;
+
+/// Base id for per-worker streams: worker `id` draws from
+/// `WORKER_BASE + id`. The range `[WORKER_BASE, WORKER_BASE + 2^20)` is
+/// reserved for workers; keep scalar stream ids out of it (known wart:
+/// [`ARRIVAL_TRACE`] predates the reservation and sits inside it — it
+/// only collides with worker 3242, far beyond realistic fleet sizes, and
+/// renumbering it would invalidate every recorded trace).
+pub const WORKER_BASE: u64 = 1000;
+
+/// The molecular-design campaign's private stream (molecule features,
+/// oracle noise, random selection) in `parfait-workloads::molecular`.
+pub const MOLECULAR_CAMPAIGN: u64 = 77;
+
+/// Poisson arrival traces for the open-loop serving scenarios in
+/// `parfait-bench::scenarios`.
+pub const ARRIVAL_TRACE: u64 = 4242;
+
+/// Poisson arrival trace for the dynamic-batching extension experiment
+/// in the `repro` binary.
+pub const BATCH_ARRIVALS: u64 = 999;
+
+/// Every named stream, for the uniqueness check and for reports. Keep in
+/// sync with the constants above; `parfait-lint` independently parses the
+/// `pub const` declarations in this file, so a constant missing from this
+/// table still participates in the duplicate-id check.
+pub const ALL: &[(&str, u64)] = &[
+    ("RETRY_JITTER", RETRY_JITTER),
+    ("FAULT_REALIZATION", FAULT_REALIZATION),
+    ("WORKER_BASE", WORKER_BASE),
+    ("MOLECULAR_CAMPAIGN", MOLECULAR_CAMPAIGN),
+    ("ARRIVAL_TRACE", ARRIVAL_TRACE),
+    ("BATCH_ARRIVALS", BATCH_ARRIVALS),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ids_are_unique() {
+        let mut ids: Vec<u64> = ALL.iter().map(|(_, id)| *id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate RNG stream id in registry");
+    }
+
+    #[test]
+    fn frozen_values() {
+        // The historical literals these constants replaced; renumbering
+        // them would silently change every seeded trace.
+        assert_eq!(RETRY_JITTER, 617);
+        assert_eq!(FAULT_REALIZATION, 618);
+        assert_eq!(WORKER_BASE, 1000);
+        assert_eq!(MOLECULAR_CAMPAIGN, 77);
+        assert_eq!(ARRIVAL_TRACE, 4242);
+        assert_eq!(BATCH_ARRIVALS, 999);
+    }
+
+    #[test]
+    fn scalar_ids_avoid_worker_range_except_known_wart() {
+        for (name, id) in ALL {
+            if *name == "WORKER_BASE" || *name == "ARRIVAL_TRACE" {
+                continue;
+            }
+            assert!(
+                *id < WORKER_BASE,
+                "{name}={id} lands in the per-worker stream range"
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a span opened with [`Timeline::start`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,7 +45,7 @@ struct OpenSpan {
 #[derive(Debug, Default, Clone)]
 pub struct Timeline {
     spans: Vec<Span>,
-    open: HashMap<usize, OpenSpan>,
+    open: BTreeMap<usize, OpenSpan>,
     next_id: usize,
 }
 

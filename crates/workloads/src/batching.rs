@@ -18,7 +18,7 @@ use parfait_gpu::GpuSpec;
 use parfait_simcore::{Engine, SimDuration, SimTime};
 use serde::Serialize;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Batching policy.
@@ -66,7 +66,7 @@ pub struct BatchingService {
     flush_armed_for: Option<u64>,
     generation: u64,
     /// In-flight batches: task → arrival times and batch size.
-    in_flight: HashMap<TaskId, Vec<SimTime>>,
+    in_flight: BTreeMap<TaskId, Vec<SimTime>>,
     log: BatchLog,
 }
 
@@ -86,7 +86,7 @@ impl BatchingService {
             pending: Vec::new(),
             flush_armed_for: None,
             generation: 0,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             log: Rc::new(RefCell::new(Vec::new())),
         }
     }

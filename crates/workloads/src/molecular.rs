@@ -19,10 +19,10 @@ use crate::mlp::Regressor;
 use parfait_faas::app::bodies::{CpuBurn, KernelSeq};
 use parfait_faas::{submit, AppCall, Driver, FaasWorld, TaskId};
 use parfait_gpu::{GpuSpec, KernelDesc};
-use parfait_simcore::{Engine, SimDuration, SimRng};
+use parfait_simcore::{streams, Engine, SimDuration, SimRng};
 use serde::Serialize;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Feature dimension of a molecule descriptor.
@@ -152,7 +152,7 @@ pub struct Campaign {
     emulator: Option<Regressor>,
     xs: Vec<Vec<f64>>,
     ys: Vec<f64>,
-    sim_tasks: HashMap<TaskId, Molecule>,
+    sim_tasks: BTreeMap<TaskId, Molecule>,
     sims_outstanding: usize,
     train_task: Option<TaskId>,
     infer_task: Option<TaskId>,
@@ -171,12 +171,12 @@ impl Campaign {
     pub fn new(cfg: CampaignConfig, seed: u64) -> Self {
         Campaign {
             cfg,
-            rng: SimRng::new(seed).split(77),
+            rng: SimRng::new(seed).split(streams::MOLECULAR_CAMPAIGN),
             chem: Chemistry::default(),
             emulator: None,
             xs: Vec::new(),
             ys: Vec::new(),
-            sim_tasks: HashMap::new(),
+            sim_tasks: BTreeMap::new(),
             sims_outstanding: 0,
             train_task: None,
             infer_task: None,

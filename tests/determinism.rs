@@ -1,0 +1,45 @@
+//! End-to-end determinism acceptance: the whole platform — engine,
+//! GPU arbitration, FaaS scheduling, fault injection and recovery — is
+//! a pure function of configuration and seed. Each scenario runs the
+//! §5.2 LLaMa deployment under the PR-2 fault schedule twice with the
+//! same seed and asserts that the event trace (fault incidents + task
+//! lifecycle rows + engine event count) and the serialized
+//! `BENCH_faults.json` mode entry are byte-identical.
+//!
+//! This is the dynamic half of the determinism story; the static half
+//! is `parfait-lint` (rules D1–D5), which keeps hash-order, wall-clock,
+//! unregistered RNG streams and threading out of sim-visible code in
+//! the first place.
+
+use parfait_bench::faults::traced_mode_run;
+use parfait_bench::scenarios::SEED;
+use parfait_core::Strategy;
+
+fn assert_double_run_identical(strategy: Strategy) {
+    let (report_a, trace_a) = traced_mode_run(&strategy, 4, 8, SEED);
+    let (report_b, trace_b) = traced_mode_run(&strategy, 4, 8, SEED);
+    assert_eq!(
+        trace_a, trace_b,
+        "event trace diverged across identically-seeded runs"
+    );
+    let json_a = serde_json::to_string(&report_a).expect("report serializes");
+    let json_b = serde_json::to_string(&report_b).expect("report serializes");
+    assert_eq!(
+        json_a, json_b,
+        "serialized fault report diverged across identically-seeded runs"
+    );
+    // A trace that contains no fault incidents or no tasks would make
+    // the byte-compare vacuous.
+    assert!(trace_a.contains("fault t="), "no fault records in trace");
+    assert!(trace_a.contains("task id="), "no task rows in trace");
+}
+
+#[test]
+fn mps_fault_scenario_is_bit_identical_across_runs() {
+    assert_double_run_identical(Strategy::MpsEqual);
+}
+
+#[test]
+fn mig_fault_scenario_is_bit_identical_across_runs() {
+    assert_double_run_identical(Strategy::MigEqual);
+}
