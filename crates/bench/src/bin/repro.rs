@@ -682,6 +682,50 @@ fn run_faults(opts: &Opts) {
         ],
         rows,
     );
+
+    let corr_rows = report
+        .correlated
+        .iter()
+        .map(|c| {
+            vec![
+                c.mode.clone(),
+                c.checkpoint_interval_s
+                    .map(|s| format!("{s}s"))
+                    .unwrap_or_else(|| "off".into()),
+                f2(c.clean_makespan_s),
+                f2(c.faulted_makespan_s),
+                f2(c.recovery.work_lost_s),
+                c.recovery.workers_lost.to_string(),
+                format!(
+                    "{}/{}",
+                    c.recovery.tasks_resumed,
+                    c.reexecuted_tasks.saturating_sub(c.recovery.tasks_resumed)
+                ),
+                c.recovery.checkpoints_committed.to_string(),
+                c.mttr_s.map(f2).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Correlated outage: client fault at +{}s, whole-host reboot at +{}s, \
+             8 long sessions over 2 GPUs on one host (sweep of checkpoint interval)",
+            report.correlated_offsets_s[0], report.correlated_offsets_s[1]
+        ),
+        &[
+            "mode",
+            "ckpt",
+            "clean (s)",
+            "faulted (s)",
+            "work lost (s)",
+            "workers lost",
+            "resumed/re-run",
+            "commits",
+            "MTTR (s)",
+        ],
+        corr_rows,
+    );
 }
 
 fn run_lint(opts: &Opts) {

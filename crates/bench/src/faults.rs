@@ -11,13 +11,15 @@
 //! to one worker. The whole schedule is seeded, so `BENCH_faults.json`
 //! is bit-identical across runs of the same build.
 
-use crate::scenarios::{build_llama_platform, chat_call, mode_label};
+use crate::scenarios::{build_llama_platform, build_session_platform, chat_call, mode_label};
 use parfait_core::Strategy;
 use parfait_faas::{
-    boot, install_faults, resume_sampling, submit, FaasWorld, FaultKind, FaultPlan, RecoveryStats,
-    TaskState,
+    boot, install_faults, resume_sampling, submit, AppCall, CheckpointPolicy, FaasWorld, FaultKind,
+    FaultPlan, RecoveryStats, TaskState, Topology,
 };
+use parfait_gpu::GpuSpec;
 use parfait_simcore::{SimDuration, SimTime};
+use parfait_workloads::{CompletionBody, LlmSpec};
 use serde::Serialize;
 
 /// Offsets (from measurement start) of the injected fault schedule. The
@@ -45,6 +47,41 @@ fn fault_plan(base: SimTime) -> FaultPlan {
                 duration: SimDuration::from_secs(10),
             },
         )
+}
+
+/// Offsets (from measurement start) of the correlated-outage schedule:
+/// a fatal client fault early (exercises the single-GPU blast radius),
+/// then a whole-host reboot once the long sessions are mid-flight.
+const CORR_CLIENT_FAULT_AT_S: u64 = 5;
+const CORR_HOST_REBOOT_AT_S: u64 = 75;
+
+/// Correlated-outage deployment shape: two GPUs on one host, two
+/// workers per GPU, eight long chat sessions in the measured phase.
+const SESSION_GPUS: usize = 2;
+const SESSION_PROCS_PER_GPU: usize = 2;
+const SESSION_COUNT: usize = 8;
+
+fn correlated_plan(base: SimTime) -> FaultPlan {
+    FaultPlan::default()
+        .with(
+            base + SimDuration::from_secs(CORR_CLIENT_FAULT_AT_S),
+            FaultKind::GpuClientFault { worker: 0 },
+        )
+        .with(
+            base + SimDuration::from_secs(CORR_HOST_REBOOT_AT_S),
+            FaultKind::HostReboot { host: 0 },
+        )
+}
+
+/// A long-running chat session (~35 s of decode): 96 prompt tokens,
+/// 220 generated. Long enough that a mid-flight host reboot costs real
+/// work, which is what checkpointing is for.
+fn session_call(llm: &LlmSpec, gpu_spec: &GpuSpec, app: &str) -> AppCall {
+    let llm = llm.clone();
+    let gpu_spec = gpu_spec.clone();
+    AppCall::new(app, "gpu", move |_| {
+        Box::new(CompletionBody::new(llm.clone(), gpu_spec.clone(), 96, 220))
+    })
 }
 
 /// One mode's clean-vs-faulted comparison.
@@ -75,6 +112,36 @@ pub struct ModeFaultReport {
     pub events_fired: u64,
 }
 
+/// One cell of the correlated-outage sweep: a sharing mode crossed with
+/// a checkpoint interval, run clean and then under the host-reboot
+/// schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorrelatedOutageReport {
+    /// Sharing-mode label (`"mps"`, `"mig"`).
+    pub mode: String,
+    /// Checkpoint interval in seconds (`None` = checkpointing off).
+    pub checkpoint_interval_s: Option<u64>,
+    /// Makespan of the measured sessions without faults (s); includes
+    /// checkpoint overhead when the interval is set.
+    pub clean_makespan_s: f64,
+    /// Makespan with the client fault + host reboot injected (s).
+    pub faulted_makespan_s: f64,
+    /// Sessions that finished despite the outage.
+    pub completed: usize,
+    /// Sessions that exhausted retries.
+    pub failed: usize,
+    /// Extra attempts beyond the first, summed over all tasks.
+    pub reexecuted_tasks: u64,
+    /// Mean time to recovery over paired per-GPU incidents (s).
+    pub mttr_s: Option<f64>,
+    /// Recovery counters for the faulted run — `work_lost_s`,
+    /// `tasks_resumed`, `checkpoints_committed`, `domain_outages`,
+    /// `workers_lost` are the columns of interest here.
+    pub recovery: RecoveryStats,
+    /// Engine events fired in the faulted run (determinism fingerprint).
+    pub events_fired: u64,
+}
+
 /// The full report written to `BENCH_faults.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct FaultsReport {
@@ -86,6 +153,10 @@ pub struct FaultsReport {
     pub schedule_offsets_s: [u64; 3],
     /// One entry per sharing mode.
     pub modes: Vec<ModeFaultReport>,
+    /// Correlated-outage offsets (client fault, host reboot), s.
+    pub correlated_offsets_s: [u64; 2],
+    /// The correlated-outage sweep: {mps, mig} × {off, 10 s, 30 s}.
+    pub correlated: Vec<CorrelatedOutageReport>,
 }
 
 /// Warm the platform and run `completions` chat requests, optionally
@@ -127,6 +198,142 @@ fn run_phase(
         .unwrap_or(0.0);
     let fired = eng.events_fired();
     (makespan, world, fired)
+}
+
+/// Warm the session platform and run the long-session phase, optionally
+/// under the correlated-outage schedule. Returns (makespan_s, world,
+/// events_fired). Pure function of its arguments.
+fn run_correlated_phase(
+    strategy: &Strategy,
+    ckpt_interval: Option<SimDuration>,
+    seed: u64,
+    inject: bool,
+) -> (f64, FaasWorld, u64) {
+    let (mut world, mut eng, llm, gpu_spec) =
+        build_session_platform(strategy, SESSION_GPUS, SESSION_PROCS_PER_GPU, seed);
+    world.config.retries = 4;
+    // Both GPUs live on host 0: a host reboot is a whole-fleet outage.
+    world.config.topology = Topology {
+        gpus_per_host: SESSION_GPUS as u32,
+        hosts_per_rack: 4,
+    };
+    // Compressed reboot/re-enroll times keep the simulated episode short
+    // without changing its structure (host back before GPUs re-enroll).
+    world.config.recovery.host_reboot = SimDuration::from_secs(20);
+    world.config.recovery.gpu_reenroll_stagger = SimDuration::from_secs(2);
+    world.config.checkpoint = match ckpt_interval {
+        Some(i) => CheckpointPolicy::every(i),
+        None => CheckpointPolicy::default(),
+    };
+    boot(&mut world, &mut eng);
+    let workers = SESSION_GPUS * SESSION_PROCS_PER_GPU;
+    for _ in 0..workers {
+        submit(&mut world, &mut eng, chat_call(&llm, &gpu_spec, "warmup"));
+    }
+    eng.run(&mut world);
+    assert_eq!(world.dfk.failed_count(), 0, "warmup must be clean");
+    let measure_start = eng.now();
+    resume_sampling(&mut world, &mut eng);
+    if inject {
+        install_faults(&mut world, &mut eng, &correlated_plan(measure_start));
+    }
+    for _ in 0..SESSION_COUNT {
+        submit(
+            &mut world,
+            &mut eng,
+            session_call(&llm, &gpu_spec, "session"),
+        );
+    }
+    eng.run(&mut world);
+    let makespan = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "session")
+        .filter_map(|t| t.finished)
+        .max()
+        .map(|end| end.duration_since(measure_start).as_secs_f64())
+        .unwrap_or(0.0);
+    let fired = eng.events_fired();
+    (makespan, world, fired)
+}
+
+/// Run the clean/faulted pair for one (mode, checkpoint interval) cell.
+pub fn correlated_mode_run(
+    strategy: &Strategy,
+    ckpt_interval_s: Option<u64>,
+    seed: u64,
+) -> CorrelatedOutageReport {
+    let interval = ckpt_interval_s.map(SimDuration::from_secs);
+    let (clean_makespan_s, _, _) = run_correlated_phase(strategy, interval, seed, false);
+    let (faulted_makespan_s, world, events_fired) =
+        run_correlated_phase(strategy, interval, seed, true);
+    let completed = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "session" && t.state == TaskState::Done)
+        .count();
+    let failed = world
+        .dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.app == "session" && t.state == TaskState::Failed)
+        .count();
+    CorrelatedOutageReport {
+        mode: mode_label(strategy),
+        checkpoint_interval_s: ckpt_interval_s,
+        clean_makespan_s,
+        faulted_makespan_s,
+        completed,
+        failed,
+        reexecuted_tasks: world.dfk.reexecuted_attempts(),
+        mttr_s: world.monitor.mttr_s(),
+        recovery: world.recovery.stats,
+        events_fired,
+    }
+}
+
+/// Faulted correlated run plus a line-oriented trace (fault records +
+/// task rows), byte-compared across double runs by `tests/determinism.rs`.
+pub fn traced_correlated_run(
+    strategy: &Strategy,
+    ckpt_interval_s: Option<u64>,
+    seed: u64,
+) -> (CorrelatedOutageReport, String) {
+    let report = correlated_mode_run(strategy, ckpt_interval_s, seed);
+    let interval = ckpt_interval_s.map(SimDuration::from_secs);
+    let (_, world, events_fired) = run_correlated_phase(strategy, interval, seed, true);
+    let mut trace = String::new();
+    trace.push_str(&format!(
+        "mode={} ckpt={:?} seed={} events_fired={}\n",
+        report.mode, ckpt_interval_s, seed, events_fired
+    ));
+    for r in &world.monitor.fault_records {
+        trace.push_str(&format!(
+            "fault t={:?} phase={:?} kind={} gpu={:?} worker={:?} detail={}\n",
+            r.t, r.phase, r.kind, r.gpu, r.worker, r.detail
+        ));
+    }
+    for t in world.dfk.tasks() {
+        trace.push_str(&format!(
+            "task id={:?} app={} state={:?} submitted={:?} finished={:?} attempts={}\n",
+            t.id, t.app, t.state, t.submitted, t.finished, t.attempts
+        ));
+    }
+    (report, trace)
+}
+
+/// Sweep the correlated-outage scenario: {MPS, MIG} × checkpoint
+/// interval {off, 10 s, 30 s}, identical seed and fault schedule.
+pub fn measure_correlated(seed: u64) -> Vec<CorrelatedOutageReport> {
+    let mut out = Vec::new();
+    for strategy in [Strategy::MpsEqual, Strategy::MigEqual] {
+        for interval in [None, Some(10), Some(30)] {
+            out.push(correlated_mode_run(&strategy, interval, seed));
+        }
+    }
+    out
 }
 
 /// Run one faulted phase for `strategy` and return the mode report
@@ -226,6 +433,8 @@ pub fn measure(procs: usize, completions: usize, seed: u64) -> FaultsReport {
         completions,
         schedule_offsets_s: [CLIENT_FAULT_AT_S, CRASH_AT_S, STRAGGLER_AT_S],
         modes,
+        correlated_offsets_s: [CORR_CLIENT_FAULT_AT_S, CORR_HOST_REBOOT_AT_S],
+        correlated: measure_correlated(seed),
     }
 }
 
@@ -280,5 +489,51 @@ mod tests {
         assert_eq!(mig.recovery.quarantines, 0);
         assert_eq!(mps.completed, 6, "all completions survive under MPS");
         assert_eq!(mig.completed, 6, "all completions survive under MIG");
+    }
+
+    /// Acceptance: at identical seed and fault schedule, checkpointing
+    /// strictly reduces both work lost and faulted makespan relative to
+    /// no-checkpoint, and recovery resumes tasks instead of re-running
+    /// them from scratch.
+    #[test]
+    fn checkpointing_bounds_work_lost() {
+        for strategy in [Strategy::MpsEqual, Strategy::MigEqual] {
+            let none = correlated_mode_run(&strategy, None, 99);
+            let ckpt = correlated_mode_run(&strategy, Some(10), 99);
+            assert_eq!(none.recovery.tasks_resumed, 0, "{none:?}");
+            assert_eq!(none.recovery.checkpoints_committed, 0, "{none:?}");
+            assert!(ckpt.recovery.checkpoints_committed > 0, "{ckpt:?}");
+            assert!(ckpt.recovery.tasks_resumed > 0, "{ckpt:?}");
+            assert!(
+                ckpt.recovery.work_lost_s < none.recovery.work_lost_s,
+                "checkpointing must strictly reduce work lost: ckpt={ckpt:?} none={none:?}"
+            );
+            assert!(
+                ckpt.faulted_makespan_s < none.faulted_makespan_s,
+                "checkpointing must strictly reduce faulted makespan: ckpt={ckpt:?} none={none:?}"
+            );
+            assert_eq!(none.completed, SESSION_COUNT, "{none:?}");
+            assert_eq!(ckpt.completed, SESSION_COUNT, "{ckpt:?}");
+        }
+    }
+
+    /// Acceptance: under a whole-host reboot the MPS blast radius is at
+    /// least as wide as MIG's — the early client fault takes every MPS
+    /// co-resident on GPU 0 but only one MIG slice, and the reboot then
+    /// levels both at four workers.
+    #[test]
+    fn host_reboot_blast_radius_mps_vs_mig() {
+        let mps = correlated_mode_run(&Strategy::MpsEqual, None, 99);
+        let mig = correlated_mode_run(&Strategy::MigEqual, None, 99);
+        assert_eq!(mps.recovery.domain_outages, 1, "{mps:?}");
+        assert_eq!(mig.recovery.domain_outages, 1, "{mig:?}");
+        assert!(
+            mps.recovery.workers_lost > mig.recovery.workers_lost,
+            "MPS whole-host loss must exceed MIG: mps={mps:?} mig={mig:?}"
+        );
+        assert!(
+            mps.recovery.work_lost_s >= mig.recovery.work_lost_s,
+            "MPS loses at least as much in-flight work: mps={mps:?} mig={mig:?}"
+        );
     }
 }

@@ -89,6 +89,39 @@ pub fn build_llama_platform(
     (world, Engine::new(), llm, gpu_spec)
 }
 
+/// Build the correlated-outage deployment: `gpus` A100-80GBs on one
+/// host, each partitioned into `procs_per_gpu` LLaMa2-7B workers under
+/// `strategy`, all feeding a single `"gpu"` executor. The fault-domain
+/// benchmark lays a [`parfait_faas::Topology`] over this fleet and
+/// reboots the host out from under it.
+pub fn build_session_platform(
+    strategy: &Strategy,
+    gpus: usize,
+    procs_per_gpu: usize,
+    seed: u64,
+) -> (FaasWorld, Engine<FaasWorld>, LlmSpec, GpuSpec) {
+    let gpu_spec = GpuSpec::a100_80gb();
+    let llm = LlmSpec::llama2_7b(2);
+    let mut fleet = GpuFleet::new();
+    let mut specs = Vec::new();
+    for g in 0..gpus as u32 {
+        let id = fleet.add(gpu_spec.clone());
+        fleet
+            .device_mut(id)
+            .set_share_config(scenario_share_config());
+        let p = plan(&gpu_spec, g, procs_per_gpu, strategy).expect("valid plan");
+        // Same UVM concession as `build_llama_platform`: narrow MIG
+        // slices hold the deployment only with oversubscription.
+        if matches!(strategy, Strategy::MigEqual) {
+            fleet.device_mut(id).set_uvm(true);
+        }
+        specs.extend(apply_plan(&mut fleet, &p).expect("plan applies"));
+    }
+    let config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
+    let world = FaasWorld::new(config, fleet, seed);
+    (world, Engine::new(), llm, gpu_spec)
+}
+
 /// One paper-profile chat completion against the `"gpu"` executor.
 pub fn chat_call(llm: &LlmSpec, gpu_spec: &GpuSpec, app: &str) -> AppCall {
     let llm = llm.clone();

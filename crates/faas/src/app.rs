@@ -83,6 +83,22 @@ pub trait TaskBody: 'static {
     }
     /// Produce the next step.
     fn next(&mut self, ctx: &mut TaskCtx<'_>) -> TaskStep;
+    /// Can this body's progress be snapshotted at step boundaries and
+    /// later resumed by fast-forwarding a fresh body past the completed
+    /// steps? Opt-in: bodies whose step sequence is a deterministic
+    /// function of construction (kernel sequences, completion sessions)
+    /// return `true`; the default is `false`.
+    fn checkpointable(&self) -> bool {
+        false
+    }
+    /// Durable private state a snapshot must serialize, beyond the
+    /// task's explicit device allocations (e.g. the KV cache grown so
+    /// far in a completion session). Activation scratch is *not*
+    /// durable — it is recomputed on resume — so this is typically far
+    /// smaller than [`ModelProfile::private_bytes`].
+    fn checkpoint_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Factory recreating a fresh body per attempt (retries re-run from the
@@ -201,6 +217,11 @@ pub mod bodies {
     impl TaskBody for KernelSeq {
         fn model(&self) -> Option<ModelProfile> {
             self.model
+        }
+        fn checkpointable(&self) -> bool {
+            // The kernel list is fixed at construction; a fresh body
+            // replays identically and can fast-forward past a snapshot.
+            true
         }
         fn next(&mut self, _ctx: &mut TaskCtx<'_>) -> TaskStep {
             if let Some(k) = self.pending.take() {

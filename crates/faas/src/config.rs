@@ -164,6 +164,118 @@ pub struct Config {
     /// Failure detection and recovery parameters (heartbeat watchdog,
     /// retry backoff, restart budget, per-GPU circuit breaker).
     pub recovery: RecoveryConfig,
+    /// Physical placement of the GPU fleet (GPU → host → rack). Drives
+    /// the blast radius of correlated faults ([`crate::FaultKind::HostReboot`],
+    /// [`crate::FaultKind::RackPower`]).
+    pub topology: Topology,
+    /// Periodic checkpointing of long-running task bodies (disabled by
+    /// default; recovery then re-executes lost attempts from scratch).
+    pub checkpoint: CheckpointPolicy,
+}
+
+/// Physical placement of the GPU fleet: fleet index → host → rack.
+///
+/// The mapping is positional: host `h` owns GPUs
+/// `[h * gpus_per_host, (h+1) * gpus_per_host)` and rack `r` owns hosts
+/// `[r * hosts_per_rack, (r+1) * hosts_per_rack)`. CPU-only workers have
+/// no GPU binding and therefore sit outside every GPU fault domain —
+/// a host reboot in this model fences accelerators, not the submitting
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// GPUs per host (the paper's testbed packs 4 A100s per node).
+    pub gpus_per_host: u32,
+    /// Hosts per rack.
+    pub hosts_per_rack: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            gpus_per_host: 4,
+            hosts_per_rack: 4,
+        }
+    }
+}
+
+impl Topology {
+    /// Host owning fleet GPU `gpu`.
+    pub fn host_of(&self, gpu: u32) -> u32 {
+        gpu / self.gpus_per_host.max(1)
+    }
+
+    /// Rack owning host `host`.
+    pub fn rack_of_host(&self, host: u32) -> u32 {
+        host / self.hosts_per_rack.max(1)
+    }
+
+    /// Rack owning fleet GPU `gpu`.
+    pub fn rack_of(&self, gpu: u32) -> u32 {
+        self.rack_of_host(self.host_of(gpu))
+    }
+
+    /// Fleet GPUs resident on `host`, in fleet order, bounded by the
+    /// fleet size.
+    pub fn gpus_on_host(&self, host: u32, gpu_count: u32) -> Vec<u32> {
+        (0..gpu_count)
+            .filter(|g| self.host_of(*g) == host)
+            .collect()
+    }
+
+    /// Hosts in `rack` that own at least one of the fleet's GPUs, in
+    /// host order.
+    pub fn hosts_in_rack(&self, rack: u32, gpu_count: u32) -> Vec<u32> {
+        let mut hosts: Vec<u32> = (0..gpu_count)
+            .map(|g| self.host_of(g))
+            .filter(|h| self.rack_of_host(*h) == rack)
+            .collect();
+        hosts.dedup();
+        hosts
+    }
+}
+
+/// Periodic checkpointing of long-running task bodies.
+///
+/// When enabled, checkpointable bodies (LLM completion sessions, kernel
+/// sequences) snapshot their progress at step boundaries roughly every
+/// `interval`. A snapshot stalls the task for `overhead` plus the
+/// device-priced writeback of the snapshot bytes (KV/workspace state +
+/// live task allocations) over the same effective PCIe bandwidth the
+/// model loader uses; recovery then resumes the task from its last
+/// committed snapshot instead of re-executing from scratch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Target gap between snapshots of one task. `None` disables
+    /// checkpointing entirely.
+    pub interval: Option<SimDuration>,
+    /// Fixed per-snapshot overhead (serialization, consistency barrier)
+    /// added on top of the bandwidth-priced writeback.
+    pub overhead: SimDuration,
+    /// Uniform jitter fraction applied to each arm of the checkpoint
+    /// timer (`interval * (1 + jitter * U[0,1))`), drawn from the seeded
+    /// checkpoint stream so co-resident workers de-synchronize their
+    /// writebacks reproducibly. Clamped to `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            interval: None,
+            overhead: SimDuration::from_millis(200),
+            jitter: 0.10,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Policy snapshotting every `interval` with default overhead/jitter.
+    pub fn every(interval: SimDuration) -> Self {
+        CheckpointPolicy {
+            interval: Some(interval),
+            ..CheckpointPolicy::default()
+        }
+    }
 }
 
 /// Failure detection and recovery knobs (see DESIGN.md "Failure model").
@@ -194,6 +306,19 @@ pub struct RecoveryConfig {
     pub breaker_threshold: u32,
     /// How long a quarantined GPU stays fenced before re-admission.
     pub breaker_cooldown: SimDuration,
+    /// Host reboot time for [`crate::FaultKind::HostReboot`]: the host's
+    /// GPUs stay fenced at least this long after the fault.
+    pub host_reboot: SimDuration,
+    /// Stagger between consecutive host boot completions when a whole
+    /// rack power-cycles (hosts never all return in the same instant).
+    pub host_boot_stagger: SimDuration,
+    /// Stagger between consecutive GPU re-enrollments on one host after
+    /// it boots: the host comes back first, then its GPUs re-enroll one
+    /// by one (driver probe + MPS/MIG re-setup serializes per host).
+    pub gpu_reenroll_stagger: SimDuration,
+    /// Time to restore rack power before any host in the rack can even
+    /// begin booting ([`crate::FaultKind::RackPower`]).
+    pub rack_power_restore: SimDuration,
 }
 
 impl Default for RecoveryConfig {
@@ -207,6 +332,10 @@ impl Default for RecoveryConfig {
             restart_budget: 3,
             breaker_threshold: 3,
             breaker_cooldown: SimDuration::from_secs(30),
+            host_reboot: SimDuration::from_secs(120),
+            host_boot_stagger: SimDuration::from_secs(15),
+            gpu_reenroll_stagger: SimDuration::from_secs(5),
+            rack_power_restore: SimDuration::from_secs(60),
         }
     }
 }
@@ -221,6 +350,8 @@ impl Default for Config {
             node_cores: 24,
             monitoring_period: Some(SimDuration::from_millis(500)),
             recovery: RecoveryConfig::default(),
+            topology: Topology::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -437,6 +568,31 @@ mod tests {
         assert!(Config::hsc().validate(1).is_empty());
         // ...but not against an empty fleet.
         assert!(!Config::hsc().validate(0).is_empty());
+    }
+
+    #[test]
+    fn topology_maps_gpus_to_hosts_and_racks() {
+        let t = Topology {
+            gpus_per_host: 2,
+            hosts_per_rack: 2,
+        };
+        assert_eq!(t.host_of(0), 0);
+        assert_eq!(t.host_of(3), 1);
+        assert_eq!(t.rack_of(3), 0);
+        assert_eq!(t.rack_of(5), 1);
+        assert_eq!(t.gpus_on_host(1, 6), vec![2, 3]);
+        assert_eq!(t.hosts_in_rack(0, 6), vec![0, 1]);
+        // Bounded by the fleet: a 3-GPU fleet has a partial host 1.
+        assert_eq!(t.gpus_on_host(1, 3), vec![2]);
+        assert_eq!(t.hosts_in_rack(1, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn checkpoint_policy_defaults_off() {
+        let p = CheckpointPolicy::default();
+        assert!(p.interval.is_none());
+        let on = CheckpointPolicy::every(SimDuration::from_secs(10));
+        assert_eq!(on.interval, Some(SimDuration::from_secs(10)));
     }
 
     #[test]

@@ -72,6 +72,24 @@ pub enum FaultKind {
         /// Target worker id.
         worker: usize,
     },
+    /// Correlated domain fault: a host reboots, atomically fencing every
+    /// GPU it owns (per [`crate::Topology`]) and killing their residents.
+    /// The host comes back after `RecoveryConfig::host_reboot`; its GPUs
+    /// then re-enroll one by one, staggered by
+    /// `RecoveryConfig::gpu_reenroll_stagger`.
+    HostReboot {
+        /// Target host index.
+        host: u32,
+    },
+    /// Correlated domain fault: a rack loses power, fencing every GPU on
+    /// every host in the rack. Power is restored after
+    /// `RecoveryConfig::rack_power_restore`, hosts boot staggered by
+    /// `RecoveryConfig::host_boot_stagger`, and each host's GPUs then
+    /// re-enroll staggered as for [`FaultKind::HostReboot`].
+    RackPower {
+        /// Target rack index.
+        rack: u32,
+    },
 }
 
 /// One scheduled fault.
@@ -103,6 +121,30 @@ pub struct StochasticFaults {
     pub straggler_factor: f64,
     /// How long each straggler episode lasts.
     pub straggler_duration: SimDuration,
+    /// Host reboots per hour (across all hosts with GPUs). Realized on
+    /// the dedicated [`streams::CORRELATED_FAULTS`] stream so turning
+    /// this on never perturbs the independent-fault draws above.
+    pub host_reboot_rate_per_hour: f64,
+    /// Rack power events per hour (across all racks with GPUs), realized
+    /// on [`streams::CORRELATED_FAULTS`].
+    pub rack_power_rate_per_hour: f64,
+}
+
+impl StochasticFaults {
+    /// All-zero rates over `horizon`; builder-style starting point.
+    pub fn quiet(horizon: SimDuration) -> Self {
+        StochasticFaults {
+            horizon,
+            crash_rate_per_hour: 0.0,
+            client_fault_rate_per_hour: 0.0,
+            device_fault_rate_per_hour: 0.0,
+            straggler_rate_per_hour: 0.0,
+            straggler_factor: 1.0,
+            straggler_duration: SimDuration::ZERO,
+            host_reboot_rate_per_hour: 0.0,
+            rack_power_rate_per_hour: 0.0,
+        }
+    }
 }
 
 /// A complete fault schedule: explicit events plus optional stochastic
@@ -189,6 +231,52 @@ fn realize_stochastic(
     out
 }
 
+/// Realize the correlated (domain-level) rates on their own RNG stream.
+/// Drawing these separately from [`realize_stochastic`] keeps previously
+/// recorded independent-fault schedules bit-identical when correlated
+/// rates are enabled alongside them.
+fn realize_correlated(
+    s: &StochasticFaults,
+    rng: &mut SimRng,
+    base: SimTime,
+    hosts: u64,
+    racks: u64,
+) -> Vec<FaultEvent> {
+    let mut out = Vec::new();
+    let horizon = s.horizon.as_secs_f64();
+    let mut draw =
+        |rate_per_hour: f64, rng: &mut SimRng, mk: &mut dyn FnMut(&mut SimRng) -> FaultKind| {
+            if rate_per_hour <= 0.0 {
+                return;
+            }
+            let mean_gap = 3600.0 / rate_per_hour;
+            let mut t = rng.exp(mean_gap);
+            while t < horizon {
+                let kind = mk(rng);
+                out.push(FaultEvent {
+                    at: base + SimDuration::from_secs_f64(t),
+                    kind,
+                });
+                t += rng.exp(mean_gap);
+            }
+        };
+    if hosts > 0 {
+        draw(s.host_reboot_rate_per_hour, rng, &mut |r| {
+            FaultKind::HostReboot {
+                host: r.below(hosts) as u32,
+            }
+        });
+    }
+    if racks > 0 {
+        draw(s.rack_power_rate_per_hour, rng, &mut |r| {
+            FaultKind::RackPower {
+                rack: r.below(racks) as u32,
+            }
+        });
+    }
+    out
+}
+
 /// Realize and arm a fault plan on the engine. Events in the past fire
 /// immediately (at `eng.now()`). Returns the realized schedule — explicit
 /// events plus any stochastic draws — sorted by injection time, for
@@ -208,6 +296,22 @@ pub fn install_faults(
             world.workers.len(),
             world.fleet.len(),
         ));
+        if s.host_reboot_rate_per_hour > 0.0 || s.rack_power_rate_per_hour > 0.0 {
+            let topo = world.config.topology;
+            let gpus = world.fleet.len() as u32;
+            let hosts = if gpus == 0 {
+                0
+            } else {
+                u64::from(topo.host_of(gpus - 1)) + 1
+            };
+            let racks = if gpus == 0 {
+                0
+            } else {
+                u64::from(topo.rack_of(gpus - 1)) + 1
+            };
+            let mut crng = world.rng.split(streams::CORRELATED_FAULTS);
+            events.extend(realize_correlated(s, &mut crng, eng.now(), hosts, racks));
+        }
     }
     events.sort_by_key(|e| e.at); // stable: simultaneous faults keep plan order
     for ev in &events {
@@ -361,6 +465,48 @@ pub fn inject_fault(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, kind: &F
             );
             world.workers[*worker].model_load_poisoned = true;
         }
+        FaultKind::HostReboot { host } => {
+            let gpus = world
+                .config
+                .topology
+                .gpus_on_host(*host, world.fleet.len() as u32);
+            if gpus.is_empty() {
+                return; // host owns none of the fleet — nothing to fence
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.recovery.stats.domain_outages += 1;
+            // Domain-level record carries no worker/GPU subject (MTTR
+            // pairs on the per-GPU fence/re-admit records instead).
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "host-reboot",
+                None,
+                None,
+                format!("host {host}: {} resident GPUs fenced", gpus.len()),
+            );
+            crate::world::fault_host(world, eng, *host);
+        }
+        FaultKind::RackPower { rack } => {
+            let hosts = world
+                .config
+                .topology
+                .hosts_in_rack(*rack, world.fleet.len() as u32);
+            if hosts.is_empty() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.recovery.stats.domain_outages += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "rack-power",
+                None,
+                None,
+                format!("rack {rack}: {} hosts lost power", hosts.len()),
+            );
+            crate::world::fault_rack(world, eng, *rack);
+        }
     }
 }
 
@@ -383,16 +529,31 @@ pub struct RecoveryStats {
     pub faults_injected: u64,
     /// Worker processes lost to faults (crash, blast radius, provider).
     pub workers_lost: u64,
-    /// Crashes discovered by the heartbeat watchdog.
+    /// Worker deaths the platform itself discovered — heartbeat-watchdog
+    /// timeouts *and* fatal-device-error teardowns on the quarantine /
+    /// blast-radius path (every such death is platform-detected, not
+    /// injector bookkeeping).
     pub crashes_detected: u64,
     /// Automatic respawns started (within the restart budget).
     pub respawns: u64,
     /// Task retries scheduled with backoff.
     pub retries_scheduled: u64,
-    /// Circuit-breaker trips (device quarantines).
+    /// Circuit-breaker trips (device quarantines, including domain
+    /// fences).
     pub quarantines: u64,
     /// Queued tasks failed over to a surviving executor.
     pub failovers: u64,
+    /// Correlated domain faults applied (host reboots + rack power).
+    pub domain_outages: u64,
+    /// Checkpoints committed to the host-side store.
+    pub checkpoints_committed: u64,
+    /// Retried attempts that resumed from a committed checkpoint instead
+    /// of re-executing from scratch.
+    pub tasks_resumed: u64,
+    /// Seconds of completed-but-unpreserved execution thrown away by
+    /// failed attempts (time since the attempt's last committed
+    /// checkpoint, or since its body started when none committed).
+    pub work_lost_s: f64,
 }
 
 /// The platform's recovery machinery: watchdog flag, jitter RNG, per-GPU
@@ -402,6 +563,9 @@ pub struct RecoveryState {
     /// Backoff-jitter RNG (its own stream; consuming jitter never
     /// perturbs workload randomness).
     pub(crate) rng: SimRng,
+    /// Checkpoint-timer jitter RNG (its own stream; arming checkpoint
+    /// timers never perturbs backoff jitter or workload randomness).
+    pub(crate) ckpt_rng: SimRng,
     gpu_health: Vec<GpuHealth>,
     /// True while the heartbeat watchdog is ticking.
     pub(crate) watchdog_armed: bool,
@@ -411,9 +575,10 @@ pub struct RecoveryState {
 
 impl RecoveryState {
     /// Fresh state for a fleet of `gpus` devices.
-    pub fn new(rng: SimRng, gpus: usize) -> Self {
+    pub fn new(rng: SimRng, ckpt_rng: SimRng, gpus: usize) -> Self {
         RecoveryState {
             rng,
+            ckpt_rng,
             gpu_health: (0..gpus).map(|_| GpuHealth::default()).collect(),
             watchdog_armed: false,
             stats: RecoveryStats::default(),

@@ -21,6 +21,7 @@
 
 pub mod app;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod dfk;
 pub mod faults;
@@ -31,7 +32,11 @@ pub mod world;
 
 pub use app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 pub use cache::WeightCache;
-pub use config::{AcceleratorSpec, Config, ExecutorConfig, ProviderConfig, RecoveryConfig};
+pub use checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
+pub use config::{
+    AcceleratorSpec, CheckpointPolicy, Config, ExecutorConfig, ProviderConfig, RecoveryConfig,
+    Topology,
+};
 pub use dfk::{Dfk, FailureOutcome, TaskRecord, TaskState};
 pub use faults::{
     inject_fault, install_faults, FaultEvent, FaultKind, FaultPlan, GpuHealth, RecoveryState,
@@ -39,7 +44,7 @@ pub use faults::{
 };
 pub use monitoring::{FaultPhase, FaultRecord};
 pub use world::{
-    add_worker, boot, cancel, crash_worker, gpu_quarantined, kick_executor, kill_worker,
-    quarantine_gpu, respawn_worker, resume_sampling, run, shutdown, submit, Driver, FaasWorld,
-    RespawnError, Worker, WorkerState,
+    add_worker, boot, cancel, crash_worker, fault_host, fault_rack, gpu_quarantined, kick_executor,
+    kill_worker, quarantine_gpu, respawn_worker, resume_sampling, run, shutdown, submit, Driver,
+    FaasWorld, RespawnError, Worker, WorkerState,
 };

@@ -21,6 +21,7 @@
 
 use crate::app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 use crate::cache::WeightCache;
+use crate::checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
 use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig};
 use crate::dfk::{Dfk, FailureOutcome, TaskState};
 use crate::faults::RecoveryState;
@@ -72,6 +73,17 @@ struct Running {
     task_allocs: u64,
     /// Model load in progress for this profile.
     loading: Option<ModelProfile>,
+    /// Body steps issued this attempt. Incremented at issue time, so at
+    /// a step *boundary* (top of the advance loop) it equals the number
+    /// of completed steps — the checkpoint cursor.
+    steps_issued: u64,
+    /// The checkpoint timer fired; a snapshot is captured at the next
+    /// step boundary.
+    ckpt_pending: bool,
+    /// Time after which this attempt's completed work is unpreserved:
+    /// body start, then each committed snapshot's capture time. Failing
+    /// the attempt charges `now - progress_mark` to `work_lost_s`.
+    progress_mark: Option<SimTime>,
 }
 
 /// One worker process.
@@ -187,6 +199,10 @@ pub struct FaasWorld {
     /// Failure-detection and recovery machinery (watchdog, backoff RNG,
     /// per-GPU circuit breakers, fault statistics).
     pub recovery: RecoveryState,
+    /// Host-side checkpoint store, keyed by task: the last *committed*
+    /// snapshot of each checkpointable in-flight task. Survives worker,
+    /// GPU, and host fault domains; entries drop when tasks settle.
+    pub checkpoints: BTreeMap<TaskId, Checkpoint>,
 }
 
 impl GpuHost for FaasWorld {
@@ -245,7 +261,11 @@ impl FaasWorld {
                 });
             }
         }
-        let recovery = RecoveryState::new(rng.split(streams::RETRY_JITTER), fleet.len());
+        let recovery = RecoveryState::new(
+            rng.split(streams::RETRY_JITTER),
+            rng.split(streams::CHECKPOINT_TIMING),
+            fleet.len(),
+        );
         FaasWorld {
             config,
             fleet,
@@ -262,6 +282,7 @@ impl FaasWorld {
             driver: None,
             sampler_armed: false,
             recovery,
+            checkpoints: BTreeMap::new(),
         }
     }
 
@@ -591,6 +612,9 @@ fn assign_task(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, t
         span: None,
         task_allocs: 0,
         loading: None,
+        steps_issued: 0,
+        ckpt_pending: false,
+        progress_mark: None,
     });
     // Wire dispatch (interchange -> manager -> worker serialization).
     let delay = world
@@ -752,14 +776,267 @@ fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
     let span = world.timeline.start(&app, &format!("task-{}", task.0), now);
     if let Some(r) = world.workers[wid].current.as_mut() {
         r.span = Some(span);
+        r.progress_mark = Some(now);
+    }
+    let ckpt_capable = world.workers[wid].gpu.is_some()
+        && world.workers[wid]
+            .current
+            .as_ref()
+            .and_then(|r| r.body.as_ref())
+            .is_some_and(|b| b.checkpointable());
+    if ckpt_capable {
+        // Restore-on-respawn: a retried attempt with a committed
+        // snapshot pays the host→device restore transfer, then
+        // fast-forwards its fresh body to the snapshot cursor instead of
+        // re-executing from scratch.
+        let snapshot = world.checkpoints.get(&task).copied();
+        if let (Some(ck), Some((gpu, _))) = (snapshot, world.workers[wid].gpu) {
+            if ck.steps > 0 {
+                let secs = world
+                    .fleet
+                    .device(gpu)
+                    .spec
+                    .checkpoint_restore_seconds(ck.bytes);
+                world.recovery.stats.tasks_resumed += 1;
+                world.monitor.fault_event(
+                    now,
+                    FaultPhase::Recovered,
+                    "checkpoint-restore",
+                    None,
+                    None,
+                    format!(
+                        "task {}: resuming from step {} ({} bytes, {secs:.3}s restore)",
+                        task.0, ck.steps, ck.bytes
+                    ),
+                );
+                let epoch = world.workers[wid].epoch;
+                eng.schedule_in(
+                    SimDuration::from_secs_f64(secs),
+                    move |w: &mut FaasWorld, e| {
+                        let on_it = w.workers[wid].epoch == epoch
+                            && w.workers[wid].state == WorkerState::Busy
+                            && w.workers[wid].current_task() == Some(task);
+                        if !on_it {
+                            return;
+                        }
+                        if fast_forward(w, e, wid, ck.steps) {
+                            arm_checkpoint(w, e, wid, task);
+                            advance_worker(w, e, wid);
+                        }
+                    },
+                );
+                return;
+            }
+        }
+        arm_checkpoint(world, eng, wid, task);
     }
     advance_worker(world, eng, wid);
+}
+
+/// Arm the (jittered) checkpoint timer for a checkpointable attempt. The
+/// timer only *requests* a snapshot; it is captured at the next step
+/// boundary so it is always consistent with completed work.
+fn arm_checkpoint(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
+    let Some(interval) = world.config.checkpoint.interval else {
+        return;
+    };
+    let jitter = world.config.checkpoint.jitter.clamp(0.0, 1.0);
+    let mult = 1.0 + jitter * world.recovery.ckpt_rng.f64();
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(
+        SimDuration::from_secs_f64(interval.as_secs_f64() * mult),
+        move |w: &mut FaasWorld, _e| {
+            let on_it = w.workers[wid].epoch == epoch
+                && w.workers[wid].state == WorkerState::Busy
+                && w.workers[wid].current_task() == Some(task);
+            if !on_it {
+                return; // attempt ended; the timer dies with it
+            }
+            if let Some(r) = w.workers[wid].current.as_mut() {
+                r.ckpt_pending = true;
+            }
+        },
+    );
+}
+
+/// Capture a snapshot at a step boundary and stall the body for the
+/// device-priced writeback. The commit is epoch-guarded: a worker killed
+/// mid-write never publishes a torn snapshot. Returns whether the body
+/// stalled (caller returns) or the snapshot was skipped (caller keeps
+/// advancing).
+fn begin_checkpoint(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) -> bool {
+    let now = eng.now();
+    let (task, steps, bytes) = {
+        let Some(r) = world.workers[wid].current.as_mut() else {
+            return false;
+        };
+        r.ckpt_pending = false;
+        let durable = r.body.as_ref().map(|b| b.checkpoint_bytes()).unwrap_or(0);
+        (
+            r.task,
+            r.steps_issued,
+            durable + r.task_allocs + CHECKPOINT_BASE_BYTES,
+        )
+    };
+    let Some((gpu, _)) = world.workers[wid].gpu else {
+        return false;
+    };
+    if steps == 0 {
+        // Nothing completed yet; try again one interval later.
+        arm_checkpoint(world, eng, wid, task);
+        return false;
+    }
+    let write = world.fleet.device(gpu).spec.checkpoint_write_seconds(bytes);
+    let stall = world.config.checkpoint.overhead + SimDuration::from_secs_f64(write);
+    let captured_at = now;
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(stall, move |w: &mut FaasWorld, e| {
+        let on_it = w.workers[wid].epoch == epoch
+            && w.workers[wid].state == WorkerState::Busy
+            && w.workers[wid].current_task() == Some(task);
+        if !on_it {
+            return; // died mid-write: the previous snapshot stands
+        }
+        w.checkpoints.insert(
+            task,
+            Checkpoint {
+                steps,
+                bytes,
+                captured_at,
+            },
+        );
+        w.recovery.stats.checkpoints_committed += 1;
+        if let Some(r) = w.workers[wid].current.as_mut() {
+            r.progress_mark = Some(captured_at);
+        }
+        w.monitor.fault_event(
+            e.now(),
+            FaultPhase::Recovered,
+            "checkpoint-commit",
+            None,
+            None,
+            format!("task {}: step {steps} ({bytes} bytes)", task.0),
+        );
+        arm_checkpoint(w, e, wid, task);
+        advance_worker(w, e, wid);
+    });
+    true
+}
+
+/// Replay a fresh body up to `steps` completed steps without simulating
+/// time: compute and kernel steps are skipped outright (their effects
+/// were captured in the snapshot), while allocation steps are applied so
+/// device memory accounting matches the restored state. Returns `false`
+/// if the task settled during replay (short body, allocation failure).
+fn fast_forward(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    steps: u64,
+) -> bool {
+    let now = eng.now();
+    let mut done = 0u64;
+    while done < steps {
+        let mut body = match world.workers[wid]
+            .current
+            .as_mut()
+            .and_then(|r| r.body.take())
+        {
+            Some(b) => b,
+            None => return false,
+        };
+        let step = {
+            let w = &mut world.workers[wid];
+            let mut ctx = TaskCtx {
+                rng: &mut w.rng,
+                now,
+            };
+            body.next(&mut ctx)
+        };
+        if let Some(r) = world.workers[wid].current.as_mut() {
+            r.body = Some(body);
+        }
+        match step {
+            TaskStep::Cpu(_) | TaskStep::Gpu(_) => done += 1,
+            TaskStep::AllocGpu(bytes) => {
+                let Some((gpu, ctx)) = world.workers[wid].gpu else {
+                    finish_task(world, eng, wid, Err("GPU alloc on CPU-only worker".into()));
+                    return false;
+                };
+                match world.fleet.device_mut(gpu).alloc_memory(ctx, bytes) {
+                    Ok(()) => {
+                        if let Some(r) = world.workers[wid].current.as_mut() {
+                            r.task_allocs += bytes;
+                        }
+                        resync(world, eng, gpu);
+                        done += 1;
+                    }
+                    Err(e) => {
+                        // The restored state no longer fits; drop the
+                        // snapshot so the next attempt re-executes.
+                        let task = world.workers[wid].current.as_ref().map(|r| r.task);
+                        if let Some(t) = task {
+                            world.checkpoints.remove(&t);
+                        }
+                        finish_task(
+                            world,
+                            eng,
+                            wid,
+                            Err(format!("checkpoint restore alloc failed: {e}")),
+                        );
+                        return false;
+                    }
+                }
+            }
+            TaskStep::FreeGpu(bytes) => {
+                let Some((gpu, ctx)) = world.workers[wid].gpu else {
+                    finish_task(world, eng, wid, Err("GPU free on CPU-only worker".into()));
+                    return false;
+                };
+                match world.fleet.device_mut(gpu).free_memory(ctx, bytes) {
+                    Ok(()) => {
+                        if let Some(r) = world.workers[wid].current.as_mut() {
+                            r.task_allocs = r.task_allocs.saturating_sub(bytes);
+                        }
+                        resync(world, eng, gpu);
+                        done += 1;
+                    }
+                    Err(e) => {
+                        finish_task(world, eng, wid, Err(format!("free failed: {e}")));
+                        return false;
+                    }
+                }
+            }
+            TaskStep::Done => {
+                // The fresh body ran out before the snapshot cursor
+                // (e.g. the snapshot outlived a shrunken replay) — it is
+                // simply complete.
+                finish_task(world, eng, wid, Ok(()));
+                return false;
+            }
+        }
+    }
+    if let Some(r) = world.workers[wid].current.as_mut() {
+        r.steps_issued = done;
+    }
+    true
 }
 
 /// Drive the current task body until it blocks or finishes.
 fn advance_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
     loop {
         let now = eng.now();
+        // Step boundary: every previously issued step has completed. If
+        // the checkpoint timer fired since the last boundary, capture a
+        // snapshot here (stalling the body for the writeback).
+        if world.workers[wid]
+            .current
+            .as_ref()
+            .is_some_and(|r| r.ckpt_pending)
+            && begin_checkpoint(world, eng, wid)
+        {
+            return; // resumed by the snapshot commit
+        }
         let mut body = match world.workers[wid]
             .current
             .as_mut()
@@ -778,6 +1055,9 @@ fn advance_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
         };
         if let Some(r) = world.workers[wid].current.as_mut() {
             r.body = Some(body);
+            if !matches!(step, TaskStep::Done) {
+                r.steps_issued += 1;
+            }
         }
         match step {
             TaskStep::Cpu(d) => {
@@ -946,6 +1226,13 @@ fn finish_task(
         world.workers[wid].state = WorkerState::Idle;
         world.workers[wid].idle_since = Some(now);
     }
+    // A failed attempt throws away everything since its last committed
+    // snapshot (or since its body started, when none committed).
+    if result.is_err() {
+        if let Some(mark) = run.progress_mark {
+            world.recovery.stats.work_lost_s += now.duration_since(mark).as_secs_f64();
+        }
+    }
     let terminal = match result {
         Ok(()) => {
             world.workers[wid].tasks_completed += 1;
@@ -972,6 +1259,7 @@ fn finish_task(
     };
     if terminal {
         let task = run.task;
+        world.checkpoints.remove(&task); // settled: snapshot no longer needed
         world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
     }
     // Kick every executor: completions may have released tasks elsewhere.
@@ -1310,6 +1598,10 @@ pub(crate) fn fault_kill_worker(
     }
     let gpu = world.workers[wid].gpu.map(|(g, _)| g.0);
     world.recovery.stats.workers_lost += 1;
+    // This teardown is itself a platform-side *discovery* of the death
+    // (fatal device error surfaced to the runtime), the moral equivalent
+    // of a watchdog hit — count it, not just the injection.
+    world.recovery.stats.crashes_detected += 1;
     world.monitor.fault_event(
         eng.now(),
         FaultPhase::Detected,
@@ -1354,33 +1646,57 @@ pub fn gpu_quarantined(world: &FaasWorld, gpu: GpuId) -> bool {
 /// Quarantine a GPU: mark it unhealthy, kill every resident client
 /// (device-level blast radius), park its workers for re-admission, fail
 /// queued work over to surviving executors, and schedule re-admission
-/// after the cooldown.
+/// after the cooldown. An already-quarantined device is untouched (the
+/// breaker is already open; re-tripping it would extend the outage for
+/// faults the fence itself caused).
 pub fn quarantine_gpu(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     gpu: GpuId,
     reason: &str,
 ) {
-    let now = eng.now();
     if gpu_quarantined(world, gpu) {
         return;
     }
-    let until = now + world.config.recovery.breaker_cooldown;
-    {
+    let until = eng.now() + world.config.recovery.breaker_cooldown;
+    fence_gpu(world, eng, gpu, until, "gpu-quarantine", reason);
+}
+
+/// Fence a GPU until `until`: mark it unhealthy, kill every resident,
+/// park its dead workers, fail queued work over, and schedule
+/// re-admission. Fencing an already-fenced device only *extends* its
+/// outage window — a rack fault landing on a quarantined GPU must not
+/// shorten the quarantine, and the earlier-scheduled re-admission
+/// becomes a stale no-op (see [`readmit_gpu`]'s time guard).
+pub(crate) fn fence_gpu(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: GpuId,
+    until: SimTime,
+    kind: &'static str,
+    reason: &str,
+) {
+    let now = eng.now();
+    let already = gpu_quarantined(world, gpu);
+    let new_until = {
         let h = world.recovery.health_mut(gpu);
-        h.open_until = Some(until);
+        let u = h.open_until.map_or(until, |t| t.max(until));
+        h.open_until = Some(u);
         h.consecutive_faults = 0;
+        u
+    };
+    if !already {
+        world.recovery.stats.quarantines += 1;
+        world.fleet.device_mut(gpu).mark_unhealthy(now);
     }
-    world.recovery.stats.quarantines += 1;
     world.monitor.fault_event(
         now,
         FaultPhase::Detected,
-        "gpu-quarantine",
+        kind,
         Some(gpu.0),
         None,
         reason.to_string(),
     );
-    world.fleet.device_mut(gpu).mark_unhealthy(now);
     let residents: Vec<usize> = world
         .workers
         .iter()
@@ -1401,17 +1717,82 @@ pub fn quarantine_gpu(
         .collect();
     world.recovery.health_mut(gpu).parked = parked;
     fail_over_queues(world, eng);
-    eng.schedule_at(until, move |w: &mut FaasWorld, e| readmit_gpu(w, e, gpu));
+    eng.schedule_at(new_until, move |w: &mut FaasWorld, e| {
+        readmit_gpu(w, e, gpu)
+    });
+}
+
+/// Apply a host-reboot domain fault: atomically fence every GPU the host
+/// owns (per the configured [`crate::Topology`]). The host finishes
+/// rebooting after `RecoveryConfig::host_reboot`; only then do its GPUs
+/// re-enroll, one by one, staggered by
+/// `RecoveryConfig::gpu_reenroll_stagger` (driver probe and MPS/MIG
+/// re-setup serialize per host). Returns the number of GPUs fenced.
+pub fn fault_host(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, host: u32) -> usize {
+    let host_back = eng.now() + world.config.recovery.host_reboot;
+    fence_host_gpus(world, eng, host, host_back, "host-reboot")
+}
+
+/// Apply a rack-power domain fault: every host in the rack loses power
+/// in the same instant. Power returns after
+/// `RecoveryConfig::rack_power_restore`; hosts then boot staggered by
+/// `RecoveryConfig::host_boot_stagger` (in host order), and each host's
+/// GPUs re-enroll as in [`fault_host`]. Returns the number of GPUs
+/// fenced.
+pub fn fault_rack(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, rack: u32) -> usize {
+    let now = eng.now();
+    let topo = world.config.topology;
+    let rc = world.config.recovery.clone();
+    let hosts = topo.hosts_in_rack(rack, world.fleet.len() as u32);
+    let mut fenced = 0;
+    for (j, host) in hosts.iter().enumerate() {
+        let host_back =
+            now + rc.rack_power_restore + rc.host_reboot + rc.host_boot_stagger * j as u64;
+        fenced += fence_host_gpus(world, eng, *host, host_back, "rack-power");
+    }
+    fenced
+}
+
+/// Fence every GPU on one host, scheduling each GPU's re-enrollment at
+/// `host_back + (k+1) * gpu_reenroll_stagger` for the host's `k`-th GPU —
+/// the host is always back *before* any of its GPUs re-enroll.
+fn fence_host_gpus(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    host: u32,
+    host_back: SimTime,
+    why: &'static str,
+) -> usize {
+    let topo = world.config.topology;
+    let stagger = world.config.recovery.gpu_reenroll_stagger;
+    let gpus = topo.gpus_on_host(host, world.fleet.len() as u32);
+    for (k, g) in gpus.iter().enumerate() {
+        let until = host_back + stagger * (k as u64 + 1);
+        fence_gpu(
+            world,
+            eng,
+            GpuId(*g),
+            until,
+            "gpu-fenced",
+            &format!("{why}: host {host} down; re-enroll after host boot"),
+        );
+    }
+    gpus.len()
 }
 
 /// Cooldown elapsed: close the breaker, mark the device healthy again,
-/// and respawn its parked workers (budget permitting).
+/// and respawn its parked workers (budget permitting). Stale: if the
+/// fence was *extended* after this re-admission was scheduled (a domain
+/// fault landed on an already-quarantined device), the earlier event is
+/// a no-op and the later one closes the breaker.
 fn readmit_gpu(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, gpu: GpuId) {
     let now = eng.now();
     let parked = {
         let h = world.recovery.health_mut(gpu);
-        if h.open_until.is_none() {
-            return; // already re-admitted
+        match h.open_until {
+            None => return,               // already re-admitted
+            Some(t) if t > now => return, // fence extended; stale event
+            Some(_) => {}
         }
         h.open_until = None;
         h.consecutive_faults = 0;

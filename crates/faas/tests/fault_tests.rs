@@ -429,6 +429,8 @@ fn fault_runs_are_deterministic() {
                 straggler_rate_per_hour: 20.0,
                 straggler_factor: 0.5,
                 straggler_duration: SimDuration::from_secs(5),
+                host_reboot_rate_per_hour: 0.0,
+                rack_power_rate_per_hour: 0.0,
             }),
         };
         let realized = install_faults(&mut w, &mut eng, &plan);

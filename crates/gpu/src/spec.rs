@@ -129,11 +129,37 @@ impl GpuSpec {
     pub fn model_load_seconds(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.load_gbps * 1e9)
     }
+
+    /// Time to write a `bytes` checkpoint snapshot device→host. The link
+    /// is symmetric at the effective rate `load_gbps` already models
+    /// (serialization and allocator traffic dominate raw PCIe bandwidth
+    /// in both directions).
+    pub fn checkpoint_write_seconds(&self, bytes: u64) -> f64 {
+        self.model_load_seconds(bytes)
+    }
+
+    /// Time to restore (deserialize + upload) a `bytes` checkpoint
+    /// host→device when a retried attempt resumes from a snapshot.
+    pub fn checkpoint_restore_seconds(&self, bytes: u64) -> f64 {
+        self.model_load_seconds(bytes)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_transfer_priced_like_model_load() {
+        let s = GpuSpec::a100_80gb();
+        let bytes = 4 * GIB;
+        let w = s.checkpoint_write_seconds(bytes);
+        let r = s.checkpoint_restore_seconds(bytes);
+        assert!((w - s.model_load_seconds(bytes)).abs() < 1e-12);
+        assert!((r - w).abs() < 1e-12, "link is symmetric");
+        // 4 GiB at 2.5 GB/s effective ≈ 1.7 s — checkpoints are not free.
+        assert!(w > 1.0 && w < 3.0, "got {w}");
+    }
 
     #[test]
     fn a100_matches_paper_quotes() {

@@ -10,7 +10,7 @@
 //!
 //! The numeric values are frozen: changing one changes every trace and
 //! BENCH artifact downstream. Add new streams with fresh ids; never reuse
-//! or renumber.
+//! or renumber outside a deliberate artifact-regeneration PR.
 
 /// Recovery machinery: exponential-backoff retry jitter and respawn
 /// scheduling in `parfait-faas::world` (historically hard-coded as 617).
@@ -20,12 +20,22 @@ pub const RETRY_JITTER: u64 = 617;
 /// (historically hard-coded as 618).
 pub const FAULT_REALIZATION: u64 = 618;
 
+/// Checkpoint timer jitter for the periodic snapshotting of long-running
+/// task bodies in `parfait-faas::world` (de-synchronizes co-resident
+/// workers so snapshot writebacks do not all land on the PCIe link in
+/// the same instant).
+pub const CHECKPOINT_TIMING: u64 = 640;
+
+/// Realization of *correlated* stochastic fault schedules (host reboots,
+/// rack power events) in `parfait-faas::faults`. Kept separate from
+/// [`FAULT_REALIZATION`] so enabling correlated rates never perturbs the
+/// draws of a previously recorded independent-fault schedule.
+pub const CORRELATED_FAULTS: u64 = 641;
+
 /// Base id for per-worker streams: worker `id` draws from
 /// `WORKER_BASE + id`. The range `[WORKER_BASE, WORKER_BASE + 2^20)` is
-/// reserved for workers; keep scalar stream ids out of it (known wart:
-/// [`ARRIVAL_TRACE`] predates the reservation and sits inside it — it
-/// only collides with worker 3242, far beyond realistic fleet sizes, and
-/// renumbering it would invalidate every recorded trace).
+/// reserved for workers; keep scalar stream ids out of it (enforced by
+/// the registry test below).
 pub const WORKER_BASE: u64 = 1000;
 
 /// The molecular-design campaign's private stream (molecule features,
@@ -33,8 +43,10 @@ pub const WORKER_BASE: u64 = 1000;
 pub const MOLECULAR_CAMPAIGN: u64 = 77;
 
 /// Poisson arrival traces for the open-loop serving scenarios in
-/// `parfait-bench::scenarios`.
-pub const ARRIVAL_TRACE: u64 = 4242;
+/// `parfait-bench::scenarios`. Historically 4242, which sat inside the
+/// per-worker reservation (collision with worker 3242); renumbered to
+/// 424 alongside the deliberate artifact regeneration in PR 4.
+pub const ARRIVAL_TRACE: u64 = 424;
 
 /// Poisson arrival trace for the dynamic-batching extension experiment
 /// in the `repro` binary.
@@ -47,6 +59,8 @@ pub const BATCH_ARRIVALS: u64 = 999;
 pub const ALL: &[(&str, u64)] = &[
     ("RETRY_JITTER", RETRY_JITTER),
     ("FAULT_REALIZATION", FAULT_REALIZATION),
+    ("CHECKPOINT_TIMING", CHECKPOINT_TIMING),
+    ("CORRELATED_FAULTS", CORRELATED_FAULTS),
     ("WORKER_BASE", WORKER_BASE),
     ("MOLECULAR_CAMPAIGN", MOLECULAR_CAMPAIGN),
     ("ARRIVAL_TRACE", ARRIVAL_TRACE),
@@ -68,20 +82,23 @@ mod tests {
 
     #[test]
     fn frozen_values() {
-        // The historical literals these constants replaced; renumbering
-        // them would silently change every seeded trace.
+        // The historical literals these constants replaced (or, for
+        // ARRIVAL_TRACE, the value fixed by the PR 4 regeneration);
+        // renumbering them would silently change every seeded trace.
         assert_eq!(RETRY_JITTER, 617);
         assert_eq!(FAULT_REALIZATION, 618);
+        assert_eq!(CHECKPOINT_TIMING, 640);
+        assert_eq!(CORRELATED_FAULTS, 641);
         assert_eq!(WORKER_BASE, 1000);
         assert_eq!(MOLECULAR_CAMPAIGN, 77);
-        assert_eq!(ARRIVAL_TRACE, 4242);
+        assert_eq!(ARRIVAL_TRACE, 424);
         assert_eq!(BATCH_ARRIVALS, 999);
     }
 
     #[test]
-    fn scalar_ids_avoid_worker_range_except_known_wart() {
+    fn scalar_ids_avoid_worker_range() {
         for (name, id) in ALL {
-            if *name == "WORKER_BASE" || *name == "ARRIVAL_TRACE" {
+            if *name == "WORKER_BASE" {
                 continue;
             }
             assert!(

@@ -283,6 +283,7 @@ pub struct CompletionBody {
     spec: LlmSpec,
     gpu: GpuSpec,
     prompt_tokens: u32,
+    new_tokens: u32,
     tokens_left: u32,
     stage: Stage,
 }
@@ -302,6 +303,7 @@ impl CompletionBody {
             spec,
             gpu,
             prompt_tokens,
+            new_tokens,
             tokens_left: new_tokens,
             stage: Stage::Start,
         }
@@ -329,6 +331,21 @@ impl CompletionBody {
 impl TaskBody for CompletionBody {
     fn model(&self) -> Option<ModelProfile> {
         Some(self.spec.model_profile())
+    }
+
+    fn checkpointable(&self) -> bool {
+        // Prompt and token budget are fixed at construction; the KV
+        // cache a snapshot would carry is the model's private state.
+        true
+    }
+
+    fn checkpoint_bytes(&self) -> u64 {
+        // The durable session state is the KV cache grown so far:
+        // prompt tokens plus every decoded token. Activation scratch
+        // (the rest of the model's private footprint) is recomputed on
+        // resume and never serialized.
+        let decoded = self.new_tokens - self.tokens_left;
+        self.spec.kv_bytes_per_token() * (self.prompt_tokens + decoded) as u64
     }
 
     fn next(&mut self, _ctx: &mut TaskCtx<'_>) -> TaskStep {

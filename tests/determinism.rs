@@ -11,7 +11,7 @@
 //! unregistered RNG streams and threading out of sim-visible code in
 //! the first place.
 
-use parfait_bench::faults::traced_mode_run;
+use parfait_bench::faults::{traced_correlated_run, traced_mode_run};
 use parfait_bench::scenarios::SEED;
 use parfait_core::Strategy;
 
@@ -42,4 +42,46 @@ fn mps_fault_scenario_is_bit_identical_across_runs() {
 #[test]
 fn mig_fault_scenario_is_bit_identical_across_runs() {
     assert_double_run_identical(Strategy::MigEqual);
+}
+
+/// The PR-4 correlated-outage scenario (host reboot + checkpoint/restore)
+/// draws from two new RNG streams (`CHECKPOINT_TIMING`,
+/// `CORRELATED_FAULTS`); byte-compare it across double runs too.
+fn assert_correlated_double_run_identical(strategy: Strategy, ckpt_s: Option<u64>) {
+    let (report_a, trace_a) = traced_correlated_run(&strategy, ckpt_s, SEED);
+    let (report_b, trace_b) = traced_correlated_run(&strategy, ckpt_s, SEED);
+    assert_eq!(
+        trace_a, trace_b,
+        "correlated-outage trace diverged across identically-seeded runs"
+    );
+    let json_a = serde_json::to_string(&report_a).expect("report serializes");
+    let json_b = serde_json::to_string(&report_b).expect("report serializes");
+    assert_eq!(
+        json_a, json_b,
+        "serialized correlated report diverged across identically-seeded runs"
+    );
+    assert!(
+        trace_a.contains("kind=host-reboot"),
+        "no host-reboot incident in trace"
+    );
+    if ckpt_s.is_some() {
+        assert!(
+            trace_a.contains("kind=checkpoint-commit"),
+            "no checkpoint commits in trace"
+        );
+        assert!(
+            trace_a.contains("kind=checkpoint-restore"),
+            "no checkpoint restores in trace"
+        );
+    }
+}
+
+#[test]
+fn mps_correlated_outage_is_bit_identical_across_runs() {
+    assert_correlated_double_run_identical(Strategy::MpsEqual, Some(10));
+}
+
+#[test]
+fn mig_correlated_outage_is_bit_identical_across_runs() {
+    assert_correlated_double_run_identical(Strategy::MigEqual, Some(10));
 }
