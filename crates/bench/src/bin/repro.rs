@@ -6,13 +6,15 @@
 //! ```
 //!
 //! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
-//! extension all`, plus three explicit-only artifacts (never under
+//! extension all`, plus four explicit-only artifacts (never under
 //! `all`): `substrate` times the simulator's own hot paths and writes
 //! `BENCH_substrate.json`; `faults` replays an identical injected fault
 //! schedule under MPS / MIG / time-sharing and writes `BENCH_faults.json`
-//! (the isolation column of Table 1, reproduced); `lint` runs the
-//! determinism static-analysis pass (`parfait-lint`) over the workspace
-//! and writes `BENCH_lint.json`.
+//! (the isolation column of Table 1, reproduced); `overload` sweeps
+//! offered load past saturation under the overload-protection stack and
+//! writes `BENCH_overload.json`; `lint` runs the determinism
+//! static-analysis pass (`parfait-lint`) over the workspace and writes
+//! `BENCH_lint.json`.
 //! `--csv` switches the output to CSV; `--completions N` rescales the
 //! §5.2 experiments (default 100, as in the paper).
 
@@ -728,6 +730,89 @@ fn run_faults(opts: &Opts) {
     );
 }
 
+fn run_overload(opts: &Opts) {
+    let report = parfait_bench::overload::run_and_write(
+        std::path::Path::new("."),
+        opts.completions,
+        opts.seed,
+    )
+    .expect("write BENCH_overload.json");
+    let rows = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.mode.clone(),
+                c.protection.clone(),
+                format!("{:.1}x", c.load_x),
+                f3(c.offered_per_s),
+                f3(c.goodput_per_s),
+                f2(c.p99_latency_s),
+                format!("{}/{}", c.deadline_met, c.admitted),
+                (c.overload.tasks_shed + c.overload.tasks_rejected).to_string(),
+                c.queue_depth
+                    .map(|p| format!("{:.0}/{:.0}", p.p50, p.p99))
+                    .unwrap_or_else(|| "-".into()),
+                c.time_in_queue_s
+                    .map(|p| format!("{}/{}", f2(p.p50), f2(p.p99)))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Overload: offered-load sweep, {} requests/cell, deadline {}x service \
+             (written to BENCH_overload.json)",
+            report.requests, report.deadline_factor
+        ),
+        &[
+            "mode",
+            "protection",
+            "load",
+            "offered/s",
+            "goodput/s",
+            "p99 (s)",
+            "met/admitted",
+            "shed+rej",
+            "qdepth p50/p99",
+            "queue-time p50/p99 (s)",
+        ],
+        rows,
+    );
+
+    let straggler_rows = report
+        .straggler
+        .iter()
+        .map(|s| {
+            vec![
+                s.mode.clone(),
+                if s.hedged { "on" } else { "off" }.to_string(),
+                f2(s.p50_latency_s),
+                f2(s.p99_latency_s),
+                s.completed.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    s.overload.hedges_launched, s.overload.hedges_won, s.overload.hedges_wasted
+                ),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "Straggler hedging: one of two GPUs at 1/4 speed, 8 spaced probes",
+        &[
+            "mode",
+            "hedging",
+            "p50 (s)",
+            "p99 (s)",
+            "completed",
+            "hedges launched/won/wasted",
+        ],
+        straggler_rows,
+    );
+}
+
 fn run_lint(opts: &Opts) {
     let report = parfait_bench::lint::run_and_write(std::path::Path::new("."))
         .expect("write BENCH_lint.json");
@@ -826,6 +911,7 @@ fn main() {
         "extension",
         "substrate",
         "faults",
+        "overload",
         "lint",
     ];
     if let Some(bad) = which.iter().find(|w| !KNOWN.contains(&w.as_str())) {
@@ -875,6 +961,9 @@ fn main() {
     }
     if which.iter().any(|w| w == "faults") {
         run_faults(&opts);
+    }
+    if which.iter().any(|w| w == "overload") {
+        run_overload(&opts);
     }
     if which.iter().any(|w| w == "lint") {
         run_lint(&opts);

@@ -9,6 +9,7 @@
 
 pub mod faults;
 pub mod lint;
+pub mod overload;
 pub mod report;
 pub mod scenarios;
 pub mod substrate;

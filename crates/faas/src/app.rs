@@ -123,6 +123,18 @@ pub struct AppCall {
     /// option). The worker kills the attempt when it expires; retries
     /// apply as for any failure.
     pub walltime: Option<parfait_simcore::SimDuration>,
+    /// End-to-end completion deadline relative to submit time. Used by
+    /// deadline-aware admission control (`Config::overload`) and by the
+    /// goodput accounting in the overload benchmarks. `None` = no SLO.
+    pub deadline: Option<SimDuration>,
+    /// Admission priority: higher values survive shed-lowest-priority
+    /// queue eviction longer. Defaults to 0.
+    pub priority: i32,
+    /// Caller-estimated service time of one attempt (from the GPU
+    /// performance model, e.g. `LlmSpec::solo_completion_seconds` at the
+    /// partition's SM share). Drives the queue-wait estimate of
+    /// deadline-aware admission and the straggler-hedge trigger.
+    pub est_service: Option<SimDuration>,
 }
 
 impl AppCall {
@@ -139,6 +151,9 @@ impl AppCall {
             depends_on: Vec::new(),
             payload_bytes: 2 * 1024,
             walltime: None,
+            deadline: None,
+            priority: 0,
+            est_service: None,
         }
     }
 
@@ -158,6 +173,24 @@ impl AppCall {
     /// Set a per-attempt walltime limit (Parsl's `walltime` option).
     pub fn with_walltime(mut self, limit: SimDuration) -> Self {
         self.walltime = Some(limit);
+        self
+    }
+
+    /// Set an end-to-end completion deadline relative to submit time.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the admission priority (higher survives shedding longer).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the estimated single-attempt service time.
+    pub fn with_est_service(mut self, est: SimDuration) -> Self {
+        self.est_service = Some(est);
         self
     }
 }

@@ -171,6 +171,10 @@ pub struct Config {
     /// Periodic checkpointing of long-running task bodies (disabled by
     /// default; recovery then re-executes lost attempts from scratch).
     pub checkpoint: CheckpointPolicy,
+    /// Overload protection: bounded queues with shedding, deadline-aware
+    /// admission, retry budgets, and straggler hedging. Fully disabled by
+    /// default so existing scenarios and artifacts are untouched.
+    pub overload: OverloadConfig,
 }
 
 /// Physical placement of the GPU fleet: fleet index → host → rack.
@@ -278,6 +282,113 @@ impl CheckpointPolicy {
     }
 }
 
+/// Overload-protection knobs (see DESIGN.md "Overload model"). Every
+/// mechanism is opt-in and independent; the default config disables all
+/// of them, which reproduces the historical accept-everything behaviour.
+///
+/// Admission decisions apply to tasks that are *ready at submit time*.
+/// Tasks released later by a completing dependency were already accepted
+/// as part of their workflow and bypass admission — shedding the tail of
+/// an admitted DAG would waste the work already sunk into its head.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct OverloadConfig {
+    /// Per-executor queue depth bound. A ready task submitted while the
+    /// queue holds this many entries triggers [`OverloadConfig::shed_policy`].
+    /// `None` = unbounded (historical behaviour).
+    pub queue_cap: Option<usize>,
+    /// What to do when the queue is full.
+    pub shed_policy: ShedPolicy,
+    /// Reject tasks whose estimated queue wait plus service time already
+    /// exceeds their deadline at submit time. Only tasks carrying both a
+    /// deadline and a service estimate (see
+    /// [`crate::AppCall::with_deadline`] /
+    /// [`crate::AppCall::with_est_service`]) are screened.
+    pub deadline_admission: bool,
+    /// Per-app token bucket capping retry traffic as a fraction of
+    /// first-attempt traffic. `None` = retries limited only by the
+    /// per-task `retries` budget (historical behaviour).
+    pub retry_budget: Option<RetryBudget>,
+    /// Straggler hedging: launch a speculative duplicate of a slow task
+    /// on another partition and cancel the loser on first completion.
+    /// `None` = never hedge.
+    pub hedge: Option<HedgePolicy>,
+}
+
+/// Victim selection when a bounded queue is full at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ShedPolicy {
+    /// Refuse the incoming task; the queue is untouched.
+    #[default]
+    Reject,
+    /// Drop the oldest queued task (it has waited longest and is the
+    /// most likely to miss its deadline anyway) and admit the newcomer.
+    ShedOldest,
+    /// Drop the lowest-priority task among the queue and the newcomer;
+    /// ties are broken uniformly on the seeded admission stream
+    /// (`simcore::streams::ADMISSION`).
+    ShedLowestPriority,
+}
+
+/// Token bucket capping retry traffic per app.
+///
+/// Every admitted first attempt of an app deposits `ratio` tokens
+/// (capped at `burst`); every retry withdraws one. A dry bucket sheds
+/// the retry permanently and counts `retries_suppressed` — during an
+/// outage the retry stream therefore decays to at most `ratio` of the
+/// first-attempt stream instead of multiplying it by the per-task retry
+/// budget.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RetryBudget {
+    /// Tokens deposited per admitted first attempt (the steady-state
+    /// retry fraction; e.g. `0.1` allows one retry per ten admissions).
+    pub ratio: f64,
+    /// Bucket capacity, and the initial balance, in tokens (the burst of
+    /// back-to-back retries tolerated before the ratio bites).
+    pub burst: f64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            ratio: 0.1,
+            burst: 3.0,
+        }
+    }
+}
+
+/// Straggler-hedging policy.
+///
+/// A running primary attempt with a service estimate arms a hedge timer
+/// for `est_service * trigger_factor * (1 + jitter * U[0,1))` (jitter on
+/// `simcore::streams::HEDGE_TIMING`). If the attempt is still running
+/// when the timer fires and an idle worker exists in the executor (a
+/// different GPU preferred) while the queue is empty, a speculative
+/// duplicate launches there — restoring from the task's last committed
+/// checkpoint when one exists. The first attempt to complete wins; the
+/// loser is cancelled `cancel_latency` later (the control-plane
+/// round-trip of the cancellation).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HedgePolicy {
+    /// Multiple of the task's service estimate at which the attempt is
+    /// declared a straggler suspect (e.g. `1.5` hedges attempts running
+    /// 50% past their estimate).
+    pub trigger_factor: f64,
+    /// Uniform jitter fraction on the hedge delay, clamped to `[0, 1]`.
+    pub jitter: f64,
+    /// Delay between the winner's completion and the loser's teardown.
+    pub cancel_latency: SimDuration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            trigger_factor: 1.5,
+            jitter: 0.10,
+            cancel_latency: SimDuration::from_millis(50),
+        }
+    }
+}
+
 /// Failure detection and recovery knobs (see DESIGN.md "Failure model").
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RecoveryConfig {
@@ -352,6 +463,7 @@ impl Default for Config {
             recovery: RecoveryConfig::default(),
             topology: Topology::default(),
             checkpoint: CheckpointPolicy::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }

@@ -61,6 +61,14 @@ pub struct TaskRecord {
     pub payload_bytes: usize,
     /// Per-attempt walltime limit.
     pub walltime: Option<parfait_simcore::SimDuration>,
+    /// End-to-end deadline relative to `submitted` (admission control,
+    /// goodput accounting).
+    pub deadline: Option<parfait_simcore::SimDuration>,
+    /// Admission priority; higher survives shed-lowest-priority eviction.
+    pub priority: i32,
+    /// Caller-estimated single-attempt service time (queue-wait estimate,
+    /// hedge trigger).
+    pub est_service: Option<parfait_simcore::SimDuration>,
     /// Recreates the body for each attempt.
     pub(crate) factory: BodyFactory,
 }
@@ -142,6 +150,9 @@ impl Dfk {
             dependents: Vec::new(),
             payload_bytes: call.payload_bytes,
             walltime: call.walltime,
+            deadline: call.deadline,
+            priority: call.priority,
+            est_service: call.est_service,
             factory: call.make_body,
         });
         if failed_dep {

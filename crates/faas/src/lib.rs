@@ -26,6 +26,7 @@ pub mod config;
 pub mod dfk;
 pub mod faults;
 pub mod monitoring;
+pub mod overload;
 pub mod strategy;
 pub mod wire;
 pub mod world;
@@ -34,15 +35,17 @@ pub use app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 pub use cache::WeightCache;
 pub use checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
 pub use config::{
-    AcceleratorSpec, CheckpointPolicy, Config, ExecutorConfig, ProviderConfig, RecoveryConfig,
-    Topology,
+    AcceleratorSpec, CheckpointPolicy, Config, ExecutorConfig, HedgePolicy, OverloadConfig,
+    ProviderConfig, RecoveryConfig, RetryBudget, ShedPolicy, Topology,
 };
 pub use dfk::{Dfk, FailureOutcome, TaskRecord, TaskState};
 pub use faults::{
     inject_fault, install_faults, FaultEvent, FaultKind, FaultPlan, GpuHealth, RecoveryState,
     RecoveryStats, StochasticFaults,
 };
-pub use monitoring::{FaultPhase, FaultRecord};
+pub use monitoring::{time_in_queue_percentiles, FaultPhase, FaultRecord, Percentiles};
+pub use overload::{OverloadState, OverloadStats};
+pub use strategy::{enable_brownout, enable_elastic, BrownoutPolicy, ElasticPolicy};
 pub use world::{
     add_worker, boot, cancel, crash_worker, fault_host, fault_rack, gpu_quarantined, kick_executor,
     kill_worker, quarantine_gpu, respawn_worker, resume_sampling, run, shutdown, submit, Driver,

@@ -269,6 +269,68 @@ impl Monitoring {
         }
         xs.iter().filter(|s| s.utilization <= f64::EPSILON).count() as f64 / xs.len() as f64
     }
+
+    /// Queue-depth p50/p95/p99 for an executor, from the periodic queue
+    /// samples. `None` when the executor was never sampled.
+    pub fn queue_depth_percentiles(&self, executor: usize) -> Option<Percentiles> {
+        let xs: Vec<f64> = self
+            .queue_samples
+            .iter()
+            .filter(|s| s.executor == executor)
+            .map(|s| s.depth as f64)
+            .collect();
+        Percentiles::of(xs)
+    }
+}
+
+/// p50/p95/p99 of an empirical distribution (nearest-rank on the sorted
+/// sample, the same convention the bench scenarios use for p95).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Compute from an unsorted sample; `None` when empty.
+    pub fn of(mut xs: Vec<f64>) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let n = xs.len();
+            xs[((n as f64 * q).ceil() as usize)
+                .saturating_sub(1)
+                .min(n - 1)]
+        };
+        Some(Percentiles {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        })
+    }
+}
+
+/// Time-in-queue (submit → dispatch; for retried tasks the last
+/// attempt's dispatch, matching the task record) p50/p95/p99 over every
+/// dispatched task of an executor. `None` when nothing was dispatched
+/// there yet.
+pub fn time_in_queue_percentiles(dfk: &Dfk, executor: usize) -> Option<Percentiles> {
+    let xs: Vec<f64> = dfk
+        .tasks()
+        .iter()
+        .filter(|t| t.executor == executor)
+        .filter_map(|t| {
+            t.dispatched
+                .map(|d| d.duration_since(t.submitted).as_secs_f64())
+        })
+        .collect();
+    Percentiles::of(xs)
 }
 
 /// Name a task state.

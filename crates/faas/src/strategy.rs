@@ -7,8 +7,10 @@
 //! reproduces that loop: scale out when the ready queue backs up, scale
 //! in workers that have idled past a TTL.
 
+use crate::config::AcceleratorSpec;
+use crate::monitoring::FaultPhase;
 use crate::world::{add_worker, kill_worker, FaasWorld, WorkerState};
-use parfait_simcore::{Engine, SimDuration};
+use parfait_simcore::{Engine, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Elastic-scaling parameters for one executor.
@@ -109,6 +111,190 @@ fn tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: usize, policy:
         eng.schedule_in(policy.period, move |w: &mut FaasWorld, e| {
             tick(w, e, exec, p)
         });
+    }
+}
+
+/// Brownout degradation for one executor: under sustained queue pressure
+/// the executor spins up a *degraded-service tier* — extra workers on
+/// deliberately small partitions (low MPS thread percentages, spare MIG
+/// slices) — absorbing new admissions at reduced quality before the
+/// admission layer starts shedding, and retires the tier when pressure
+/// clears.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrownoutPolicy {
+    /// Controller-loop period.
+    pub period: SimDuration,
+    /// Pressure (`queue_len / live_workers`) at or above which a tick
+    /// counts toward engaging.
+    pub pressure_high: f64,
+    /// Pressure at or below which a tick counts toward releasing.
+    pub pressure_low: f64,
+    /// Consecutive high-pressure ticks before the tier engages.
+    pub engage_after: u32,
+    /// Consecutive low-pressure ticks before the tier releases.
+    pub release_after: u32,
+    /// The degraded tier: one worker per listed accelerator slot (e.g.
+    /// small `GpuPercentage` shares). Empty = brownout is a no-op, which
+    /// is the honest encoding for modes with nothing left to carve
+    /// (MIG with every slice already placed).
+    pub degraded: Vec<AcceleratorSpec>,
+}
+
+impl Default for BrownoutPolicy {
+    fn default() -> Self {
+        BrownoutPolicy {
+            period: SimDuration::from_secs(5),
+            pressure_high: 2.0,
+            pressure_low: 0.5,
+            engage_after: 2,
+            release_after: 2,
+            degraded: Vec::new(),
+        }
+    }
+}
+
+/// Controller state threaded through the brownout ticks.
+#[derive(Debug, Clone, Default)]
+struct BrownoutSt {
+    /// Consecutive high-pressure ticks observed while disengaged.
+    high: u32,
+    /// Consecutive low-pressure ticks observed while engaged.
+    low: u32,
+    /// Degraded-tier worker ids spawned by this controller.
+    spawned: Vec<usize>,
+    /// When the tier engaged (drives `brownout_seconds`).
+    engaged_at: Option<SimTime>,
+    /// Release decided; draining the remaining busy tier workers.
+    releasing: bool,
+}
+
+/// Start the brownout controller for one executor. Mirrors
+/// [`enable_elastic`]'s lifetime: the loop re-arms while work remains
+/// unsettled and winds down afterwards (releasing the tier if engaged).
+pub fn enable_brownout(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    exec: usize,
+    policy: BrownoutPolicy,
+) {
+    brownout_tick(world, eng, exec, policy, BrownoutSt::default());
+}
+
+fn brownout_tick(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    exec: usize,
+    policy: BrownoutPolicy,
+    mut st: BrownoutSt,
+) {
+    let now = eng.now();
+    let queue = world.queues[exec].len();
+    let live = live_workers(world, exec);
+    let pressure = queue as f64 / live.max(1) as f64;
+
+    if st.engaged_at.is_none() {
+        st.high = if pressure >= policy.pressure_high {
+            st.high + 1
+        } else {
+            0
+        };
+        if st.high >= policy.engage_after && !policy.degraded.is_empty() {
+            for spec in &policy.degraded {
+                if let Some(id) = add_worker(world, eng, exec, Some(spec.clone())) {
+                    st.spawned.push(id);
+                }
+            }
+            st.engaged_at = Some(now);
+            st.high = 0;
+            st.low = 0;
+            st.releasing = false;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Detected,
+                "brownout-engaged",
+                None,
+                None,
+                format!(
+                    "executor {exec}: pressure {pressure:.2}, degraded tier of {} workers up",
+                    st.spawned.len()
+                ),
+            );
+        }
+    } else if !st.releasing {
+        st.low = if pressure <= policy.pressure_low {
+            st.low + 1
+        } else {
+            0
+        };
+        if st.low >= policy.release_after {
+            brownout_release(world, &mut st, exec, now, "pressure cleared");
+        }
+    }
+    if st.releasing {
+        drain_degraded(world, eng, &mut st);
+    }
+
+    let active = !world.dfk.all_settled()
+        || world.workers.iter().any(|w| {
+            matches!(
+                w.state,
+                WorkerState::Provisioning | WorkerState::ColdStart | WorkerState::Busy
+            )
+        });
+    if active {
+        let p = policy.clone();
+        eng.schedule_in(policy.period, move |w: &mut FaasWorld, e| {
+            brownout_tick(w, e, exec, p, st)
+        });
+    } else {
+        // Wind-down: everything settled, so the tier is idle — account
+        // the engagement and retire whatever remains.
+        if st.engaged_at.is_some() {
+            brownout_release(world, &mut st, exec, now, "work settled");
+            drain_degraded(world, eng, &mut st);
+        }
+    }
+}
+
+/// Decide release: close the `brownout_seconds` accounting and switch to
+/// draining. Busy tier workers finish their current task first; idle
+/// ones are retired by [`drain_degraded`].
+fn brownout_release(
+    world: &mut FaasWorld,
+    st: &mut BrownoutSt,
+    exec: usize,
+    now: SimTime,
+    why: &str,
+) {
+    if let Some(since) = st.engaged_at.take() {
+        world.overload.stats.brownout_seconds += now.duration_since(since).as_secs_f64();
+    }
+    st.releasing = true;
+    st.low = 0;
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Recovered,
+        "brownout-released",
+        None,
+        None,
+        format!("executor {exec}: {why}, retiring degraded tier"),
+    );
+}
+
+/// Retire every spawned tier worker that is currently retirable (idle or
+/// never successfully provisioned); busy ones drain on later ticks.
+fn drain_degraded(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, st: &mut BrownoutSt) {
+    let mut remaining = Vec::new();
+    for wid in st.spawned.drain(..) {
+        match world.workers[wid].state {
+            WorkerState::Busy | WorkerState::Crashed => remaining.push(wid),
+            WorkerState::Dead => {}
+            _ => kill_worker(world, eng, wid, "brownout release"),
+        }
+    }
+    st.spawned = remaining;
+    if st.spawned.is_empty() {
+        st.releasing = false;
     }
 }
 

@@ -22,10 +22,11 @@
 use crate::app::{AppCall, ModelProfile, TaskBody, TaskCtx, TaskId, TaskStep};
 use crate::cache::WeightCache;
 use crate::checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
-use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig};
+use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig, ShedPolicy};
 use crate::dfk::{Dfk, FailureOutcome, TaskState};
 use crate::faults::RecoveryState;
 use crate::monitoring::{FaultPhase, Monitoring, QueueSample, UtilSample, WorkerEventKind};
+use crate::overload::{HedgePair, OverloadState};
 use parfait_gpu::context::ColdStartBreakdown;
 use parfait_gpu::host::{launch_kernel, resync, GpuFleet, GpuHost};
 use parfait_gpu::mps::MPS_ENV_VAR;
@@ -84,6 +85,10 @@ struct Running {
     /// body start, then each committed snapshot's capture time. Failing
     /// the attempt charges `now - progress_mark` to `work_lost_s`.
     progress_mark: Option<SimTime>,
+    /// This attempt is a speculative straggler hedge (duplicate of a
+    /// primary attempt running elsewhere). Hedges never arm further
+    /// hedges and never touch the DFK dispatch/attempt accounting.
+    is_hedge: bool,
 }
 
 /// One worker process.
@@ -203,6 +208,9 @@ pub struct FaasWorld {
     /// snapshot of each checkpointable in-flight task. Survives worker,
     /// GPU, and host fault domains; entries drop when tasks settle.
     pub checkpoints: BTreeMap<TaskId, Checkpoint>,
+    /// Overload-protection state (admission/hedge RNG streams, retry
+    /// buckets, live hedge pairs, shed/hedge counters).
+    pub overload: OverloadState,
 }
 
 impl GpuHost for FaasWorld {
@@ -266,6 +274,10 @@ impl FaasWorld {
             rng.split(streams::CHECKPOINT_TIMING),
             fleet.len(),
         );
+        let overload = OverloadState::new(
+            rng.split(streams::ADMISSION),
+            rng.split(streams::HEDGE_TIMING),
+        );
         FaasWorld {
             config,
             fleet,
@@ -283,6 +295,7 @@ impl FaasWorld {
             sampler_armed: false,
             recovery,
             checkpoints: BTreeMap::new(),
+            overload,
         }
     }
 
@@ -551,10 +564,168 @@ pub fn submit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, call: AppCall)
     let retries = world.config.retries;
     let (id, ready) = world.dfk.submit(eng.now(), call, exec, retries);
     if ready {
+        if !admit(world, eng, id, exec) {
+            return id;
+        }
         world.queues[exec].push_back(id);
         kick_executor(world, eng, exec);
     }
     id
+}
+
+/// Admission control for a ready task at submit time. Returns whether
+/// the task may enter its executor queue; a refused task has already
+/// been failed terminally. Tasks released later by completing
+/// dependencies bypass this gate — their workflow was admitted whole,
+/// and shedding the tail would waste the work sunk into the head.
+fn admit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId, exec: usize) -> bool {
+    let ov = &world.config.overload;
+    let now = eng.now();
+    // Deadline-aware screening: estimate the queue wait from the service
+    // estimates of everything already queued, spread over the executor's
+    // live workers, and refuse work that cannot finish in time even if
+    // nothing else goes wrong.
+    if ov.deadline_admission {
+        let t = world.dfk.task(task);
+        if let (Some(deadline), Some(est)) = (t.deadline, t.est_service) {
+            let live = world
+                .workers
+                .iter()
+                .filter(|w| {
+                    w.executor == exec
+                        && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
+                })
+                .count()
+                .max(1);
+            let queued_work: f64 = world.queues[exec]
+                .iter()
+                .map(|q| world.dfk.task(*q).est_service.unwrap_or(est).as_secs_f64())
+                .sum();
+            let wait_est = queued_work / live as f64;
+            if wait_est + est.as_secs_f64() > deadline.as_secs_f64() {
+                world.overload.stats.tasks_rejected += 1;
+                world.monitor.fault_event(
+                    now,
+                    FaultPhase::Detected,
+                    "admission-reject",
+                    None,
+                    None,
+                    format!(
+                        "task {}: est wait {wait_est:.2}s + service {:.2}s exceeds deadline {:.2}s",
+                        task.0,
+                        est.as_secs_f64(),
+                        deadline.as_secs_f64()
+                    ),
+                );
+                fail_terminally(
+                    world,
+                    eng,
+                    task,
+                    "admission rejected: deadline unattainable",
+                );
+                return false;
+            }
+        }
+    }
+    // Bounded queue: past the cap, apply the shed policy.
+    if let Some(cap) = ov.queue_cap {
+        if world.queues[exec].len() >= cap {
+            match ov.shed_policy {
+                ShedPolicy::Reject => {
+                    world.overload.stats.tasks_rejected += 1;
+                    world.monitor.fault_event(
+                        now,
+                        FaultPhase::Detected,
+                        "admission-reject",
+                        None,
+                        None,
+                        format!("task {}: queue {exec} full ({cap})", task.0),
+                    );
+                    fail_terminally(world, eng, task, "admission rejected: queue full");
+                    return false;
+                }
+                ShedPolicy::ShedOldest => {
+                    if let Some(victim) = world.queues[exec].pop_front() {
+                        world.overload.stats.tasks_shed += 1;
+                        world.monitor.fault_event(
+                            now,
+                            FaultPhase::Detected,
+                            "queue-shed",
+                            None,
+                            None,
+                            format!("task {}: shed for task {} (oldest)", victim.0, task.0),
+                        );
+                        fail_terminally(world, eng, victim, "shed: queue full (oldest)");
+                    }
+                }
+                ShedPolicy::ShedLowestPriority => {
+                    // Victim = lowest priority among the queue and the
+                    // newcomer; ties broken uniformly on the admission
+                    // stream so the choice is seeded, not positional.
+                    let my_pri = world.dfk.task(task).priority;
+                    let min_pri = world.queues[exec]
+                        .iter()
+                        .map(|q| world.dfk.task(*q).priority)
+                        .fold(my_pri, i32::min);
+                    let mut candidates: Vec<TaskId> = world.queues[exec]
+                        .iter()
+                        .copied()
+                        .filter(|q| world.dfk.task(*q).priority == min_pri)
+                        .collect();
+                    if my_pri == min_pri {
+                        candidates.push(task);
+                    }
+                    let pick = candidates
+                        [world.overload.admission_rng.below(candidates.len() as u64) as usize];
+                    if pick == task {
+                        world.overload.stats.tasks_rejected += 1;
+                        fail_terminally(world, eng, task, "admission rejected: lowest priority");
+                        return false;
+                    }
+                    world.queues[exec].retain(|q| *q != pick);
+                    world.overload.stats.tasks_shed += 1;
+                    world.monitor.fault_event(
+                        now,
+                        FaultPhase::Detected,
+                        "queue-shed",
+                        None,
+                        None,
+                        format!(
+                            "task {}: shed for task {} (lowest priority)",
+                            pick.0, task.0
+                        ),
+                    );
+                    fail_terminally(world, eng, pick, "shed: queue full (lowest priority)");
+                }
+            }
+        }
+    }
+    // An admitted first attempt funds its app's retry bucket.
+    if let Some(rb) = world.config.overload.retry_budget {
+        let app = world.dfk.task(task).app.clone();
+        let tokens = world
+            .overload
+            .retry_tokens
+            .entry(app)
+            .or_insert(rb.burst.max(0.0));
+        *tokens = (*tokens + rb.ratio.max(0.0)).min(rb.burst.max(0.0));
+    }
+    true
+}
+
+/// Fail a queued/ready task permanently (admission refusal, shed, or
+/// suppressed retry): zero its remaining retries so the DFK cascades it
+/// as fatal, then run the terminal bookkeeping `finish_task` would have.
+fn fail_terminally(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId, error: &str) {
+    let now = eng.now();
+    world.dfk.task_mut(task).retries_left = 0;
+    if let FailureOutcome::Fatal { cascade } = world.dfk.mark_failed(task, now, error) {
+        for c in cascade {
+            world.with_driver(eng, |d, w, e| d.on_task_done(w, e, c));
+        }
+    }
+    world.checkpoints.remove(&task);
+    world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
 }
 
 /// Cancel a task that has not started running (queued or waiting on
@@ -615,6 +786,7 @@ fn assign_task(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, t
         steps_issued: 0,
         ckpt_pending: false,
         progress_mark: None,
+        is_hedge: false,
     });
     // Wire dispatch (interchange -> manager -> worker serialization).
     let delay = world
@@ -778,6 +950,7 @@ fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
         r.span = Some(span);
         r.progress_mark = Some(now);
     }
+    arm_hedge(world, eng, wid, task);
     let ckpt_capable = world.workers[wid].gpu.is_some()
         && world.workers[wid]
             .current
@@ -1183,6 +1356,217 @@ fn cancel_cpu_jobs(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usiz
     cpu_resync(world, eng);
 }
 
+/// Arm the straggler-hedge timer for a freshly started *primary*
+/// attempt: after `est_service * trigger_factor * (1 + jitter * U[0,1))`
+/// the attempt is a straggler suspect and a duplicate is launched if
+/// capacity allows. Hedge attempts and tasks without a service estimate
+/// never arm.
+fn arm_hedge(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
+    let Some(hp) = world.config.overload.hedge else {
+        return;
+    };
+    let is_hedge = world.workers[wid]
+        .current
+        .as_ref()
+        .is_some_and(|r| r.is_hedge);
+    if is_hedge || world.overload.hedges.contains_key(&task) {
+        return;
+    }
+    let Some(est) = world.dfk.task(task).est_service else {
+        return;
+    };
+    let jitter = hp.jitter.clamp(0.0, 1.0);
+    let mult = 1.0 + jitter * world.overload.hedge_rng.f64();
+    let delay = SimDuration::from_secs_f64(est.as_secs_f64() * hp.trigger_factor.max(0.0) * mult);
+    schedule_hedge_timer(world, eng, wid, task, delay);
+}
+
+/// (Re-)arm the hedge timer; the closure self-cancels if the primary
+/// attempt moved on (finished, died, or was superseded).
+fn schedule_hedge_timer(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    task: TaskId,
+    delay: SimDuration,
+) {
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(delay, move |w: &mut FaasWorld, e| {
+        let still_on_it = w.workers[wid].epoch == epoch
+            && w.workers[wid].state == WorkerState::Busy
+            && w.workers[wid].current_task() == Some(task);
+        if !still_on_it || w.overload.hedges.contains_key(&task) {
+            return;
+        }
+        try_launch_hedge(w, e, wid, task, delay);
+    });
+}
+
+/// Launch a duplicate of `task` (running on `wid`) on an idle worker of
+/// the same executor, preferring a different GPU. Queued first-attempt
+/// work always outranks speculation: with a backlog (or no idle worker)
+/// the timer re-arms instead.
+fn try_launch_hedge(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    task: TaskId,
+    delay: SimDuration,
+) {
+    let exec = world.workers[wid].executor;
+    if !world.queues[exec].is_empty() {
+        schedule_hedge_timer(world, eng, wid, task, delay);
+        return;
+    }
+    let my_gpu = world.workers[wid].gpu.map(|(g, _)| g);
+    let pick = world
+        .workers
+        .iter()
+        .filter(|w| w.executor == exec && w.state == WorkerState::Idle && w.id != wid)
+        .min_by_key(|w| (w.gpu.map(|(g, _)| g) == my_gpu, w.id))
+        .map(|w| w.id);
+    let Some(hw) = pick else {
+        schedule_hedge_timer(world, eng, wid, task, delay);
+        return;
+    };
+    world.overload.hedges.insert(
+        task,
+        HedgePair {
+            primary: wid,
+            hedge: hw,
+        },
+    );
+    world.overload.stats.hedges_launched += 1;
+    world.monitor.fault_event(
+        eng.now(),
+        FaultPhase::Detected,
+        "hedge-launched",
+        None,
+        Some(hw),
+        format!(
+            "task {}: straggler suspect on worker {wid}, duplicate on worker {hw}",
+            task.0
+        ),
+    );
+    dispatch_hedge(world, eng, hw, task);
+}
+
+/// Dispatch the speculative duplicate. Mirrors `assign_task` but leaves
+/// the DFK untouched: the task is already `Running`, and hedge launches
+/// must not perturb the dispatch/attempt accounting retries key off.
+/// The duplicate then flows through the normal model-load/start-body
+/// path — including a checkpoint restore when the task has a committed
+/// snapshot, so a hedge resumes instead of cold-starting.
+fn dispatch_hedge(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
+    let now = eng.now();
+    let body = {
+        let w = &mut world.workers[wid];
+        w.state = WorkerState::Busy;
+        w.idle_since = None;
+        world.dfk.make_body(task, &mut w.rng)
+    };
+    world.monitor.worker_event(
+        now,
+        wid,
+        WorkerEventKind::TaskStart,
+        format!("task {} (hedge)", task.0),
+    );
+    world.workers[wid].current = Some(Running {
+        task,
+        body: Some(body),
+        span: None,
+        task_allocs: 0,
+        loading: None,
+        steps_issued: 0,
+        ckpt_pending: false,
+        progress_mark: None,
+        is_hedge: true,
+    });
+    let delay = world
+        .config
+        .wire
+        .dispatch_latency(world.dfk.task(task).payload_bytes);
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(delay, move |w: &mut FaasWorld, e| {
+        if w.workers[wid].epoch != epoch || w.workers[wid].state != WorkerState::Busy {
+            return;
+        }
+        after_dispatch(w, e, wid);
+    });
+}
+
+/// After a hedged task's winner completes, tear the loser down one
+/// control-plane round-trip later.
+fn schedule_hedge_cancel(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    wid: usize,
+    task: TaskId,
+) {
+    let latency = world
+        .config
+        .overload
+        .hedge
+        .map(|h| h.cancel_latency)
+        .unwrap_or(SimDuration::ZERO);
+    let epoch = world.workers[wid].epoch;
+    eng.schedule_in(latency, move |w: &mut FaasWorld, e| {
+        let still_on_it = w.workers[wid].epoch == epoch
+            && w.workers[wid].state == WorkerState::Busy
+            && w.workers[wid].current_task() == Some(task);
+        if still_on_it {
+            cancel_attempt(w, e, wid);
+        }
+    });
+}
+
+/// Tear down a worker's in-flight attempt without touching the task
+/// table — the task already settled via its hedge partner. The worker's
+/// kernel is aborted, CPU jobs dropped, scratch freed, and the worker
+/// returns to Idle. Deliberately *not* charged to `work_lost_s`: a
+/// cancelled loser is the designed cost of speculation (counted in
+/// `hedges_wasted`/`hedges_won`), not failure-induced loss.
+fn cancel_attempt(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
+    let now = eng.now();
+    if let (Some((gpu, _ctx)), Some(seq)) =
+        (world.workers[wid].gpu, world.workers[wid].awaiting_kernel)
+    {
+        world
+            .fleet
+            .device_mut(gpu)
+            .abort_tagged(now, pack_kernel_tag(wid, seq));
+        resync(world, eng, gpu);
+    }
+    world.workers[wid].awaiting_kernel = None;
+    cancel_cpu_jobs(world, eng, wid);
+    let Some(run) = world.workers[wid].current.take() else {
+        return;
+    };
+    if let Some(span) = run.span {
+        world.timeline.end(span, now);
+    }
+    if run.task_allocs > 0 {
+        if let Some((gpu, ctx)) = world.workers[wid].gpu {
+            let _ = world
+                .fleet
+                .device_mut(gpu)
+                .free_memory(ctx, run.task_allocs);
+            resync(world, eng, gpu);
+        }
+    }
+    world.monitor.worker_event(
+        now,
+        wid,
+        WorkerEventKind::TaskEnd,
+        format!("task {} cancelled (hedge loser)", run.task.0),
+    );
+    if world.workers[wid].state == WorkerState::Busy {
+        world.workers[wid].state = WorkerState::Idle;
+        world.workers[wid].idle_since = Some(now);
+    }
+    kick_executor(world, eng, world.workers[wid].executor);
+}
+
 fn finish_task(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
@@ -1226,15 +1610,35 @@ fn finish_task(
         world.workers[wid].state = WorkerState::Idle;
         world.workers[wid].idle_since = Some(now);
     }
+    // Completion is idempotent per task id: a hedge loser finishing (or
+    // failing) after its partner already settled the task must not touch
+    // the DFK, the counters, or the driver a second time.
+    let already_done = world.dfk.task(run.task).state == TaskState::Done;
     // A failed attempt throws away everything since its last committed
-    // snapshot (or since its body started, when none committed).
-    if result.is_err() {
+    // snapshot (or since its body started, when none committed). A loser
+    // outliving a settled task is discarded speculation, not loss.
+    if result.is_err() && !already_done {
         if let Some(mark) = run.progress_mark {
             world.recovery.stats.work_lost_s += now.duration_since(mark).as_secs_f64();
         }
     }
+    // The first attempt of a live hedge pair to finish — either way —
+    // dissolves the pair; the other attempt becomes sole owner (Err) or
+    // a cancellation target (Ok).
+    let hedge = world.overload.hedges.remove(&run.task);
     let terminal = match result {
+        Ok(()) if already_done => false,
         Ok(()) => {
+            if let Some(pair) = hedge {
+                let loser = if wid == pair.hedge {
+                    world.overload.stats.hedges_won += 1;
+                    pair.primary
+                } else {
+                    world.overload.stats.hedges_wasted += 1;
+                    pair.hedge
+                };
+                schedule_hedge_cancel(world, eng, loser, run.task);
+            }
             world.workers[wid].tasks_completed += 1;
             let ready = world.dfk.mark_done(run.task, now);
             for r in ready {
@@ -1242,6 +1646,13 @@ fn finish_task(
                 world.queues[rexec].push_back(r);
             }
             true
+        }
+        Err(_) if already_done => false,
+        Err(_) if hedge.is_some() => {
+            // One attempt of a live pair died (crash, walltime, fault);
+            // the surviving partner is now the defined winner path and
+            // the task stays Running on it. No retry, no DFK failure.
+            false
         }
         Err(e) => match world.dfk.mark_failed(run.task, now, &e) {
             FailureOutcome::Retry => {
@@ -1257,9 +1668,15 @@ fn finish_task(
             }
         },
     };
+    if terminal || already_done {
+        // Settled: snapshot no longer needed. The `already_done` arm also
+        // purges here because a loser can commit one more snapshot after
+        // the winner's terminal removal (its commit guard only checks it
+        // is still on the task), which would otherwise leak forever.
+        world.checkpoints.remove(&run.task);
+    }
     if terminal {
         let task = run.task;
-        world.checkpoints.remove(&task); // settled: snapshot no longer needed
         world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
     }
     // Kick every executor: completions may have released tasks elsewhere.
@@ -1557,6 +1974,32 @@ pub(crate) fn auto_respawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, w
 /// Re-queue a failed-but-retryable task after exponential backoff with
 /// seeded jitter (immediate re-queueing hammers a still-broken executor).
 fn schedule_retry(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId) {
+    // Retry budget: every retry spends a token from its app's bucket
+    // (funded by admitted first attempts). A dry bucket sheds the retry
+    // permanently — during an outage the retry stream decays to the
+    // configured fraction of first-attempt traffic instead of a storm.
+    if let Some(rb) = world.config.overload.retry_budget {
+        let app = world.dfk.task(task).app.clone();
+        let tokens = world
+            .overload
+            .retry_tokens
+            .entry(app.clone())
+            .or_insert(rb.burst.max(0.0));
+        if *tokens < 1.0 {
+            world.overload.stats.retries_suppressed += 1;
+            world.monitor.fault_event(
+                eng.now(),
+                FaultPhase::Detected,
+                "retry-suppressed",
+                None,
+                None,
+                format!("task {}: app {app:?} retry budget dry", task.0),
+            );
+            fail_terminally(world, eng, task, "retry suppressed: retry budget exhausted");
+            return;
+        }
+        *tokens -= 1.0;
+    }
     let rc = &world.config.recovery;
     let attempt = world.dfk.task(task).attempts.max(1);
     let exp = (attempt - 1).min(16);

@@ -32,6 +32,19 @@ pub const CHECKPOINT_TIMING: u64 = 640;
 /// draws of a previously recorded independent-fault schedule.
 pub const CORRELATED_FAULTS: u64 = 641;
 
+/// Straggler-hedging timer jitter in `parfait-faas::world`: the delay
+/// before a speculative duplicate of a slow task is launched is
+/// `est_service * trigger_factor * (1 + jitter * u)` with `u` drawn
+/// here. De-synchronizes hedge launches the same way
+/// [`CHECKPOINT_TIMING`] de-synchronizes snapshot writebacks.
+pub const HEDGE_TIMING: u64 = 642;
+
+/// Admission-control tie-breaks in `parfait-faas::world`: when the
+/// shed-lowest-priority policy finds several queued tasks tied at the
+/// minimum priority, the victim is drawn from this stream so the choice
+/// is reproducible and uncorrelated with every other subsystem.
+pub const ADMISSION: u64 = 643;
+
 /// Base id for per-worker streams: worker `id` draws from
 /// `WORKER_BASE + id`. The range `[WORKER_BASE, WORKER_BASE + 2^20)` is
 /// reserved for workers; keep scalar stream ids out of it (enforced by
@@ -61,6 +74,8 @@ pub const ALL: &[(&str, u64)] = &[
     ("FAULT_REALIZATION", FAULT_REALIZATION),
     ("CHECKPOINT_TIMING", CHECKPOINT_TIMING),
     ("CORRELATED_FAULTS", CORRELATED_FAULTS),
+    ("HEDGE_TIMING", HEDGE_TIMING),
+    ("ADMISSION", ADMISSION),
     ("WORKER_BASE", WORKER_BASE),
     ("MOLECULAR_CAMPAIGN", MOLECULAR_CAMPAIGN),
     ("ARRIVAL_TRACE", ARRIVAL_TRACE),
@@ -89,6 +104,8 @@ mod tests {
         assert_eq!(FAULT_REALIZATION, 618);
         assert_eq!(CHECKPOINT_TIMING, 640);
         assert_eq!(CORRELATED_FAULTS, 641);
+        assert_eq!(HEDGE_TIMING, 642);
+        assert_eq!(ADMISSION, 643);
         assert_eq!(WORKER_BASE, 1000);
         assert_eq!(MOLECULAR_CAMPAIGN, 77);
         assert_eq!(ARRIVAL_TRACE, 424);

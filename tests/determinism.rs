@@ -12,6 +12,7 @@
 //! the first place.
 
 use parfait_bench::faults::{traced_correlated_run, traced_mode_run};
+use parfait_bench::overload::traced_overload_run;
 use parfait_bench::scenarios::SEED;
 use parfait_core::Strategy;
 
@@ -74,6 +75,31 @@ fn assert_correlated_double_run_identical(strategy: Strategy, ckpt_s: Option<u64
             "no checkpoint restores in trace"
         );
     }
+}
+
+/// The PR-5 overload scenario (bounded queues, deadline admission,
+/// hedging, brownout) draws from two new RNG streams (`ADMISSION`,
+/// `HEDGE_TIMING`); byte-compare a fully-protected 2×-load cell across
+/// double runs.
+#[test]
+fn overload_scenario_is_bit_identical_across_runs() {
+    let (cell_a, trace_a) = traced_overload_run(SEED);
+    let (cell_b, trace_b) = traced_overload_run(SEED);
+    assert_eq!(
+        trace_a, trace_b,
+        "overload trace diverged across identically-seeded runs"
+    );
+    let json_a = serde_json::to_string(&cell_a).expect("cell serializes");
+    let json_b = serde_json::to_string(&cell_b).expect("cell serializes");
+    assert_eq!(
+        json_a, json_b,
+        "serialized overload cell diverged across identically-seeded runs"
+    );
+    assert!(trace_a.contains("task id="), "no task rows in trace");
+    assert!(
+        cell_a.overload.tasks_shed + cell_a.overload.tasks_rejected > 0,
+        "a 2x-load protected cell must exercise admission control: {cell_a:?}"
+    );
 }
 
 #[test]
