@@ -6,15 +6,20 @@
 //! ```
 //!
 //! Subcommands: `table1 fig1 fig2 fig3 fig4 fig5 overheads ablation
-//! extension all`, plus four explicit-only artifacts (never under
-//! `all`): `substrate` times the simulator's own hot paths and writes
-//! `BENCH_substrate.json`; `faults` replays an identical injected fault
-//! schedule under MPS / MIG / time-sharing and writes `BENCH_faults.json`
-//! (the isolation column of Table 1, reproduced); `overload` sweeps
-//! offered load past saturation under the overload-protection stack and
-//! writes `BENCH_overload.json`; `lint` runs the determinism
-//! static-analysis pass (`parfait-lint`) over the workspace and writes
-//! `BENCH_lint.json`.
+//! extension all`, plus five explicit-only artifacts (never under
+//! `all`): `substrate` times the simulator's own hot paths, writes
+//! `BENCH_substrate.json`, and checks the deterministic cost-proxy
+//! counters against `cost-baseline.txt` (exit 1 on regression;
+//! `--record-cost` re-records); `faults` replays an identical injected
+//! fault schedule under MPS / MIG / time-sharing and writes
+//! `BENCH_faults.json` (the isolation column of Table 1, reproduced);
+//! `overload` sweeps offered load past saturation under the
+//! overload-protection stack and writes `BENCH_overload.json`; `lint`
+//! runs the determinism static-analysis pass (`parfait-lint`) over the
+//! workspace and writes `BENCH_lint.json`; `fleet` drives ~1M open-loop
+//! requests through a 1000-GPU MIG topology (`--gpus N --tasks N` to
+//! rescale) and writes `BENCH_fleet.json` with the optimized-vs-scans
+//! events/sec comparison.
 //! `--csv` switches the output to CSV; `--completions N` rescales the
 //! §5.2 experiments (default 100, as in the paper).
 
@@ -36,6 +41,13 @@ struct Opts {
     csv: bool,
     completions: usize,
     seed: u64,
+    /// `repro fleet`: GPUs in the fleet scenario.
+    gpus: usize,
+    /// `repro fleet`: requests pushed through the fleet.
+    tasks: usize,
+    /// `repro substrate`: re-record cost-baseline.txt instead of
+    /// checking against it.
+    record_cost: bool,
 }
 
 fn emit(opts: &Opts, title: &str, headers: &[&str], rows: Vec<Vec<String>>) {
@@ -869,6 +881,88 @@ fn run_substrate(opts: &Opts) {
         &["case", "ops", "wall p50 (ms)", "wall p95 (ms)", "ops/sec"],
         rows,
     );
+    let cost_rows = report
+        .cost
+        .entries()
+        .into_iter()
+        .map(|(name, value)| vec![name.to_string(), value.to_string()])
+        .collect();
+    emit(
+        opts,
+        "Substrate cost proxy: deterministic op counts (ratcheted by cost-baseline.txt)",
+        &["counter", "value"],
+        cost_rows,
+    );
+    let outcome = parfait_bench::substrate::check_cost_ratchet(
+        std::path::Path::new("."),
+        &report.cost,
+        opts.record_cost,
+    )
+    .expect("read/write cost-baseline.txt");
+    for msg in &outcome.improvements {
+        println!("note: {msg}");
+    }
+    if !outcome.regressions.is_empty() {
+        for msg in &outcome.regressions {
+            eprintln!("error: {msg}");
+        }
+        std::process::exit(1);
+    }
+    if opts.record_cost {
+        println!("cost-baseline.txt re-recorded from current counters");
+    }
+}
+
+fn run_fleet(opts: &Opts) {
+    let report = parfait_bench::fleet::run_and_write(
+        std::path::Path::new("."),
+        opts.gpus,
+        opts.tasks,
+        opts.seed,
+    )
+    .expect("write BENCH_fleet.json");
+    let row = |r: &parfait_bench::fleet::FleetRun| {
+        vec![
+            if r.optimized { "optimized" } else { "baseline" }.to_string(),
+            r.sim.gpus.to_string(),
+            r.sim.workers.to_string(),
+            r.sim.tasks.to_string(),
+            f2(r.sim.behavior.makespan_ns as f64 / 1e9),
+            r.sim.behavior.peak_in_flight.to_string(),
+            r.sim.behavior.events_fired.to_string(),
+            format!("{}/{}", r.sim.domains_visited, r.sim.domains_skipped),
+            f2(r.wall_s),
+            format!("{:.3e}", r.events_per_sec),
+        ]
+    };
+    emit(
+        opts,
+        &format!(
+            "Fleet: open-loop driver, {} GPUs x {} MIG workers (written to BENCH_fleet.json; \
+             equivalence checked at {} tasks)",
+            report.optimized.sim.gpus,
+            parfait_bench::fleet::WORKERS_PER_GPU,
+            report.equivalence_checked_tasks
+        ),
+        &[
+            "run",
+            "gpus",
+            "workers",
+            "tasks",
+            "makespan (s)",
+            "peak in-flight",
+            "events",
+            "domains visited/skipped",
+            "wall (s)",
+            "events/sec",
+        ],
+        vec![row(&report.optimized), row(&report.baseline)],
+    );
+    println!(
+        "events/sec speedup (optimized vs scans+full-recompute): {:.1}x",
+        report.speedup_events_per_sec
+    );
+    println!();
 }
 
 fn main() {
@@ -878,6 +972,9 @@ fn main() {
         csv: false,
         completions: 100,
         seed: SEED,
+        gpus: 1000,
+        tasks: 1_000_000,
+        record_cost: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -894,6 +991,15 @@ fn main() {
                 i += 1;
                 opts.seed = args.get(i).and_then(|s| s.parse().ok()).expect("--seed N");
             }
+            "--gpus" => {
+                i += 1;
+                opts.gpus = args.get(i).and_then(|s| s.parse().ok()).expect("--gpus N");
+            }
+            "--tasks" => {
+                i += 1;
+                opts.tasks = args.get(i).and_then(|s| s.parse().ok()).expect("--tasks N");
+            }
+            "--record-cost" => opts.record_cost = true,
             other => which.push(other.to_string()),
         }
         i += 1;
@@ -913,6 +1019,7 @@ fn main() {
         "faults",
         "overload",
         "lint",
+        "fleet",
     ];
     if let Some(bad) = which.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -967,5 +1074,8 @@ fn main() {
     }
     if which.iter().any(|w| w == "lint") {
         run_lint(&opts);
+    }
+    if which.iter().any(|w| w == "fleet") {
+        run_fleet(&opts);
     }
 }

@@ -8,6 +8,7 @@
 //! repro -- <artifact>`) and the Criterion benches wrap these.
 
 pub mod faults;
+pub mod fleet;
 pub mod lint;
 pub mod overload;
 pub mod report;

@@ -52,6 +52,51 @@ pub struct SubstrateReport {
     pub kernels_per_sec: f64,
     /// All cases, with their wall-time distributions.
     pub cases: Vec<CaseReport>,
+    /// Deterministic cost proxy (ratcheted by `cost-baseline.txt`).
+    pub cost: CostProxy,
+}
+
+/// Deterministic cost counters over the fixed substrate cases: pure
+/// functions of the code under test (no wall clock, no seed variance),
+/// so CI can ratchet them exactly — a hot-path regression moves a
+/// counter, not a ±30% timing sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostProxy {
+    /// Events fired by `timer_events_100k`.
+    pub timer_events_fired: u64,
+    /// Event-heap pushes on `timer_events_100k`.
+    pub timer_heap_pushes: u64,
+    /// Event-heap pops on `timer_events_100k` (fired + tombstones).
+    pub timer_heap_pops: u64,
+    /// Heap pops on `cancel_heavy_100k` (tombstone-drain cost).
+    pub cancel_heap_pops: u64,
+    /// Events fired by `contended_arbitration`.
+    pub arbitration_events_fired: u64,
+    /// `GpuDevice::recompute` invocations on `contended_arbitration`.
+    pub arbitration_recompute_calls: u64,
+    /// Dirty domains re-derived across those recomputes.
+    pub arbitration_domains_visited: u64,
+}
+
+impl CostProxy {
+    /// Stable `(name, value)` pairs — the `cost-baseline.txt` schema.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("timer_events_fired", self.timer_events_fired),
+            ("timer_heap_pushes", self.timer_heap_pushes),
+            ("timer_heap_pops", self.timer_heap_pops),
+            ("cancel_heap_pops", self.cancel_heap_pops),
+            ("arbitration_events_fired", self.arbitration_events_fired),
+            (
+                "arbitration_recompute_calls",
+                self.arbitration_recompute_calls,
+            ),
+            (
+                "arbitration_domains_visited",
+                self.arbitration_domains_visited,
+            ),
+        ]
+    }
 }
 
 /// Time `f` once for warmup and [`RUNS`] times for real, returning the
@@ -94,8 +139,9 @@ fn case(name: &str, f: impl FnMut() -> u64) -> CaseReport {
 }
 
 /// 100k one-shot timers scheduled upfront (same spread as the
-/// `engine_throughput` criterion bench), run to completion.
-fn timer_events(n: u64) -> u64 {
+/// `engine_throughput` criterion bench), run to completion. Returns
+/// `(fired, heap pushes, heap pops)`.
+fn timer_events_instrumented(n: u64) -> (u64, u64, u64) {
     let mut eng: Engine<u64> = Engine::new();
     let mut fired = 0u64;
     for i in 0..n {
@@ -105,12 +151,17 @@ fn timer_events(n: u64) -> u64 {
     }
     eng.run(&mut fired);
     assert_eq!(fired, n);
-    fired
+    (fired, eng.heap_pushes(), eng.heap_pops())
+}
+
+fn timer_events(n: u64) -> u64 {
+    timer_events_instrumented(n).0
 }
 
 /// 100k timers, every other one cancelled before the run starts; the
-/// engine must skip 50k tombstones without firing them.
-fn cancel_heavy(n: u64) -> u64 {
+/// engine must skip 50k tombstones without firing them. Returns
+/// `(scheduled, heap pops)`.
+fn cancel_heavy_instrumented(n: u64) -> (u64, u64) {
     let mut eng: Engine<u64> = Engine::new();
     let mut fired = 0u64;
     let mut ids = Vec::with_capacity(n as usize);
@@ -126,7 +177,11 @@ fn cancel_heavy(n: u64) -> u64 {
     }
     eng.run(&mut fired);
     assert_eq!(fired, n - n / 2 - n % 2);
-    n
+    (n, eng.heap_pops())
+}
+
+fn cancel_heavy(n: u64) -> u64 {
+    cancel_heavy_instrumented(n).0
 }
 
 /// 100k timers that are each re-armed once (cancel + schedule later),
@@ -172,7 +227,9 @@ impl GpuHost for TraceWorld {
 
 /// The contended MPS trace from `engine_throughput` /
 /// `arbitration_regression`: 8 contexts × 50 kernels on one A100-80GB.
-fn contended_arbitration() -> u64 {
+/// Returns `(completions, events fired, recompute calls, domains
+/// visited)`.
+fn contended_arbitration_instrumented() -> (u64, u64, u64, u64) {
     let mut fleet = GpuFleet::new();
     let gid = fleet.add(GpuSpec::a100_80gb());
     fleet.device_mut(gid).mps.start();
@@ -208,7 +265,30 @@ fn contended_arbitration() -> u64 {
     }
     eng.run(&mut w);
     assert_eq!(w.completions, 400);
-    w.completions
+    let (calls, visited, _skipped) = w.fleet.cost_counters();
+    (w.completions, eng.events_fired(), calls, visited)
+}
+
+fn contended_arbitration() -> u64 {
+    contended_arbitration_instrumented().0
+}
+
+/// One instrumented pass over the deterministic cases, collecting the
+/// exact operation counts (no timing involved).
+pub fn cost_proxy() -> CostProxy {
+    const N: u64 = 100_000;
+    let (fired, pushes, pops) = timer_events_instrumented(N);
+    let (_, cancel_pops) = cancel_heavy_instrumented(N);
+    let (_, arb_fired, calls, visited) = contended_arbitration_instrumented();
+    CostProxy {
+        timer_events_fired: fired,
+        timer_heap_pushes: pushes,
+        timer_heap_pops: pops,
+        cancel_heap_pops: cancel_pops,
+        arbitration_events_fired: arb_fired,
+        arbitration_recompute_calls: calls,
+        arbitration_domains_visited: visited,
+    }
 }
 
 /// Run every case and assemble the report.
@@ -224,6 +304,7 @@ pub fn measure() -> SubstrateReport {
         events_per_sec: cases[0].ops_per_sec,
         kernels_per_sec: cases[3].ops_per_sec,
         cases,
+        cost: cost_proxy(),
     }
 }
 
@@ -234,6 +315,98 @@ pub fn run_and_write(dir: &std::path::Path) -> std::io::Result<SubstrateReport> 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(dir.join("BENCH_substrate.json"), json + "\n")?;
     Ok(report)
+}
+
+/// Outcome of the cost-ratchet comparison.
+#[derive(Debug, Clone)]
+pub struct RatchetOutcome {
+    /// Regressions — counters above their recorded baseline. Non-empty
+    /// means the check fails.
+    pub regressions: Vec<String>,
+    /// Improvements — counters now below the baseline (advisory; the
+    /// baseline should be re-recorded to lock the win in).
+    pub improvements: Vec<String>,
+}
+
+/// Serialize `cost` in the `cost-baseline.txt` schema.
+fn render_baseline(cost: &CostProxy) -> String {
+    let mut out = String::from(
+        "# Deterministic substrate cost baseline: exact operation counts on the\n\
+         # fixed `repro substrate` cases (events fired, heap ops, recompute\n\
+         # domain visits). Pure functions of the code — no seed or timing\n\
+         # variance — so any increase is a hot-path regression and fails CI.\n\
+         # Re-record after a deliberate change with:\n\
+         #   cargo run --release -p parfait-bench --bin repro -- substrate --record-cost\n",
+    );
+    for (name, value) in cost.entries() {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out
+}
+
+/// Compare `cost` against `dir/cost-baseline.txt`. With `record`, the
+/// file is (re)written from the current counters instead and the check
+/// trivially passes.
+pub fn check_cost_ratchet(
+    dir: &std::path::Path,
+    cost: &CostProxy,
+    record: bool,
+) -> std::io::Result<RatchetOutcome> {
+    let path = dir.join("cost-baseline.txt");
+    let mut outcome = RatchetOutcome {
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+    };
+    if record {
+        std::fs::write(&path, render_baseline(cost))?;
+        return Ok(outcome);
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            outcome.regressions.push(format!(
+                "missing {}: record it with `repro substrate --record-cost`",
+                path.display()
+            ));
+            return Ok(outcome);
+        }
+    };
+    let mut baseline = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (
+            parts.next(),
+            parts.next().and_then(|v| v.parse::<u64>().ok()),
+        ) {
+            (Some(name), Some(value)) => {
+                baseline.insert(name.to_string(), value);
+            }
+            _ => outcome
+                .regressions
+                .push(format!("malformed cost-baseline.txt line: `{line}`")),
+        }
+    }
+    for (name, value) in cost.entries() {
+        match baseline.get(name) {
+            None => outcome.regressions.push(format!(
+                "counter `{name}` missing from cost-baseline.txt (current {value}); re-record"
+            )),
+            Some(&base) if value > base => outcome.regressions.push(format!(
+                "cost regression: {name} {value} > baseline {base} (+{})",
+                value - base
+            )),
+            Some(&base) if value < base => outcome.improvements.push(format!(
+                "{name} improved: {value} < baseline {base} (-{}); consider --record-cost",
+                base - value
+            )),
+            _ => {}
+        }
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -1,0 +1,214 @@
+//! Incrementally maintained lookup structures over the worker pool and
+//! executor queues — the "indexed world".
+//!
+//! Dispatch, admission, the heartbeat watchdog, GPU fencing, queue
+//! fail-over, and the scaling controllers all used to answer questions
+//! like "is any worker of executor e idle?" by scanning
+//! `FaasWorld::workers` or `FaasWorld::queues` end to end. At a handful
+//! of workers that is noise; at a thousand GPUs with a million tasks it
+//! makes *per-event* cost grow with fleet size. [`WorldIndex`] keeps the
+//! answers materialized: per-executor idle-worker free lists, live/
+//! not-dead counters, crashed/dead id sets, per-GPU resident sets, and
+//! per-executor queued service-estimate totals, each updated O(log n) at
+//! the state transition that changes it.
+//!
+//! Two invariants make this safe to rely on:
+//!
+//! * **Single funnel.** Every worker state write goes through
+//!   `FaasWorld::transition`, every GPU (un)binding through
+//!   `FaasWorld::bind_gpu`, and every queue mutation through the
+//!   `queue_push`/`queue_pop_front`/`queue_remove` helpers in `world` —
+//!   so the index cannot silently drift from the ground truth.
+//! * **Always maintained, separately consumed.** The index is updated
+//!   even when `enabled` is false; the flag only selects whether the hot
+//!   paths consult it or run the original full scans (kept verbatim as
+//!   the reference implementation and the A/B baseline for the fleet
+//!   bench). `FaasWorld::check_index_consistency` recomputes everything
+//!   from scratch and asserts equality in debug builds.
+//!
+//! Determinism: iteration over the [`BTreeSet`]s is ascending by worker
+//! id, which is exactly the order the replaced `Vec` scans produced, so
+//! picks (dispatch target, hedge target, watchdog detection order) are
+//! bit-identical with the index on or off.
+
+use crate::world::WorkerState;
+use parfait_simcore::SimDuration;
+use std::collections::BTreeSet;
+
+/// Index a [`WorkerState`] into [`WorldIndex::state_counts`].
+fn state_slot(s: WorkerState) -> usize {
+    match s {
+        WorkerState::Provisioning => 0,
+        WorkerState::ColdStart => 1,
+        WorkerState::Idle => 2,
+        WorkerState::Busy => 3,
+        WorkerState::Crashed => 4,
+        WorkerState::Dead => 5,
+    }
+}
+
+/// Materialized answers to the questions the hot paths ask every event.
+#[derive(Debug)]
+pub struct WorldIndex {
+    /// Fast paths consult the index when true; otherwise the original
+    /// full scans run. The index itself is maintained either way.
+    pub(crate) enabled: bool,
+    /// Per-executor ids of `Idle` workers, ascending.
+    pub(crate) idle: Vec<BTreeSet<usize>>,
+    /// Per-executor count of workers neither `Dead` nor `Crashed` (the
+    /// admission/fail-over notion of "live").
+    pub(crate) live: Vec<usize>,
+    /// Per-executor count of workers not `Dead` (the scaling
+    /// controllers' notion of "live"; also answers `executor_dead`).
+    pub(crate) not_dead: Vec<usize>,
+    /// Per-executor total workers ever created (workers never migrate
+    /// between executors, so this equals the filter-count scan exactly).
+    pub(crate) total: Vec<usize>,
+    /// Ids of `Crashed` workers, ascending (watchdog detection order).
+    pub(crate) crashed: BTreeSet<usize>,
+    /// Ids of `Dead` workers, ascending (GPU-fence parking scan).
+    pub(crate) dead: BTreeSet<usize>,
+    /// Global worker counts by state, indexed by [`state_slot`].
+    pub(crate) state_counts: [usize; 6],
+    /// Per-GPU ids of workers holding a context on that device,
+    /// ascending (fence blast-radius order). Grows on demand.
+    pub(crate) residents: Vec<BTreeSet<usize>>,
+    /// Per-executor sum of `est_service` nanos over queued tasks that
+    /// carry an estimate (exact integer arithmetic; converted to seconds
+    /// only at the admission comparison).
+    pub(crate) queued_known_nanos: Vec<u128>,
+    /// Per-executor count of queued tasks without a service estimate
+    /// (admission prices them at the incoming task's own estimate).
+    pub(crate) queued_unknown: Vec<usize>,
+}
+
+impl WorldIndex {
+    /// Empty index for `executors` executors and `gpus` devices; workers
+    /// are added via [`WorldIndex::register_worker`].
+    pub(crate) fn new(executors: usize, gpus: usize) -> Self {
+        WorldIndex {
+            enabled: true,
+            idle: vec![BTreeSet::new(); executors],
+            live: vec![0; executors],
+            not_dead: vec![0; executors],
+            total: vec![0; executors],
+            crashed: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            state_counts: [0; 6],
+            residents: vec![BTreeSet::new(); gpus],
+            queued_known_nanos: vec![0; executors],
+            queued_unknown: vec![0; executors],
+        }
+    }
+
+    /// Account a freshly created worker (no GPU binding yet).
+    pub(crate) fn register_worker(&mut self, wid: usize, exec: usize, state: WorkerState) {
+        self.total[exec] += 1;
+        self.state_counts[state_slot(state)] += 1;
+        match state {
+            WorkerState::Dead => {
+                self.dead.insert(wid);
+            }
+            WorkerState::Crashed => {
+                self.not_dead[exec] += 1;
+                self.crashed.insert(wid);
+            }
+            other => {
+                self.not_dead[exec] += 1;
+                self.live[exec] += 1;
+                if other == WorkerState::Idle {
+                    self.idle[exec].insert(wid);
+                }
+            }
+        }
+    }
+
+    /// Apply a worker state transition (`old` → `new`, `old != new`).
+    pub(crate) fn on_state_change(
+        &mut self,
+        wid: usize,
+        exec: usize,
+        old: WorkerState,
+        new: WorkerState,
+    ) {
+        self.state_counts[state_slot(old)] -= 1;
+        self.state_counts[state_slot(new)] += 1;
+        if old == WorkerState::Idle {
+            self.idle[exec].remove(&wid);
+        }
+        if new == WorkerState::Idle {
+            self.idle[exec].insert(wid);
+        }
+        if old == WorkerState::Crashed {
+            self.crashed.remove(&wid);
+        }
+        if new == WorkerState::Crashed {
+            self.crashed.insert(wid);
+        }
+        if old == WorkerState::Dead {
+            self.dead.remove(&wid);
+        }
+        if new == WorkerState::Dead {
+            self.dead.insert(wid);
+        }
+        let was_live = !matches!(old, WorkerState::Dead | WorkerState::Crashed);
+        let is_live = !matches!(new, WorkerState::Dead | WorkerState::Crashed);
+        match (was_live, is_live) {
+            (true, false) => self.live[exec] -= 1,
+            (false, true) => self.live[exec] += 1,
+            _ => {}
+        }
+        match (old == WorkerState::Dead, new == WorkerState::Dead) {
+            (false, true) => self.not_dead[exec] -= 1,
+            (true, false) => self.not_dead[exec] += 1,
+            _ => {}
+        }
+    }
+
+    /// Apply a GPU (un)binding change for a worker.
+    pub(crate) fn on_gpu_change(&mut self, wid: usize, old: Option<u32>, new: Option<u32>) {
+        if old == new {
+            return;
+        }
+        if let Some(g) = old {
+            if let Some(set) = self.residents.get_mut(g as usize) {
+                set.remove(&wid);
+            }
+        }
+        if let Some(g) = new {
+            let gi = g as usize;
+            if gi >= self.residents.len() {
+                self.residents.resize_with(gi + 1, BTreeSet::new);
+            }
+            self.residents[gi].insert(wid);
+        }
+    }
+
+    /// A task entered executor `exec`'s ready queue.
+    pub(crate) fn queue_delta_push(&mut self, exec: usize, est: Option<SimDuration>) {
+        match est {
+            Some(d) => self.queued_known_nanos[exec] += d.as_nanos() as u128,
+            None => self.queued_unknown[exec] += 1,
+        }
+    }
+
+    /// A task left executor `exec`'s ready queue.
+    pub(crate) fn queue_delta_pop(&mut self, exec: usize, est: Option<SimDuration>) {
+        match est {
+            Some(d) => self.queued_known_nanos[exec] -= d.as_nanos() as u128,
+            None => self.queued_unknown[exec] -= 1,
+        }
+    }
+
+    /// Workers in a state that keeps the monitoring sampler alive
+    /// (`Provisioning | ColdStart | Busy | Crashed`).
+    pub(crate) fn active_workers(&self) -> usize {
+        self.state_counts[0] + self.state_counts[1] + self.state_counts[3] + self.state_counts[4]
+    }
+
+    /// Workers in a state that keeps the scaling controllers alive
+    /// (`Provisioning | ColdStart | Busy` — crashes don't).
+    pub(crate) fn spinning_or_busy(&self) -> usize {
+        self.state_counts[0] + self.state_counts[1] + self.state_counts[3]
+    }
+}

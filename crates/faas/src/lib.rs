@@ -25,6 +25,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod dfk;
 pub mod faults;
+mod index;
 pub mod monitoring;
 pub mod overload;
 pub mod strategy;

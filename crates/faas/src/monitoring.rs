@@ -125,7 +125,7 @@ pub struct QueueSample {
 }
 
 /// In-memory monitoring store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Monitoring {
     /// GPU samples, in time order.
     pub samples: Vec<UtilSample>,
@@ -135,6 +135,25 @@ pub struct Monitoring {
     pub worker_events: Vec<WorkerEvent>,
     /// Fault and recovery events, in time order.
     pub fault_records: Vec<FaultRecord>,
+    /// When false, `worker_event` is a no-op. Per-task lifecycle rows
+    /// retain a formatted `String` each; a fleet-scale throughput run
+    /// (~10⁶ tasks) would hold millions of them, so the fleet driver
+    /// switches recording off. Samples and fault records are
+    /// unaffected, and the toggle never changes simulation behaviour —
+    /// the store is write-only observability.
+    pub record_worker_events: bool,
+}
+
+impl Default for Monitoring {
+    fn default() -> Self {
+        Monitoring {
+            samples: Vec::new(),
+            queue_samples: Vec::new(),
+            worker_events: Vec::new(),
+            fault_records: Vec::new(),
+            record_worker_events: true,
+        }
+    }
 }
 
 impl Monitoring {
@@ -151,6 +170,9 @@ impl Monitoring {
         kind: WorkerEventKind,
         detail: impl Into<String>,
     ) {
+        if !self.record_worker_events {
+            return;
+        }
         self.worker_events.push(WorkerEvent {
             t,
             worker,

@@ -25,6 +25,7 @@ use crate::checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
 use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig, ShedPolicy};
 use crate::dfk::{Dfk, FailureOutcome, TaskState};
 use crate::faults::RecoveryState;
+use crate::index::WorldIndex;
 use crate::monitoring::{FaultPhase, Monitoring, QueueSample, UtilSample, WorkerEventKind};
 use crate::overload::{HedgePair, OverloadState};
 use parfait_gpu::context::ColdStartBreakdown;
@@ -211,6 +212,11 @@ pub struct FaasWorld {
     /// Overload-protection state (admission/hedge RNG streams, retry
     /// buckets, live hedge pairs, shed/hedge counters).
     pub overload: OverloadState,
+    /// Incrementally maintained worker/queue lookup structures; hot
+    /// paths use them instead of scanning `workers`/`queues` (see the
+    /// `index` module). Always kept in sync; consult gated on
+    /// [`FaasWorld::set_index_enabled`].
+    pub(crate) index: WorldIndex,
 }
 
 impl GpuHost for FaasWorld {
@@ -278,6 +284,10 @@ impl FaasWorld {
             rng.split(streams::ADMISSION),
             rng.split(streams::HEDGE_TIMING),
         );
+        let mut index = WorldIndex::new(config.executors.len(), fleet.len());
+        for w in &workers {
+            index.register_worker(w.id, w.executor, w.state);
+        }
         FaasWorld {
             config,
             fleet,
@@ -296,6 +306,122 @@ impl FaasWorld {
             recovery,
             checkpoints: BTreeMap::new(),
             overload,
+            index,
+        }
+    }
+
+    /// Toggle the indexed fast paths (dispatch, admission, watchdog,
+    /// fencing, fail-over, scaling). The index is maintained either way;
+    /// disabling only makes the hot paths fall back to the original
+    /// full scans — the A/B baseline for the fleet benchmark.
+    pub fn set_index_enabled(&mut self, on: bool) {
+        self.index.enabled = on;
+    }
+
+    /// Are the indexed fast paths in use?
+    pub fn index_enabled(&self) -> bool {
+        self.index.enabled
+    }
+
+    /// Apply a worker state change, keeping the index in sync. Every
+    /// `state` write in the crate funnels through here.
+    pub(crate) fn transition(&mut self, wid: usize, new: WorkerState) {
+        let old = self.workers[wid].state;
+        if old == new {
+            return;
+        }
+        let exec = self.workers[wid].executor;
+        self.index.on_state_change(wid, exec, old, new);
+        self.workers[wid].state = new;
+    }
+
+    /// (Un)bind a worker's GPU context, keeping the resident sets in
+    /// sync. Every `gpu` write in the crate funnels through here.
+    pub(crate) fn bind_gpu(&mut self, wid: usize, binding: Option<(GpuId, parfait_gpu::CtxId)>) {
+        let old = self.workers[wid].gpu.map(|(g, _)| g.0);
+        self.index
+            .on_gpu_change(wid, old, binding.map(|(g, _)| g.0));
+        self.workers[wid].gpu = binding;
+    }
+
+    /// Recompute every index structure from scratch and assert it equals
+    /// the incrementally maintained one. Debug builds only (the asserts
+    /// and the recompute both compile away in release).
+    pub fn check_index_consistency(&self) {
+        #[cfg(debug_assertions)]
+        {
+            use std::collections::BTreeSet;
+            let nexec = self.queues.len();
+            let mut idle = vec![BTreeSet::new(); nexec];
+            let mut live = vec![0usize; nexec];
+            let mut not_dead = vec![0usize; nexec];
+            let mut total = vec![0usize; nexec];
+            let mut crashed = BTreeSet::new();
+            let mut dead = BTreeSet::new();
+            let mut state_counts = [0usize; 6];
+            let mut residents = vec![BTreeSet::new(); self.index.residents.len()];
+            for w in &self.workers {
+                total[w.executor] += 1;
+                let slot = match w.state {
+                    WorkerState::Provisioning => 0,
+                    WorkerState::ColdStart => 1,
+                    WorkerState::Idle => 2,
+                    WorkerState::Busy => 3,
+                    WorkerState::Crashed => 4,
+                    WorkerState::Dead => 5,
+                };
+                state_counts[slot] += 1;
+                match w.state {
+                    WorkerState::Idle => {
+                        idle[w.executor].insert(w.id);
+                    }
+                    WorkerState::Crashed => {
+                        crashed.insert(w.id);
+                    }
+                    WorkerState::Dead => {
+                        dead.insert(w.id);
+                    }
+                    _ => {}
+                }
+                if !matches!(w.state, WorkerState::Dead | WorkerState::Crashed) {
+                    live[w.executor] += 1;
+                }
+                if w.state != WorkerState::Dead {
+                    not_dead[w.executor] += 1;
+                }
+                if let Some((g, _)) = w.gpu {
+                    residents[g.0 as usize].insert(w.id);
+                }
+            }
+            assert_eq!(self.index.idle, idle, "idle sets drifted");
+            assert_eq!(self.index.live, live, "live counts drifted");
+            assert_eq!(self.index.not_dead, not_dead, "not-dead counts drifted");
+            assert_eq!(self.index.total, total, "total counts drifted");
+            assert_eq!(self.index.crashed, crashed, "crashed set drifted");
+            assert_eq!(self.index.dead, dead, "dead set drifted");
+            assert_eq!(
+                self.index.state_counts, state_counts,
+                "state counts drifted"
+            );
+            assert_eq!(self.index.residents, residents, "resident sets drifted");
+            for e in 0..nexec {
+                let mut known: u128 = 0;
+                let mut unknown = 0usize;
+                for t in &self.queues[e] {
+                    match self.dfk.task(*t).est_service {
+                        Some(d) => known += d.as_nanos() as u128,
+                        None => unknown += 1,
+                    }
+                }
+                assert_eq!(
+                    self.index.queued_known_nanos[e], known,
+                    "queued estimate sum drifted (executor {e})"
+                );
+                assert_eq!(
+                    self.index.queued_unknown[e], unknown,
+                    "queued unknown count drifted (executor {e})"
+                );
+            }
         }
     }
 
@@ -306,6 +432,9 @@ impl FaasWorld {
 
     /// Are all workers of an executor dead?
     pub fn executor_dead(&self, exec: usize) -> bool {
+        if self.index.enabled {
+            return self.index.not_dead[exec] == 0;
+        }
         self.workers
             .iter()
             .filter(|w| w.executor == exec)
@@ -324,6 +453,34 @@ impl FaasWorld {
             debug_assert!(self.driver.is_none());
             self.driver = Some(d);
         }
+    }
+}
+
+/// Enqueue a task on an executor's ready queue, keeping the index's
+/// queued-estimate totals in sync. Every queue push funnels through
+/// here (and every removal through [`queue_pop_front`]/[`queue_remove`]).
+fn queue_push(world: &mut FaasWorld, exec: usize, task: TaskId) {
+    let est = world.dfk.task(task).est_service;
+    world.index.queue_delta_push(exec, est);
+    world.queues[exec].push_back(task);
+}
+
+/// Dequeue the oldest task of an executor's ready queue.
+fn queue_pop_front(world: &mut FaasWorld, exec: usize) -> Option<TaskId> {
+    let task = world.queues[exec].pop_front()?;
+    let est = world.dfk.task(task).est_service;
+    world.index.queue_delta_pop(exec, est);
+    Some(task)
+}
+
+/// Remove a specific task from an executor's ready queue (shed, cancel).
+fn queue_remove(world: &mut FaasWorld, exec: usize, task: TaskId) {
+    let before = world.queues[exec].len();
+    world.queues[exec].retain(|t| *t != task);
+    let removed = before - world.queues[exec].len();
+    let est = world.dfk.task(task).est_service;
+    for _ in 0..removed {
+        world.index.queue_delta_pop(exec, est);
     }
 }
 
@@ -360,9 +517,9 @@ fn schedule_spawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
     let exec = world.workers[wid].executor;
     if world.config.executors[exec].kind == ExecutorKind::ThreadPool {
         let now = eng.now();
+        world.transition(wid, WorkerState::Idle);
         {
             let w = &mut world.workers[wid];
-            w.state = WorkerState::Idle;
             w.spawned_at = now;
             w.ready_at = Some(now);
             w.idle_since = Some(now);
@@ -383,7 +540,7 @@ fn schedule_spawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
             // Injected provider failure: the slot never materializes.
             let now = e.now();
             w.workers[wid].provision_poisoned = false;
-            w.workers[wid].state = WorkerState::Dead;
+            w.transition(wid, WorkerState::Dead);
             w.workers[wid].recovering = false;
             w.recovery.stats.workers_lost += 1;
             w.monitor.fault_event(
@@ -412,9 +569,9 @@ fn begin_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usi
     } else {
         None
     };
+    world.transition(wid, WorkerState::ColdStart);
     let breakdown = {
         let w = &mut world.workers[wid];
-        w.state = WorkerState::ColdStart;
         w.spawned_at = now;
         let b = world.config.cold_start.sample(&mut w.rng, spec.as_ref(), 0);
         w.cold_breakdown = Some(b);
@@ -477,9 +634,8 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
                     // The breaker is open: park instead of burning the
                     // restart budget on a doomed context creation. The
                     // worker respawns when the device is re-admitted.
-                    let w = &mut world.workers[wid];
-                    w.state = WorkerState::Dead;
-                    w.recovering = false;
+                    world.transition(wid, WorkerState::Dead);
+                    world.workers[wid].recovering = false;
                     world.recovery.health_mut(gpu).parked.push(wid);
                     world.monitor.worker_event(
                         now,
@@ -496,14 +652,12 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
                     .create_context(now, &label, binding)
                 {
                     Ok(ctx) => {
-                        let w = &mut world.workers[wid];
-                        w.gpu = Some((gpu, ctx));
-                        w.env = env;
+                        world.bind_gpu(wid, Some((gpu, ctx)));
+                        world.workers[wid].env = env;
                         resync(world, eng, gpu);
                     }
                     Err(e) => {
-                        let w = &mut world.workers[wid];
-                        w.state = WorkerState::Dead;
+                        world.transition(wid, WorkerState::Dead);
                         world.monitor.worker_event(
                             now,
                             wid,
@@ -515,7 +669,7 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
                 }
             }
             Err(e) => {
-                world.workers[wid].state = WorkerState::Dead;
+                world.transition(wid, WorkerState::Dead);
                 world
                     .monitor
                     .worker_event(now, wid, WorkerEventKind::Killed, e);
@@ -523,9 +677,9 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
             }
         }
     }
+    world.transition(wid, WorkerState::Idle);
     {
         let w = &mut world.workers[wid];
-        w.state = WorkerState::Idle;
         w.ready_at = Some(now);
         w.idle_since = Some(now);
     }
@@ -567,7 +721,7 @@ pub fn submit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, call: AppCall)
         if !admit(world, eng, id, exec) {
             return id;
         }
-        world.queues[exec].push_back(id);
+        queue_push(world, exec, id);
         kick_executor(world, eng, exec);
     }
     id
@@ -588,19 +742,28 @@ fn admit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId, exec:
     if ov.deadline_admission {
         let t = world.dfk.task(task);
         if let (Some(deadline), Some(est)) = (t.deadline, t.est_service) {
-            let live = world
-                .workers
-                .iter()
-                .filter(|w| {
-                    w.executor == exec
-                        && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
-                })
-                .count()
-                .max(1);
-            let queued_work: f64 = world.queues[exec]
-                .iter()
-                .map(|q| world.dfk.task(*q).est_service.unwrap_or(est).as_secs_f64())
-                .sum();
+            let live = if world.index.enabled {
+                world.index.live[exec].max(1)
+            } else {
+                world
+                    .workers
+                    .iter()
+                    .filter(|w| {
+                        w.executor == exec
+                            && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
+                    })
+                    .count()
+                    .max(1)
+            };
+            let queued_work: f64 = if world.index.enabled {
+                world.index.queued_known_nanos[exec] as f64 / 1e9
+                    + world.index.queued_unknown[exec] as f64 * est.as_secs_f64()
+            } else {
+                world.queues[exec]
+                    .iter()
+                    .map(|q| world.dfk.task(*q).est_service.unwrap_or(est).as_secs_f64())
+                    .sum()
+            };
             let wait_est = queued_work / live as f64;
             if wait_est + est.as_secs_f64() > deadline.as_secs_f64() {
                 world.overload.stats.tasks_rejected += 1;
@@ -645,7 +808,7 @@ fn admit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId, exec:
                     return false;
                 }
                 ShedPolicy::ShedOldest => {
-                    if let Some(victim) = world.queues[exec].pop_front() {
+                    if let Some(victim) = queue_pop_front(world, exec) {
                         world.overload.stats.tasks_shed += 1;
                         world.monitor.fault_event(
                             now,
@@ -682,7 +845,7 @@ fn admit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId, exec:
                         fail_terminally(world, eng, task, "admission rejected: lowest priority");
                         return false;
                     }
-                    world.queues[exec].retain(|q| *q != pick);
+                    queue_remove(world, exec, pick);
                     world.overload.stats.tasks_shed += 1;
                     world.monitor.fault_event(
                         now,
@@ -737,8 +900,8 @@ pub fn cancel(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: TaskId) 
     if !world.dfk.cancel(task, now) {
         return false;
     }
-    for q in &mut world.queues {
-        q.retain(|t| *t != task);
+    for exec in 0..world.queues.len() {
+        queue_remove(world, exec, task);
     }
     world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
     true
@@ -750,14 +913,20 @@ pub fn kick_executor(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: u
         if world.queues[exec].is_empty() {
             return;
         }
-        let Some(wid) = world
-            .workers
-            .iter()
-            .position(|w| w.executor == exec && w.state == WorkerState::Idle)
-        else {
+        // The index's ordered idle set yields the lowest-id idle worker —
+        // exactly what the linear `position` scan found.
+        let pick = if world.index.enabled {
+            world.index.idle[exec].first().copied()
+        } else {
+            world
+                .workers
+                .iter()
+                .position(|w| w.executor == exec && w.state == WorkerState::Idle)
+        };
+        let Some(wid) = pick else {
             return;
         };
-        let task = world.queues[exec].pop_front().expect("non-empty");
+        let task = queue_pop_front(world, exec).expect("non-empty");
         assign_task(world, eng, wid, task);
     }
 }
@@ -765,18 +934,21 @@ pub fn kick_executor(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: u
 fn assign_task(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
     let now = eng.now();
     world.dfk.mark_dispatched(task, now, wid);
+    world.transition(wid, WorkerState::Busy);
     let body = {
         let w = &mut world.workers[wid];
-        w.state = WorkerState::Busy;
         w.idle_since = None;
         world.dfk.make_body(task, &mut w.rng)
     };
-    world.monitor.worker_event(
-        now,
-        wid,
-        WorkerEventKind::TaskStart,
-        format!("task {}", task.0),
-    );
+    // Guarded at the call site so the hot path skips the `format!` too.
+    if world.monitor.record_worker_events {
+        world.monitor.worker_event(
+            now,
+            wid,
+            WorkerEventKind::TaskStart,
+            format!("task {}", task.0),
+        );
+    }
     world.workers[wid].current = Some(Running {
         task,
         body: Some(body),
@@ -1419,12 +1591,33 @@ fn try_launch_hedge(
         return;
     }
     let my_gpu = world.workers[wid].gpu.map(|(g, _)| g);
-    let pick = world
-        .workers
-        .iter()
-        .filter(|w| w.executor == exec && w.state == WorkerState::Idle && w.id != wid)
-        .min_by_key(|w| (w.gpu.map(|(g, _)| g) == my_gpu, w.id))
-        .map(|w| w.id);
+    // Prefer a different GPU; ties to the lowest id — the ordered idle
+    // set reproduces the `min_by_key((same_gpu, id))` scan exactly: the
+    // first id on another device wins, else the first id overall.
+    let pick = if world.index.enabled {
+        let mut same_gpu = None;
+        let mut other_gpu = None;
+        for &cand in &world.index.idle[exec] {
+            if cand == wid {
+                continue;
+            }
+            if world.workers[cand].gpu.map(|(g, _)| g) != my_gpu {
+                other_gpu = Some(cand);
+                break;
+            }
+            if same_gpu.is_none() {
+                same_gpu = Some(cand);
+            }
+        }
+        other_gpu.or(same_gpu)
+    } else {
+        world
+            .workers
+            .iter()
+            .filter(|w| w.executor == exec && w.state == WorkerState::Idle && w.id != wid)
+            .min_by_key(|w| (w.gpu.map(|(g, _)| g) == my_gpu, w.id))
+            .map(|w| w.id)
+    };
     let Some(hw) = pick else {
         schedule_hedge_timer(world, eng, wid, task, delay);
         return;
@@ -1459,18 +1652,20 @@ fn try_launch_hedge(
 /// snapshot, so a hedge resumes instead of cold-starting.
 fn dispatch_hedge(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize, task: TaskId) {
     let now = eng.now();
+    world.transition(wid, WorkerState::Busy);
     let body = {
         let w = &mut world.workers[wid];
-        w.state = WorkerState::Busy;
         w.idle_since = None;
         world.dfk.make_body(task, &mut w.rng)
     };
-    world.monitor.worker_event(
-        now,
-        wid,
-        WorkerEventKind::TaskStart,
-        format!("task {} (hedge)", task.0),
-    );
+    if world.monitor.record_worker_events {
+        world.monitor.worker_event(
+            now,
+            wid,
+            WorkerEventKind::TaskStart,
+            format!("task {} (hedge)", task.0),
+        );
+    }
     world.workers[wid].current = Some(Running {
         task,
         body: Some(body),
@@ -1554,14 +1749,16 @@ fn cancel_attempt(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
             resync(world, eng, gpu);
         }
     }
-    world.monitor.worker_event(
-        now,
-        wid,
-        WorkerEventKind::TaskEnd,
-        format!("task {} cancelled (hedge loser)", run.task.0),
-    );
+    if world.monitor.record_worker_events {
+        world.monitor.worker_event(
+            now,
+            wid,
+            WorkerEventKind::TaskEnd,
+            format!("task {} cancelled (hedge loser)", run.task.0),
+        );
+    }
     if world.workers[wid].state == WorkerState::Busy {
-        world.workers[wid].state = WorkerState::Idle;
+        world.transition(wid, WorkerState::Idle);
         world.workers[wid].idle_since = Some(now);
     }
     kick_executor(world, eng, world.workers[wid].executor);
@@ -1593,21 +1790,23 @@ fn finish_task(
             resync(world, eng, gpu);
         }
     }
-    world.monitor.worker_event(
-        now,
-        wid,
-        WorkerEventKind::TaskEnd,
-        format!(
-            "task {} {}",
-            run.task.0,
-            if result.is_ok() { "ok" } else { "failed" }
-        ),
-    );
+    if world.monitor.record_worker_events {
+        world.monitor.worker_event(
+            now,
+            wid,
+            WorkerEventKind::TaskEnd,
+            format!(
+                "task {} {}",
+                run.task.0,
+                if result.is_ok() { "ok" } else { "failed" }
+            ),
+        );
+    }
     // Only a live worker returns to Idle; a worker being torn down
     // (kill_worker marks it Dead before failing its task) must stay Dead
     // so the requeued task cannot land back on it.
     if world.workers[wid].state == WorkerState::Busy {
-        world.workers[wid].state = WorkerState::Idle;
+        world.transition(wid, WorkerState::Idle);
         world.workers[wid].idle_since = Some(now);
     }
     // Completion is idempotent per task id: a hedge loser finishing (or
@@ -1643,7 +1842,7 @@ fn finish_task(
             let ready = world.dfk.mark_done(run.task, now);
             for r in ready {
                 let rexec = world.dfk.task(r).executor;
-                world.queues[rexec].push_back(r);
+                queue_push(world, rexec, r);
             }
             true
         }
@@ -1695,19 +1894,22 @@ pub fn kill_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usiz
     // Mark the worker Dead *before* failing its task: finish_task kicks
     // the executor queues, and the retried task must not be re-assigned
     // to the very worker being torn down.
-    world.workers[wid].state = WorkerState::Dead;
+    world.transition(wid, WorkerState::Dead);
     if world.workers[wid].current.is_some() {
         finish_task(world, eng, wid, Err(format!("worker killed: {reason}")));
     }
-    let w = &mut world.workers[wid];
-    debug_assert!(w.current.is_none(), "teardown leaves no task behind");
-    w.epoch += 1;
-    w.loaded_models.clear();
-    w.model_bytes = 0;
-    w.ready_at = None;
-    w.idle_since = None;
-    w.crashed_at = None;
-    let gpu_binding = w.gpu.take();
+    {
+        let w = &mut world.workers[wid];
+        debug_assert!(w.current.is_none(), "teardown leaves no task behind");
+        w.epoch += 1;
+        w.loaded_models.clear();
+        w.model_bytes = 0;
+        w.ready_at = None;
+        w.idle_since = None;
+        w.crashed_at = None;
+    }
+    let gpu_binding = world.workers[wid].gpu;
+    world.bind_gpu(wid, None);
     if let Some((gpu, ctx)) = gpu_binding {
         let _ = world.fleet.device_mut(gpu).destroy_context(now, ctx);
         resync(world, eng, gpu);
@@ -1769,8 +1971,8 @@ pub fn respawn_worker(
         if let Some(a) = new_accel {
             w.accel = Some(a);
         }
-        w.state = WorkerState::Provisioning;
     }
+    world.transition(wid, WorkerState::Provisioning);
     schedule_spawn(world, eng, wid);
     Ok(())
 }
@@ -1787,8 +1989,10 @@ pub fn add_worker(
     accel: Option<AcceleratorSpec>,
 ) -> Option<usize> {
     let id = world.workers.len();
-    let within = world.workers.iter().filter(|w| w.executor == exec).count();
     let ex = world.config.executors.get(exec)?;
+    // `total` tracks per-executor membership exactly (workers never
+    // migrate), replacing the filter-count scan.
+    let within = world.index.total[exec];
     let slot = accel.or_else(|| ex.accelerator_for(within).cloned());
     let rng = world.rng.split(streams::WORKER_BASE + id as u64);
     world.workers.push(Worker {
@@ -1817,6 +2021,9 @@ pub fn add_worker(
         provision_poisoned: false,
         model_load_poisoned: false,
     });
+    world
+        .index
+        .register_worker(id, exec, WorkerState::Provisioning);
     schedule_spawn(world, eng, id);
     Some(id)
 }
@@ -1849,9 +2056,9 @@ pub fn crash_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usi
     // driver reaps its GPU context (kernels die with it). The *platform*
     // still believes the worker is alive — the task table is untouched.
     cancel_cpu_jobs(world, eng, wid);
+    world.transition(wid, WorkerState::Crashed);
     {
         let w = &mut world.workers[wid];
-        w.state = WorkerState::Crashed;
         w.crashed_at = Some(now);
         w.epoch += 1; // pending timers of the dead incarnation are stale
         w.awaiting_kernel = None;
@@ -1860,7 +2067,9 @@ pub fn crash_worker(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usi
         w.ready_at = None;
         w.idle_since = None;
     }
-    if let Some((gpu, ctx)) = world.workers[wid].gpu.take() {
+    let crash_binding = world.workers[wid].gpu;
+    world.bind_gpu(wid, None);
+    if let Some((gpu, ctx)) = crash_binding {
         let _ = world.fleet.device_mut(gpu).destroy_context(now, ctx);
         resync(world, eng, gpu);
     }
@@ -1886,24 +2095,44 @@ pub(crate) fn arm_watchdog(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
 fn watchdog_tick(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
     let now = eng.now();
     let timeout = world.config.recovery.heartbeat_timeout;
-    let expired: Vec<usize> = world
-        .workers
-        .iter()
-        .filter(|w| {
-            w.state == WorkerState::Crashed
-                && w.crashed_at
+    // The crashed set iterates ascending by id — the same detection
+    // order the full scan produced.
+    let expired: Vec<usize> = if world.index.enabled {
+        world
+            .index
+            .crashed
+            .iter()
+            .copied()
+            .filter(|&wid| {
+                world.workers[wid]
+                    .crashed_at
                     .is_some_and(|t0| now.duration_since(t0) >= timeout)
-        })
-        .map(|w| w.id)
-        .collect();
+            })
+            .collect()
+    } else {
+        world
+            .workers
+            .iter()
+            .filter(|w| {
+                w.state == WorkerState::Crashed
+                    && w.crashed_at
+                        .is_some_and(|t0| now.duration_since(t0) >= timeout)
+            })
+            .map(|w| w.id)
+            .collect()
+    };
     for wid in expired {
         detect_worker_death(world, eng, wid);
     }
-    if world
-        .workers
-        .iter()
-        .any(|w| w.state == WorkerState::Crashed)
-    {
+    let any_crashed = if world.index.enabled {
+        !world.index.crashed.is_empty()
+    } else {
+        world
+            .workers
+            .iter()
+            .any(|w| w.state == WorkerState::Crashed)
+    };
+    if any_crashed {
         eng.schedule_in(world.config.recovery.heartbeat_period, watchdog_tick);
     } else {
         world.recovery.watchdog_armed = false;
@@ -2020,7 +2249,7 @@ fn schedule_retry(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, task: Task
             if w.queues[exec].contains(&task) {
                 return;
             }
-            w.queues[exec].push_back(task);
+            queue_push(w, exec, task);
             kick_executor(w, e, exec);
         },
     );
@@ -2140,24 +2369,45 @@ pub(crate) fn fence_gpu(
         None,
         reason.to_string(),
     );
-    let residents: Vec<usize> = world
-        .workers
-        .iter()
-        .filter(|w| w.gpu.map(|(g, _)| g) == Some(gpu))
-        .map(|w| w.id)
-        .collect();
+    let residents: Vec<usize> = if world.index.enabled {
+        world
+            .index
+            .residents
+            .get(gpu.0 as usize)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    } else {
+        world
+            .workers
+            .iter()
+            .filter(|w| w.gpu.map(|(g, _)| g) == Some(gpu))
+            .map(|w| w.id)
+            .collect()
+    };
     for wid in residents {
         fault_kill_worker(world, eng, wid, "gpu-blast-radius", reason);
     }
     // Park every dead worker slotted on this device (the residents just
     // killed, plus any earlier casualties): they respawn at re-admission
-    // instead of failing cold start against an unhealthy device.
-    let parked: Vec<usize> = (0..world.workers.len())
-        .filter(|&wid| {
-            world.workers[wid].state == WorkerState::Dead
-                && worker_target_gpu(world, wid) == Some(gpu)
-        })
-        .collect();
+    // instead of failing cold start against an unhealthy device. The
+    // dead set bounds the scan to actual casualties instead of the
+    // whole fleet.
+    let parked: Vec<usize> = if world.index.enabled {
+        world
+            .index
+            .dead
+            .iter()
+            .copied()
+            .filter(|&wid| worker_target_gpu(world, wid) == Some(gpu))
+            .collect()
+    } else {
+        (0..world.workers.len())
+            .filter(|&wid| {
+                world.workers[wid].state == WorkerState::Dead
+                    && worker_target_gpu(world, wid) == Some(gpu)
+            })
+            .collect()
+    };
     world.recovery.health_mut(gpu).parked = parked;
     fail_over_queues(world, eng);
     eng.schedule_at(new_until, move |w: &mut FaasWorld, e| {
@@ -2264,17 +2514,22 @@ fn readmit_gpu(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, gpu: GpuId) {
 /// healthiest surviving executor (most idle workers, ties to the lowest
 /// index). Tasks keep their identity; only their placement changes.
 fn fail_over_queues(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
-    let live_counts: Vec<usize> = (0..world.queues.len())
-        .map(|e| {
-            world
-                .workers
-                .iter()
-                .filter(|w| {
-                    w.executor == e && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
-                })
-                .count()
-        })
-        .collect();
+    let live_counts: Vec<usize> = if world.index.enabled {
+        world.index.live.clone()
+    } else {
+        (0..world.queues.len())
+            .map(|e| {
+                world
+                    .workers
+                    .iter()
+                    .filter(|w| {
+                        w.executor == e
+                            && !matches!(w.state, WorkerState::Dead | WorkerState::Crashed)
+                    })
+                    .count()
+            })
+            .collect()
+    };
     let Some(target) = (0..world.queues.len())
         .filter(|&e| live_counts[e] > 0)
         .max_by(|&a, &b| live_counts[a].cmp(&live_counts[b]).then(b.cmp(&a)))
@@ -2286,9 +2541,9 @@ fn fail_over_queues(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
         if e == target || live > 0 {
             continue;
         }
-        while let Some(task) = world.queues[e].pop_front() {
+        while let Some(task) = queue_pop_front(world, e) {
             world.dfk.task_mut(task).executor = target;
-            world.queues[target].push_back(task);
+            queue_push(world, target, task);
             moved += 1;
         }
     }
@@ -2339,16 +2594,21 @@ fn sample_monitors(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>) {
     }
     // Keep sampling while work remains or workers are still coming up
     // (or silently crashed — the watchdog will generate more events).
+    world.check_index_consistency();
     let active = !world.dfk.all_settled()
-        || world.workers.iter().any(|w| {
-            matches!(
-                w.state,
-                WorkerState::Provisioning
-                    | WorkerState::ColdStart
-                    | WorkerState::Busy
-                    | WorkerState::Crashed
-            )
-        });
+        || if world.index.enabled {
+            world.index.active_workers() > 0
+        } else {
+            world.workers.iter().any(|w| {
+                matches!(
+                    w.state,
+                    WorkerState::Provisioning
+                        | WorkerState::ColdStart
+                        | WorkerState::Busy
+                        | WorkerState::Crashed
+                )
+            })
+        };
     if active {
         eng.schedule_in(period, |w: &mut FaasWorld, e| sample_monitors(w, e));
     } else {

@@ -33,7 +33,7 @@ use crate::sharing::{CtxBinding, DeviceMode, ShareConfig};
 use crate::spec::{GpuSpec, Vendor};
 use parfait_simcore::stats::TimeWeighted;
 use parfait_simcore::{EventId, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
 /// Fleet-level device index.
@@ -206,6 +206,19 @@ impl KernelSlab {
 /// Domain key marking kernels parked by time-sharing rotation.
 const NO_DOMAIN: u32 = u32::MAX;
 
+/// Arbitration-domain key of a context: MIG instance / vGPU slot index
+/// plus one, or 0 for the whole device. In the whole-device modes every
+/// kernel shares one domain — MPS interference couples all co-resident
+/// contexts, so no finer dirty granularity is sound there (DESIGN.md
+/// §10).
+fn domain_key(mode: DeviceMode, c: &GpuContext) -> u32 {
+    match mode {
+        DeviceMode::Mig => 1 + c.mig_instance.expect("mig ctx bound"),
+        DeviceMode::Vgpu { .. } => 1 + c.vgpu_slot.expect("vgpu ctx bound"),
+        _ => 0,
+    }
+}
+
 /// SM/bandwidth geometry of an arbitration domain (whole device, MIG
 /// instance, or vGPU slot).
 #[derive(Debug, Clone, Copy)]
@@ -279,6 +292,22 @@ pub struct GpuDevice {
     /// noisy neighbour outside the simulated node.
     slowdown: f64,
 
+    /// Domains whose kernel membership or rate inputs changed since the
+    /// last `recompute`; only these are re-derived (the rest keep their
+    /// exact previous f64 rates). See DESIGN.md §10 for the invariant.
+    dirty_domains: BTreeSet<u32>,
+    /// Device-wide change (mode, slowdown, UVM, config): every domain is
+    /// dirty regardless of the set above.
+    all_dirty: bool,
+    /// When false `recompute` re-derives every domain (the pre-change
+    /// behaviour) while marks stay maintained — A/B cost benchmarking.
+    dirty_tracking: bool,
+    /// Deterministic cost counters (pure functions of the event
+    /// schedule; see the cost ratchet in `repro`).
+    recompute_calls: u64,
+    domains_visited: u64,
+    domains_skipped: u64,
+
     last: SimTime,
     busy_sms: TimeWeighted,
     kernels_completed: u64,
@@ -315,6 +344,12 @@ impl GpuDevice {
             ts_switch_end: SimTime::ZERO,
             healthy: true,
             slowdown: 1.0,
+            dirty_domains: BTreeSet::new(),
+            all_dirty: true,
+            dirty_tracking: true,
+            recompute_calls: 0,
+            domains_visited: 0,
+            domains_skipped: 0,
             last: SimTime::ZERO,
             busy_sms: TimeWeighted::new(SimTime::ZERO, 0.0),
             kernels_completed: 0,
@@ -326,11 +361,70 @@ impl GpuDevice {
     /// Override arbitration tunables.
     pub fn set_share_config(&mut self, cfg: ShareConfig) {
         self.cfg = cfg;
+        self.mark_all_dirty();
+    }
+
+    /// Mark one arbitration domain as needing re-derivation.
+    #[inline]
+    fn mark_domain_dirty(&mut self, dom: u32) {
+        if !self.all_dirty {
+            self.dirty_domains.insert(dom);
+        }
+    }
+
+    /// Mark every domain dirty (device-wide parameter change).
+    #[inline]
+    fn mark_all_dirty(&mut self) {
+        self.all_dirty = true;
+        self.dirty_domains.clear();
+    }
+
+    /// Mark the domain a context arbitrates in; an unknown context is a
+    /// caller bug upstream, so fall back to marking everything.
+    fn mark_ctx_dirty(&mut self, ctx: u32) {
+        let dom = match self.ctxs.get(&ctx) {
+            Some(c) => domain_key(self.mode, c),
+            None => {
+                self.mark_all_dirty();
+                return;
+            }
+        };
+        self.mark_domain_dirty(dom);
+    }
+
+    /// Toggle per-domain dirty tracking (default on). Marks are always
+    /// maintained; disabling only forces `recompute` to re-derive every
+    /// domain — the pre-change behaviour, kept so the fleet benchmark
+    /// can measure the optimization against its own baseline.
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.dirty_tracking = on;
+        if !on {
+            self.mark_all_dirty();
+        }
+    }
+
+    /// Deterministic cost counters: `(recompute calls, dirty domains
+    /// re-derived, clean domains skipped)`. Pure functions of the event
+    /// schedule, reported in the BENCH artifacts and ratcheted in CI.
+    pub fn cost_counters(&self) -> (u64, u64, u64) {
+        (
+            self.recompute_calls,
+            self.domains_visited,
+            self.domains_skipped,
+        )
+    }
+
+    /// `(kernel id, current rate)` for every in-flight kernel,
+    /// kid-ascending. Test hook for the full-vs-incremental recompute
+    /// equivalence property.
+    pub fn kernel_rates(&self) -> Vec<(u64, f64)> {
+        self.kernels.iter().map(|k| (k.kid, k.rate)).collect()
     }
 
     /// Enable CUDA unified-memory oversubscription on all memory pools.
     pub fn set_uvm(&mut self, allow: bool) {
         self.allow_uvm = allow;
+        self.mark_all_dirty();
         self.mem.set_oversubscription(allow);
         for p in self.mig_mem.values_mut() {
             p.set_oversubscription(allow);
@@ -376,6 +470,7 @@ impl GpuDevice {
     pub fn set_slowdown(&mut self, now: SimTime, factor: f64) {
         self.advance(now);
         self.slowdown = factor.max(1e-6);
+        self.mark_all_dirty();
         self.recompute(now);
     }
 
@@ -422,6 +517,7 @@ impl GpuDevice {
             self.vgpu_mem.clear();
         }
         self.mode = mode;
+        self.mark_all_dirty();
         Ok(())
     }
 
@@ -439,6 +535,7 @@ impl GpuDevice {
         let mut pool = MemoryPool::new(inst.memory_bytes);
         pool.set_oversubscription(self.allow_uvm);
         self.mig_mem.insert(iid, pool);
+        self.mark_all_dirty();
         Ok(iid)
     }
 
@@ -455,6 +552,7 @@ impl GpuDevice {
         }
         self.mig.destroy(instance)?;
         self.mig_mem.remove(&instance);
+        self.mark_all_dirty();
         Ok(())
     }
 
@@ -557,6 +655,11 @@ impl GpuDevice {
             .remove(&ctx.0)
             .ok_or(GpuError::UnknownContext(ctx.0))?;
         self.advance(now);
+        // Mark before the ctx map loses the binding: the domain's ctx
+        // population (and so MPS interference) changes even when the
+        // context had no kernels in flight.
+        let dom = domain_key(self.mode, &c);
+        self.mark_domain_dirty(dom);
         let aborted = self.kernels.retain(|k| k.ctx != ctx.0);
         self.mem_pool_for(&c).release_owner(ctx.0);
         self.attained.remove(&ctx.0);
@@ -601,7 +704,13 @@ impl GpuDevice {
             .get(&ctx.0)
             .ok_or(GpuError::UnknownContext(ctx.0))?
             .clone();
-        self.mem_pool_for(&c).alloc(ctx.0, bytes)
+        self.mem_pool_for(&c).alloc(ctx.0, bytes)?;
+        // UVM overcommit state may have flipped; the *next* recompute
+        // re-derives the domain (memory ops never recompute directly,
+        // matching the pre-change deferred semantics).
+        let dom = domain_key(self.mode, &c);
+        self.mark_domain_dirty(dom);
+        Ok(())
     }
 
     /// Free device memory held by `ctx`.
@@ -611,19 +720,28 @@ impl GpuDevice {
             .get(&ctx.0)
             .ok_or(GpuError::UnknownContext(ctx.0))?
             .clone();
-        self.mem_pool_for(&c).freeb(ctx.0, bytes)
+        self.mem_pool_for(&c).freeb(ctx.0, bytes)?;
+        let dom = domain_key(self.mode, &c);
+        self.mark_domain_dirty(dom);
+        Ok(())
     }
 
     /// Reserve device-wide memory for the GPU-resident model weight cache
     /// (the paper's §7 future-work apparatus). Cache memory belongs to no
     /// process context and survives context teardown.
     pub fn cache_alloc(&mut self, bytes: u64) -> Result<()> {
-        self.mem.alloc(Self::CACHE_OWNER, bytes)
+        self.mem.alloc(Self::CACHE_OWNER, bytes)?;
+        // The cache lives in the device-wide pool, whose overcommit
+        // state feeds every whole-device domain; rare op, so be blunt.
+        self.mark_all_dirty();
+        Ok(())
     }
 
     /// Release weight-cache memory.
     pub fn cache_free(&mut self, bytes: u64) -> Result<()> {
-        self.mem.freeb(Self::CACHE_OWNER, bytes)
+        self.mem.freeb(Self::CACHE_OWNER, bytes)?;
+        self.mark_all_dirty();
+        Ok(())
     }
 
     /// Bytes currently pinned by the weight cache.
@@ -681,6 +799,7 @@ impl GpuDevice {
         // complete through the normal path.
         let k = self.kernels.get_mut(slot);
         k.remaining = k.desc.work_sm_s.max(0.0);
+        self.mark_ctx_dirty(ctx.0);
         self.recompute(now);
         Ok(KernelId(id))
     }
@@ -690,7 +809,22 @@ impl GpuDevice {
     /// `resync` afterwards.
     pub fn abort_tagged(&mut self, now: SimTime, tag: u64) -> usize {
         self.advance(now);
-        let removed = self.kernels.retain(|k| k.tag != tag);
+        let mode = self.mode;
+        let ctxs = &self.ctxs;
+        let mut dirty: Vec<u32> = Vec::new();
+        let removed = self.kernels.retain(|k| {
+            if k.tag == tag {
+                if let Some(c) = ctxs.get(&k.ctx) {
+                    dirty.push(domain_key(mode, c));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for dom in dirty {
+            self.mark_domain_dirty(dom);
+        }
         if removed > 0 {
             self.recompute(now);
         }
@@ -847,9 +981,22 @@ impl GpuDevice {
     /// `KernelSlab::order`), which reproduces the summation order of
     /// the previous `BTreeMap`-based implementation bit for bit — the
     /// `arbitration_regression` test pins this down.
+    ///
+    /// With dirty tracking on, only domains marked since the previous
+    /// call are re-derived; every kernel in a clean domain keeps its
+    /// exact previous f64 rate, so the final summation below is
+    /// bit-identical to a full re-derivation (the clean inputs have not
+    /// changed, and f64 arithmetic is deterministic).
     pub fn recompute(&mut self, now: SimTime) {
+        self.recompute_calls += 1;
         if self.mode == DeviceMode::TimeSharing {
+            // A rotation re-partitions kernels between domain 0 and the
+            // parked set, so it dirties the whole-device domain.
+            let before = (self.ts_current, self.ts_pending);
             self.ts_housekeeping(now);
+            if (self.ts_current, self.ts_pending) != before {
+                self.mark_domain_dirty(0);
+            }
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         let n = self.kernels.len();
@@ -904,6 +1051,10 @@ impl GpuDevice {
             };
             scratch.dom_of.push(dom_key);
             scratch.domains.push((dom_key, dom));
+            // Prefill with the previous rate: kernels in clean domains
+            // keep it verbatim; dirty domains overwrite every member
+            // below. Parked kernels stay at the 0.0 the resize wrote.
+            scratch.rate[p] = k.rate;
         }
         scratch.domains.sort_unstable_by_key(|&(key, _)| key);
         scratch.domains.dedup_by_key(|&mut (key, _)| key);
@@ -914,6 +1065,14 @@ impl GpuDevice {
         );
         for di in 0..scratch.domains.len() {
             let (dom_key, dom) = scratch.domains[di];
+            if self.dirty_tracking && !self.all_dirty && !self.dirty_domains.contains(&dom_key) {
+                // Clean domain: no membership or rate-input change since
+                // the last recompute; its kernels keep the prefilled
+                // previous rates.
+                self.domains_skipped += 1;
+                continue;
+            }
+            self.domains_visited += 1;
             // Distinct contexts with kernels in this domain, ascending.
             scratch.dom_ctxs.clear();
             for p in 0..n {
@@ -1026,6 +1185,8 @@ impl GpuDevice {
         }
         self.busy_sms.set(now, busy);
         self.scratch = scratch;
+        self.dirty_domains.clear();
+        self.all_dirty = false;
     }
 
     /// When should the engine next wake this device? `None` = nothing
@@ -1063,6 +1224,7 @@ impl GpuDevice {
             if k.remaining <= WORK_EPS && (k.rate > 0.0 || k.desc.work_sm_s <= WORK_EPS) {
                 let k = self.kernels.take_at(slot);
                 self.kernels_completed += 1;
+                self.mark_ctx_dirty(k.ctx);
                 done.push(KernelDone {
                     gpu: self.id,
                     ctx: CtxId(k.ctx),
@@ -1098,6 +1260,7 @@ impl GpuDevice {
         self.attained.clear();
         self.ts_current = None;
         self.ts_pending = None;
+        self.mark_all_dirty();
         self.recompute(now);
     }
 

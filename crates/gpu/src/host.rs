@@ -54,6 +54,27 @@ impl GpuFleet {
     pub fn iter(&self) -> impl Iterator<Item = &GpuDevice> {
         self.devices.iter()
     }
+
+    /// Toggle per-domain dirty tracking on every device (see
+    /// [`GpuDevice::set_dirty_tracking`]).
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        for d in &mut self.devices {
+            d.set_dirty_tracking(on);
+        }
+    }
+
+    /// Fleet-wide deterministic cost counters: summed `(recompute
+    /// calls, dirty domains re-derived, clean domains skipped)`.
+    pub fn cost_counters(&self) -> (u64, u64, u64) {
+        let mut total = (0, 0, 0);
+        for d in &self.devices {
+            let (c, v, s) = d.cost_counters();
+            total.0 += c;
+            total.1 += v;
+            total.2 += s;
+        }
+        total
+    }
 }
 
 /// A simulation world that owns a [`GpuFleet`].

@@ -1,13 +1,109 @@
 //! Property-based tests for the GPU arbitration model.
 
 use parfait_gpu::host::{launch_kernel, GpuFleet, GpuHost};
+use parfait_gpu::CtxId;
 use parfait_gpu::{CtxBinding, DeviceMode, GpuDevice, GpuId, GpuSpec, KernelDesc, KernelDone};
-use parfait_simcore::{Engine, SimTime};
+use parfait_simcore::{Engine, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
     (0.01f64..50.0, 1u32..500, 1u32..200, 0.0f64..1.0)
         .prop_map(|(work, blocks, max_u, mem)| KernelDesc::new("prop", work, blocks, max_u, mem))
+}
+
+/// Kernels for the dirty-tracking equivalence test: zero memory so that
+/// launches never OOM on small MIG instances and every op exercises the
+/// rate recompute path rather than the allocator.
+fn arb_domain_kernel() -> impl Strategy<Value = KernelDesc> {
+    (0.01f64..50.0, 1u32..500, 1u32..200)
+        .prop_map(|(work, blocks, max_u)| KernelDesc::new("prop", work, blocks, max_u, 0.0))
+}
+
+/// Run one op sequence against a fresh device in the selected mode and
+/// record `kernel_rates()` (rates as raw bits for exact comparison) after
+/// every op. Ops: 0 = launch, 1 = collect_finished sweep, 2 = destroy the
+/// selected context and recreate it with the same binding.
+fn rate_trace(
+    mode_sel: usize,
+    ops: &[(u8, KernelDesc, usize, u64)],
+    tracking: bool,
+) -> Vec<Vec<(u64, u64)>> {
+    let mut d = GpuDevice::new(GpuId(0), GpuSpec::a100_80gb());
+    d.set_dirty_tracking(tracking);
+    let bindings: Vec<CtxBinding> = match mode_sel {
+        0 => {
+            d.set_mode(DeviceMode::TimeSharing).unwrap();
+            vec![CtxBinding::Bare; 3]
+        }
+        1 => {
+            d.mps.start();
+            d.set_mode(DeviceMode::MpsDefault).unwrap();
+            vec![CtxBinding::Bare; 3]
+        }
+        2 => {
+            d.mps.start();
+            d.set_mode(DeviceMode::MpsPartitioned).unwrap();
+            vec![CtxBinding::MpsPercentage(25); 3]
+        }
+        3 => {
+            d.set_mode(DeviceMode::Mig).unwrap();
+            let a = d.mig_create("3g.40gb").unwrap();
+            let b = d.mig_create("3g.40gb").unwrap();
+            vec![
+                CtxBinding::MigInstance(d.mig.get(a).unwrap().uuid.clone()),
+                CtxBinding::MigInstance(d.mig.get(b).unwrap().uuid.clone()),
+            ]
+        }
+        _ => {
+            d.set_mode(DeviceMode::Vgpu { slots: 4 }).unwrap();
+            vec![
+                CtxBinding::VgpuSlot(0),
+                CtxBinding::VgpuSlot(1),
+                CtxBinding::VgpuSlot(2),
+            ]
+        }
+    };
+    let mut ctxs: Vec<(CtxId, CtxBinding)> = bindings
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                d.create_context(SimTime::ZERO, &format!("p{i}"), b.clone())
+                    .unwrap(),
+                b.clone(),
+            )
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    let mut trace = Vec::with_capacity(ops.len());
+    for (i, (op, kernel, sel, dt)) in ops.iter().enumerate() {
+        now += SimDuration::from_nanos(*dt);
+        let slot = sel % ctxs.len();
+        match op {
+            0 => {
+                d.launch(now, ctxs[slot].0, kernel.clone(), i as u64)
+                    .unwrap();
+            }
+            1 => {
+                d.collect_finished(now);
+            }
+            _ => {
+                let binding = ctxs[slot].1.clone();
+                d.destroy_context(now, ctxs[slot].0).unwrap();
+                let id = d
+                    .create_context(now, &format!("r{i}"), binding.clone())
+                    .unwrap();
+                ctxs[slot] = (id, binding);
+            }
+        }
+        trace.push(
+            d.kernel_rates()
+                .into_iter()
+                .map(|(kid, rate)| (kid, rate.to_bits()))
+                .collect(),
+        );
+    }
+    trace
 }
 
 proptest! {
@@ -127,6 +223,24 @@ proptest! {
             prop_assert_eq!(d.memory_used(), ledger);
             prop_assert!(d.memory_used() <= 80u64 << 30);
         }
+    }
+
+    /// Per-domain dirty tracking is a pure strength reduction: any
+    /// interleaving of launches, completion sweeps, and context
+    /// teardown/recreate (the client-fault path) on any device mode
+    /// must yield byte-identical per-kernel rate traces with dirty
+    /// tracking on and off.
+    #[test]
+    fn dirty_tracking_matches_full_recompute(
+        mode_sel in 0usize..5,
+        ops in proptest::collection::vec(
+            (0u8..3, arb_domain_kernel(), 0usize..4, 1u64..400_000_000u64),
+            1..30,
+        ),
+    ) {
+        let incremental = rate_trace(mode_sel, &ops, true);
+        let full = rate_trace(mode_sel, &ops, false);
+        prop_assert_eq!(incremental, full, "rate traces diverged in mode {}", mode_sel);
     }
 
     /// MIG placement: any sequence of create/destroy leaves slice

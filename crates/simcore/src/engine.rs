@@ -97,6 +97,11 @@ const ARITY: usize = 4;
 struct EventHeap {
     keys: Vec<u128>,
     slots: Vec<u32>,
+    /// Deterministic cost counters: cumulative push/pop totals. Pure
+    /// functions of the event schedule, so they double as a drift-free
+    /// proxy for hot-path work (see the cost ratchet in `repro`).
+    pushes: u64,
+    pops: u64,
 }
 
 impl EventHeap {
@@ -104,6 +109,8 @@ impl EventHeap {
         EventHeap {
             keys: Vec::new(),
             slots: Vec::new(),
+            pushes: 0,
+            pops: 0,
         }
     }
 
@@ -117,6 +124,7 @@ impl EventHeap {
 
     #[inline]
     fn push(&mut self, e: HeapEntry) {
+        self.pushes += 1;
         self.keys.push(e.key);
         self.slots.push(e.slot);
         self.sift_up(self.keys.len() - 1, e);
@@ -128,6 +136,7 @@ impl EventHeap {
         if n == 0 {
             return None;
         }
+        self.pops += 1;
         let top = HeapEntry {
             key: self.keys[0],
             slot: self.slots[0],
@@ -256,6 +265,23 @@ impl<W> Engine<W> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Cumulative heap pushes (one per [`Engine::schedule_at`]).
+    ///
+    /// Together with [`Engine::heap_pops`] and [`Engine::events_fired`]
+    /// this forms a deterministic cost proxy: the counts are pure
+    /// functions of configuration and seed, so CI can ratchet them
+    /// without the ±30% noise of wall-clock timing.
+    #[inline]
+    pub fn heap_pushes(&self) -> u64 {
+        self.heap.pushes
+    }
+
+    /// Cumulative heap pops (fired events plus drained tombstones).
+    #[inline]
+    pub fn heap_pops(&self) -> u64 {
+        self.heap.pops
     }
 
     /// True when no live events remain.

@@ -65,6 +65,13 @@ pub const ARRIVAL_TRACE: u64 = 424;
 /// in the `repro` binary.
 pub const BATCH_ARRIVALS: u64 = 999;
 
+/// Non-homogeneous Poisson arrivals (diurnal sinusoid × flash-crowd
+/// windows, realized by thinning) for the fleet-scale open-loop driver
+/// in `parfait-workloads::trace::fleet` / `parfait-bench::fleet`. Kept
+/// separate from [`ARRIVAL_TRACE`] so the 1M-task fleet scenario never
+/// perturbs the draws of the recorded open-loop serving artifacts.
+pub const FLEET_ARRIVALS: u64 = 644;
+
 /// Every named stream, for the uniqueness check and for reports. Keep in
 /// sync with the constants above; `parfait-lint` independently parses the
 /// `pub const` declarations in this file, so a constant missing from this
@@ -80,6 +87,7 @@ pub const ALL: &[(&str, u64)] = &[
     ("MOLECULAR_CAMPAIGN", MOLECULAR_CAMPAIGN),
     ("ARRIVAL_TRACE", ARRIVAL_TRACE),
     ("BATCH_ARRIVALS", BATCH_ARRIVALS),
+    ("FLEET_ARRIVALS", FLEET_ARRIVALS),
 ];
 
 #[cfg(test)]
@@ -110,6 +118,7 @@ mod tests {
         assert_eq!(MOLECULAR_CAMPAIGN, 77);
         assert_eq!(ARRIVAL_TRACE, 424);
         assert_eq!(BATCH_ARRIVALS, 999);
+        assert_eq!(FLEET_ARRIVALS, 644);
     }
 
     #[test]

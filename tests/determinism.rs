@@ -102,6 +102,28 @@ fn overload_scenario_is_bit_identical_across_runs() {
     );
 }
 
+/// The PR-6 fleet scenario (open-loop Poisson × diurnal × flash-crowd
+/// arrivals over the `FLEET_ARRIVALS` stream, indexed world, per-domain
+/// dirty recompute): byte-compare the simulated half of an optimized run
+/// across double runs. Wall-clock fields (`wall_s`, `events_per_sec`)
+/// live outside `FleetSimStats`, so the comparison is exact.
+#[test]
+fn fleet_scenario_is_bit_identical_across_runs() {
+    let run_a = parfait_bench::fleet::run_fleet(4, 2000, SEED, true);
+    let run_b = parfait_bench::fleet::run_fleet(4, 2000, SEED, true);
+    let json_a = serde_json::to_string(&run_a.sim).expect("fleet stats serialize");
+    let json_b = serde_json::to_string(&run_b.sim).expect("fleet stats serialize");
+    assert_eq!(
+        json_a, json_b,
+        "serialized fleet stats diverged across identically-seeded runs"
+    );
+    assert_eq!(run_a.sim.behavior.completed, 2000, "all tasks complete");
+    assert!(
+        run_a.sim.domains_skipped > 0,
+        "optimized fleet run must exercise dirty-domain skipping"
+    );
+}
+
 #[test]
 fn mps_correlated_outage_is_bit_identical_across_runs() {
     assert_correlated_double_run_identical(Strategy::MpsEqual, Some(10));
