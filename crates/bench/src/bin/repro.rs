@@ -45,6 +45,10 @@ struct Opts {
     gpus: usize,
     /// `repro fleet`: requests pushed through the fleet.
     tasks: usize,
+    /// `--gpus` / `--tasks` given explicitly? (`repro autoscale` has its
+    /// own, much smaller defaults than the fleet driver.)
+    gpus_set: bool,
+    tasks_set: bool,
     /// `repro substrate`: re-record cost-baseline.txt instead of
     /// checking against it.
     record_cost: bool,
@@ -965,6 +969,60 @@ fn run_fleet(opts: &Opts) {
     println!();
 }
 
+fn run_autoscale(opts: &Opts) {
+    // The autoscale scenario is a control-plane study, not a throughput
+    // driver: its own defaults are a small fleet and a few thousand
+    // requests (a couple of simulated demand days).
+    let gpus = if opts.gpus_set { opts.gpus } else { 2 };
+    let tasks = if opts.tasks_set { opts.tasks } else { 2_000 };
+    let report =
+        parfait_bench::autoscale::run_and_write(std::path::Path::new("."), gpus, tasks, opts.seed)
+            .expect("write BENCH_autoscale.json");
+    let rows = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:?}", c.mode),
+                f2(c.fail_prob),
+                c.behavior.submitted.to_string(),
+                c.behavior.slo_met.to_string(),
+                pct(c.attainment),
+                f2(c.behavior.makespan_ns as f64 / 1e9),
+                f3(c.slo_per_gpu_second),
+                format!(
+                    "{}/{}/{}",
+                    c.behavior.txns_committed, c.behavior.txns_failed, c.behavior.txns_aborted
+                ),
+                c.behavior.rollbacks.to_string(),
+                c.behavior.drains_forced_kills.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        &format!(
+            "Autoscale: closed-loop SLO control, {} GPUs x 2 tenants, SLO {} ms \
+             (written to BENCH_autoscale.json; closed/static = {:.2}x, \
+             fault attainment ratio = {:.3})",
+            report.gpus, report.slo_ms, report.closed_over_static, report.fault_attainment_ratio
+        ),
+        &[
+            "mode",
+            "fail prob",
+            "tasks",
+            "SLO met",
+            "attainment",
+            "makespan (s)",
+            "SLO met/GPU-s",
+            "commit/fail/abort",
+            "rollbacks",
+            "forced kills",
+        ],
+        rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
@@ -974,6 +1032,8 @@ fn main() {
         seed: SEED,
         gpus: 1000,
         tasks: 1_000_000,
+        gpus_set: false,
+        tasks_set: false,
         record_cost: false,
     };
     let mut i = 0;
@@ -994,10 +1054,12 @@ fn main() {
             "--gpus" => {
                 i += 1;
                 opts.gpus = args.get(i).and_then(|s| s.parse().ok()).expect("--gpus N");
+                opts.gpus_set = true;
             }
             "--tasks" => {
                 i += 1;
                 opts.tasks = args.get(i).and_then(|s| s.parse().ok()).expect("--tasks N");
+                opts.tasks_set = true;
             }
             "--record-cost" => opts.record_cost = true,
             other => which.push(other.to_string()),
@@ -1020,6 +1082,7 @@ fn main() {
         "overload",
         "lint",
         "fleet",
+        "autoscale",
     ];
     if let Some(bad) = which.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -1077,5 +1140,8 @@ fn main() {
     }
     if which.iter().any(|w| w == "fleet") {
         run_fleet(&opts);
+    }
+    if which.iter().any(|w| w == "autoscale") {
+        run_autoscale(&opts);
     }
 }

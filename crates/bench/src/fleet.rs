@@ -61,6 +61,7 @@ pub fn arrival_shape(workers: usize) -> FleetShape {
         base_rate: BASE_UTILIZATION * workers as f64 / SERVICE_SECONDS,
         diurnal_amplitude: 0.3,
         day: SimDuration::from_secs(20),
+        phase: 0.0,
         flash_every: SimDuration::from_secs(7),
         flash_len: SimDuration::from_secs(1),
         flash_factor: 1.6,

@@ -7,6 +7,7 @@
 //! ([`report`]). The `repro` binary (`cargo run -p parfait-bench --bin
 //! repro -- <artifact>`) and the Criterion benches wrap these.
 
+pub mod autoscale;
 pub mod faults;
 pub mod fleet;
 pub mod lint;

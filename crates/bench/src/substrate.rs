@@ -76,6 +76,14 @@ pub struct CostProxy {
     pub arbitration_recompute_calls: u64,
     /// Dirty domains re-derived across those recomputes.
     pub arbitration_domains_visited: u64,
+    /// Events fired by the scaled-down fleet case (4 GPUs × 2 000 tasks,
+    /// seed 42, optimized driver) — extends the ratchet over the whole
+    /// FaaS dispatch/monitoring path, not just the event substrate.
+    pub fleet_events_fired: u64,
+    /// Event-heap pushes on the scaled-down fleet case.
+    pub fleet_heap_pushes: u64,
+    /// Event-heap pops on the scaled-down fleet case.
+    pub fleet_heap_pops: u64,
 }
 
 impl CostProxy {
@@ -95,6 +103,9 @@ impl CostProxy {
                 "arbitration_domains_visited",
                 self.arbitration_domains_visited,
             ),
+            ("fleet_events_fired", self.fleet_events_fired),
+            ("fleet_heap_pushes", self.fleet_heap_pushes),
+            ("fleet_heap_pops", self.fleet_heap_pops),
         ]
     }
 }
@@ -280,6 +291,7 @@ pub fn cost_proxy() -> CostProxy {
     let (fired, pushes, pops) = timer_events_instrumented(N);
     let (_, cancel_pops) = cancel_heavy_instrumented(N);
     let (_, arb_fired, calls, visited) = contended_arbitration_instrumented();
+    let fleet = crate::fleet::run_fleet(4, 2_000, 42, true).sim.behavior;
     CostProxy {
         timer_events_fired: fired,
         timer_heap_pushes: pushes,
@@ -288,6 +300,9 @@ pub fn cost_proxy() -> CostProxy {
         arbitration_events_fired: arb_fired,
         arbitration_recompute_calls: calls,
         arbitration_domains_visited: visited,
+        fleet_events_fired: fleet.events_fired,
+        fleet_heap_pushes: fleet.heap_pushes,
+        fleet_heap_pops: fleet.heap_pops,
     }
 }
 

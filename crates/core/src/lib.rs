@@ -38,12 +38,17 @@ pub mod weightcache;
 
 pub use accel::{parse_accelerators, parse_entry, AccelParseError};
 pub use advisor::{recommend_strategy, StrategyAdvice, TenancyRequirements};
+pub use autoscale::{
+    demand_scores, enable_autoscaler, enable_slo_autoscaler, proportional_split, AutoscaleEvent,
+    AutoscalePolicy, GpuTenancy, SloAction, SloDecision, SloPolicy,
+};
 pub use planner::{
     apply_fleet, apply_plan, equal_mig_profile, plan, plan_fleet, PartitionPlan, PlanError,
     Strategy,
 };
 pub use reconfig::{
-    estimate_mig_reconfig_cost, estimate_mps_resize_cost, reconfigure_mig_equal, resize_mps,
-    switch_strategy, ReconfigReport, MIG_RESET_TIME,
+    begin_reconfigure_mig, begin_resize_mps, estimate_mig_reconfig_cost, estimate_mps_resize_cost,
+    reconfigure_mig_equal, resize_mps, switch_strategy, ReconfigError, ReconfigReport,
+    MIG_RESET_TIME,
 };
 pub use rightsize::{knee, profile, recommend, ProfilePoint, Recommendation};

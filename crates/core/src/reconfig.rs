@@ -14,15 +14,74 @@
 //! out of the simulation (cold-start model + load bandwidth + reset
 //! constant) rather than being asserted. The §7 weight cache shortens the
 //! MPS path by turning the model reload into a re-bind.
+//!
+//! Two tiers of API (DESIGN.md §11):
+//!
+//! * [`resize_mps`] / [`reconfigure_mig_equal`] / [`switch_strategy`] —
+//!   *immediate* reconfiguration: victims are killed on the spot (their
+//!   in-flight tasks fail and retry). Refuses unhealthy targets.
+//! * [`begin_resize_mps`] / [`begin_reconfigure_mig`] — *staged*
+//!   transactions: a [`parfait_faas::begin_drain`] quiesces the victims
+//!   first (stop-dispatch → checkpoint → await → timeout force-kill),
+//!   then the commit runs with injectable failure
+//!   ([`parfait_faas::reconfig_commit_fails`]):
+//!
+//!   | outcome | MPS path | MIG path |
+//!   |---|---|---|
+//!   | fenced mid-drain | abort, keep old shares | abort, keep old slices |
+//!   | commit fails | rollback: budgeted respawn with old shares | degraded: device quarantined, workers parked for re-admission |
+//!   | commit succeeds | respawn with new shares | reset + re-slice, respawn after [`MIG_RESET_TIME`] |
 
 use crate::planner::{apply_plan, plan, PartitionPlan, PlanError, Strategy};
-use parfait_faas::{kill_worker, respawn_worker, AcceleratorSpec, FaasWorld};
+use parfait_faas::{
+    auto_respawn, begin_drain, gpu_quarantined, kill_worker, quarantine_gpu, reconfig_commit_fails,
+    respawn_worker, AcceleratorSpec, FaasWorld, FaultPhase, WorkerState,
+};
 use parfait_gpu::{DeviceMode, GpuId};
 use parfait_simcore::{Engine, SimDuration, SimTime};
 use serde::Serialize;
 
 /// GPU reset time for MIG reconfiguration (§6: "1–2 seconds").
 pub const MIG_RESET_TIME: SimDuration = SimDuration::from_millis(1_500);
+
+/// Why a reconfiguration was refused (before any worker was touched).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconfigError {
+    /// The partition plan itself is invalid.
+    Plan(PlanError),
+    /// The target GPU is quarantined/fenced; reconfiguring a fenced
+    /// device would race its recovery path.
+    GpuFenced(u32),
+    /// A victim worker is in a state that cannot be cleanly restarted
+    /// (currently: `Crashed` — its watchdog kill is still in flight).
+    WorkerUnhealthy {
+        /// The offending worker id.
+        worker: usize,
+    },
+    /// A staged drain/transaction is already active on this GPU.
+    Busy(u32),
+}
+
+impl From<PlanError> for ReconfigError {
+    fn from(e: PlanError) -> Self {
+        ReconfigError::Plan(e)
+    }
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Plan(e) => write!(f, "invalid plan: {e}"),
+            ReconfigError::GpuFenced(g) => write!(f, "GPU {g} is fenced/quarantined"),
+            ReconfigError::WorkerUnhealthy { worker } => {
+                write!(f, "worker {worker} is crashed; let recovery finish first")
+            }
+            ReconfigError::Busy(g) => write!(f, "a reconfiguration is already draining GPU {g}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
 
 /// What a reconfiguration did (timestamps let callers measure downtime).
 #[derive(Debug, Clone, Serialize)]
@@ -74,7 +133,7 @@ pub fn workers_on_gpu(world: &FaasWorld, gpu: u32) -> Vec<usize> {
         .workers
         .iter()
         .filter(|w| {
-            w.state != parfait_faas::WorkerState::Dead
+            w.state != WorkerState::Dead
                 && match &w.accel {
                     Some(AcceleratorSpec::Gpu(g))
                     | Some(AcceleratorSpec::GpuPercentage(g, _))
@@ -89,24 +148,47 @@ pub fn workers_on_gpu(world: &FaasWorld, gpu: u32) -> Vec<usize> {
         .collect()
 }
 
+/// Common refusals shared by every reconfiguration entry point: never
+/// touch a fenced device, never race an active drain, and (for the
+/// immediate paths) never restart a worker whose crash is still being
+/// detected.
+fn check_target(
+    world: &FaasWorld,
+    gpu: u32,
+    victims: &[usize],
+    refuse_crashed: bool,
+) -> Result<(), ReconfigError> {
+    if gpu_quarantined(world, GpuId(gpu)) {
+        return Err(ReconfigError::GpuFenced(gpu));
+    }
+    if world.reconfig.drain_active(gpu) {
+        return Err(ReconfigError::Busy(gpu));
+    }
+    if refuse_crashed {
+        for &wid in victims {
+            if world.workers[wid].state == WorkerState::Crashed {
+                return Err(ReconfigError::WorkerUnhealthy { worker: wid });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Resize MPS partitions: kill each worker on `gpu` and respawn it with
 /// the new percentage. The device stays in `MpsPartitioned` mode and
 /// other GPUs are untouched — but each worker pays a §6 restart.
+///
+/// Refuses fenced GPUs, crashed victims, and GPUs mid-drain; use
+/// [`begin_resize_mps`] for the graceful staged path.
 pub fn resize_mps(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     gpu: u32,
     new_percentages: &[u32],
-) -> Result<ReconfigReport, PlanError> {
+) -> Result<ReconfigReport, ReconfigError> {
     let victims = workers_on_gpu(world, gpu);
-    if victims.len() != new_percentages.len() {
-        return Err(PlanError::WeightLengthMismatch);
-    }
-    for &p in new_percentages {
-        if !(1..=100).contains(&p) {
-            return Err(PlanError::BadPercentage(p));
-        }
-    }
+    validate_mps(&victims, new_percentages)?;
+    check_target(world, gpu, &victims, true)?;
     let initiated_at = eng.now();
     let mut new_specs = Vec::new();
     for (&wid, &pct) in victims.iter().zip(new_percentages) {
@@ -125,20 +207,36 @@ pub fn resize_mps(
     })
 }
 
+fn validate_mps(victims: &[usize], new_percentages: &[u32]) -> Result<(), ReconfigError> {
+    if victims.len() != new_percentages.len() {
+        return Err(PlanError::WeightLengthMismatch.into());
+    }
+    for &p in new_percentages {
+        if !(1..=100).contains(&p) {
+            return Err(PlanError::BadPercentage(p).into());
+        }
+    }
+    Ok(())
+}
+
 /// Reconfigure MIG to `k` equal instances: shut down *every* application
 /// on the GPU, reset it (destroying instances, wiping memory and the
 /// weight cache), re-create instances, and respawn the workers bound to
 /// the new UUIDs. Worker respawn is delayed by [`MIG_RESET_TIME`].
+///
+/// Refuses fenced GPUs, crashed victims, and GPUs mid-drain; use
+/// [`begin_reconfigure_mig`] for the graceful staged path.
 pub fn reconfigure_mig_equal(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     gpu: u32,
     k: usize,
-) -> Result<ReconfigReport, PlanError> {
+) -> Result<ReconfigReport, ReconfigError> {
     let victims = workers_on_gpu(world, gpu);
     if victims.len() != k {
-        return Err(PlanError::WeightLengthMismatch);
+        return Err(PlanError::WeightLengthMismatch.into());
     }
+    check_target(world, gpu, &victims, true)?;
     let initiated_at = eng.now();
     for &wid in &victims {
         kill_worker(world, eng, wid, "MIG reconfiguration");
@@ -174,13 +272,16 @@ pub fn reconfigure_mig_equal(
 
 /// Switch a GPU's sharing strategy wholesale (e.g. time-sharing → MPS):
 /// kill residents, change mode, respawn with the plan's bindings.
+///
+/// Refuses fenced GPUs, crashed victims, and GPUs mid-drain.
 pub fn switch_strategy(
     world: &mut FaasWorld,
     eng: &mut Engine<FaasWorld>,
     gpu: u32,
     strategy: &Strategy,
-) -> Result<ReconfigReport, PlanError> {
+) -> Result<ReconfigReport, ReconfigError> {
     let victims = workers_on_gpu(world, gpu);
+    check_target(world, gpu, &victims, true)?;
     let initiated_at = eng.now();
     for &wid in &victims {
         kill_worker(world, eng, wid, "strategy switch");
@@ -215,6 +316,195 @@ pub fn switch_strategy(
         gpu_reset: needs_reset,
         new_specs,
     })
+}
+
+/// Staged MPS resize: drain the GPU's workers (DESIGN.md §11), then run
+/// the resize as a transaction. Returns as soon as the drain is started;
+/// the commit/abort outcome lands in `world.reconfig.stats` and the
+/// monitoring fault log.
+///
+/// Unlike [`resize_mps`], crashed victims are accepted — the drain waits
+/// for the watchdog (or the drain timeout) to resolve them.
+pub fn begin_resize_mps(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    new_percentages: Vec<u32>,
+) -> Result<(), ReconfigError> {
+    let victims = workers_on_gpu(world, gpu);
+    validate_mps(&victims, &new_percentages)?;
+    check_target(world, gpu, &victims, false)?;
+    let members = victims.clone();
+    begin_drain(
+        world,
+        eng,
+        gpu,
+        members,
+        Box::new(move |w, e, _outcome| commit_mps(w, e, gpu, victims, new_percentages)),
+    );
+    Ok(())
+}
+
+/// The MPS transaction body, run at drain completion.
+fn commit_mps(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    victims: Vec<usize>,
+    pcts: Vec<u32>,
+) {
+    let now = eng.now();
+    if gpu_quarantined(world, GpuId(gpu)) {
+        // The device got fenced mid-drain (host outage, rack power, …).
+        // Abort: workers keep their previous shares — the ones the fence
+        // killed are parked and re-admission respawns them unchanged.
+        world.reconfig.stats.txns_aborted += 1;
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Detected,
+            "reconfig-abort",
+            Some(gpu),
+            None,
+            "GPU fenced mid-drain; workers keep previous MPS shares",
+        );
+        return;
+    }
+    if reconfig_commit_fails(world, gpu) {
+        // Failed MPS respawn: roll back to the last known-good shares by
+        // restarting victims with their old specs through the *budgeted*
+        // recovery path — a failed reconfig spends restart budget.
+        world.reconfig.stats.txns_failed += 1;
+        world.reconfig.stats.rollbacks += 1;
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Detected,
+            "reconfig-fail",
+            Some(gpu),
+            None,
+            "MPS respawn failed; rolling back to previous shares",
+        );
+        for &wid in &victims {
+            kill_worker(world, eng, wid, "MPS resize failed");
+            auto_respawn(world, eng, wid);
+        }
+        return;
+    }
+    for (&wid, &pct) in victims.iter().zip(&pcts) {
+        kill_worker(world, eng, wid, "MPS resize");
+        let spec = AcceleratorSpec::GpuPercentage(gpu, pct);
+        respawn_worker(world, eng, wid, Some(spec)).expect("worker was just killed");
+    }
+    world.reconfig.stats.txns_committed += 1;
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Recovered,
+        "reconfig-commit",
+        Some(gpu),
+        None,
+        format!("MPS shares now {pcts:?}"),
+    );
+}
+
+/// Staged MIG re-slice to `k` equal instances: drain, then reset +
+/// re-partition as a transaction. See [`begin_resize_mps`] for the
+/// drain/commit contract; the failure path here quarantines the device
+/// (a botched re-slice leaves it unusable until re-admission).
+pub fn begin_reconfigure_mig(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    k: usize,
+) -> Result<(), ReconfigError> {
+    let victims = workers_on_gpu(world, gpu);
+    if victims.len() != k {
+        return Err(PlanError::WeightLengthMismatch.into());
+    }
+    // Validate the plan shape up front (pure); the commit re-plans
+    // against the reset device.
+    let gpu_spec = world.fleet.device(GpuId(gpu)).spec.clone();
+    plan(&gpu_spec, gpu, k, &Strategy::MigEqual)?;
+    check_target(world, gpu, &victims, false)?;
+    begin_drain(
+        world,
+        eng,
+        gpu,
+        victims.clone(),
+        Box::new(move |w, e, _outcome| commit_mig(w, e, gpu, k, victims)),
+    );
+    Ok(())
+}
+
+/// The MIG transaction body, run at drain completion.
+fn commit_mig(
+    world: &mut FaasWorld,
+    eng: &mut Engine<FaasWorld>,
+    gpu: u32,
+    k: usize,
+    victims: Vec<usize>,
+) {
+    let now = eng.now();
+    if gpu_quarantined(world, GpuId(gpu)) {
+        world.reconfig.stats.txns_aborted += 1;
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Detected,
+            "reconfig-abort",
+            Some(gpu),
+            None,
+            "GPU fenced mid-drain; MIG layout unchanged",
+        );
+        return;
+    }
+    for &wid in &victims {
+        kill_worker(world, eng, wid, "MIG reconfiguration");
+    }
+    world.fleet.device_mut(GpuId(gpu)).reset(now);
+    world.weight_cache.clear_gpu(gpu);
+    let gpu_spec = world.fleet.device(GpuId(gpu)).spec.clone();
+    let p = plan(&gpu_spec, gpu, k, &Strategy::MigEqual).expect("plan validated at begin");
+    let new_specs = apply_plan(&mut world.fleet, &p).expect("re-slice of a reset device");
+    // Bind the new instance UUIDs immediately (the old ones died with the
+    // reset): if the device gets fenced during the reset window, the
+    // fence can resolve each worker's target GPU and park it.
+    for (&wid, spec) in victims.iter().zip(&new_specs) {
+        world.workers[wid].accel = Some(spec.clone());
+    }
+    if reconfig_commit_fails(world, gpu) {
+        // Failed re-slice: the device is left in a degraded state.
+        // Quarantine it — the victims (all Dead) are parked against the
+        // fence and re-admission brings them back on restart budget.
+        world.reconfig.stats.txns_failed += 1;
+        world.monitor.fault_event(
+            now,
+            FaultPhase::Detected,
+            "reconfig-fail",
+            Some(gpu),
+            None,
+            "MIG re-slice failed; device quarantined for recovery",
+        );
+        quarantine_gpu(world, eng, GpuId(gpu), "MIG re-slice failed");
+        return;
+    }
+    world.reconfig.stats.txns_committed += 1;
+    world.monitor.fault_event(
+        now,
+        FaultPhase::Recovered,
+        "reconfig-commit",
+        Some(gpu),
+        None,
+        format!("re-sliced to {k} equal MIG instances"),
+    );
+    eng.schedule_in(MIG_RESET_TIME, move |w: &mut FaasWorld, e| {
+        for &wid in &victims {
+            if w.workers[wid].state != WorkerState::Dead {
+                continue; // already revived (e.g. re-admitted after a fence)
+            }
+            if gpu_quarantined(w, GpuId(gpu)) {
+                continue; // fenced during the reset window; parked for re-admission
+            }
+            respawn_worker(w, e, wid, None).expect("worker is dead");
+        }
+    });
 }
 
 #[cfg(test)]

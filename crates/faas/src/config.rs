@@ -175,6 +175,35 @@ pub struct Config {
     /// admission, retry budgets, and straggler hedging. Fully disabled by
     /// default so existing scenarios and artifacts are untouched.
     pub overload: OverloadConfig,
+    /// Online-reconfiguration protocol knobs: staged-drain timeout and
+    /// injectable transaction-failure probability.
+    pub reconfig: ReconfigConfig,
+}
+
+/// Knobs for the staged drain / reconfig-transaction protocol (see
+/// DESIGN.md §11). Reconfigurations requested through the core crate's
+/// `begin_resize_mps` / `begin_reconfigure_mig` first stop dispatch to
+/// the target workers, wait for in-flight tasks to finish (or
+/// checkpoint), and force-kill whatever is still running after
+/// `drain_timeout`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReconfigConfig {
+    /// How long a staged drain waits for in-flight tasks before
+    /// force-killing the stragglers and proceeding to commit.
+    pub drain_timeout: SimDuration,
+    /// Probability that a reconfig transaction's commit fails (drawn on
+    /// the dedicated `simcore::streams::RECONFIG_FAULTS` stream). `0.0`
+    /// never draws, so enabling it elsewhere perturbs nothing.
+    pub fail_prob: f64,
+}
+
+impl Default for ReconfigConfig {
+    fn default() -> Self {
+        ReconfigConfig {
+            drain_timeout: SimDuration::from_secs(30),
+            fail_prob: 0.0,
+        }
+    }
 }
 
 /// Physical placement of the GPU fleet: fleet index → host → rack.
@@ -464,6 +493,7 @@ impl Default for Config {
             topology: Topology::default(),
             checkpoint: CheckpointPolicy::default(),
             overload: OverloadConfig::default(),
+            reconfig: ReconfigConfig::default(),
         }
     }
 }

@@ -90,6 +90,15 @@ pub enum FaultKind {
         /// Target rack index.
         rack: u32,
     },
+    /// The next reconfiguration transaction committed against this GPU
+    /// fails: a failed MIG re-slice leaves the device quarantined on the
+    /// degraded recovery path; a failed MPS respawn rolls the workers
+    /// back to their previous percentages through the budgeted
+    /// auto-respawn path (consuming restart budget).
+    ReconfigFail {
+        /// Target device index.
+        gpu: u32,
+    },
 }
 
 /// One scheduled fault.
@@ -506,6 +515,21 @@ pub fn inject_fault(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, kind: &F
                 format!("rack {rack}: {} hosts lost power", hosts.len()),
             );
             crate::world::fault_rack(world, eng, *rack);
+        }
+        FaultKind::ReconfigFail { gpu } => {
+            if (*gpu as usize) >= world.fleet.len() {
+                return;
+            }
+            world.recovery.stats.faults_injected += 1;
+            world.monitor.fault_event(
+                now,
+                FaultPhase::Injected,
+                "reconfig-fail-armed",
+                Some(*gpu),
+                None,
+                "next reconfiguration commit on this device will fail",
+            );
+            world.reconfig.poisoned.insert(*gpu);
         }
     }
 }

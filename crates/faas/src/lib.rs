@@ -24,6 +24,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod dfk;
+pub mod drain;
 pub mod faults;
 mod index;
 pub mod monitoring;
@@ -37,9 +38,12 @@ pub use cache::WeightCache;
 pub use checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
 pub use config::{
     AcceleratorSpec, CheckpointPolicy, Config, ExecutorConfig, HedgePolicy, OverloadConfig,
-    ProviderConfig, RecoveryConfig, RetryBudget, ShedPolicy, Topology,
+    ProviderConfig, ReconfigConfig, RecoveryConfig, RetryBudget, ShedPolicy, Topology,
 };
 pub use dfk::{Dfk, FailureOutcome, TaskRecord, TaskState};
+pub use drain::{
+    begin_drain, reconfig_commit_fails, DrainCallback, DrainOutcome, ReconfigControl, ReconfigStats,
+};
 pub use faults::{
     inject_fault, install_faults, FaultEvent, FaultKind, FaultPlan, GpuHealth, RecoveryState,
     RecoveryStats, StochasticFaults,
@@ -48,7 +52,7 @@ pub use monitoring::{time_in_queue_percentiles, FaultPhase, FaultRecord, Percent
 pub use overload::{OverloadState, OverloadStats};
 pub use strategy::{enable_brownout, enable_elastic, BrownoutPolicy, ElasticPolicy};
 pub use world::{
-    add_worker, boot, cancel, crash_worker, fault_host, fault_rack, gpu_quarantined, kick_executor,
-    kill_worker, quarantine_gpu, respawn_worker, resume_sampling, run, shutdown, submit, Driver,
-    FaasWorld, RespawnError, Worker, WorkerState,
+    add_worker, auto_respawn, boot, cancel, crash_worker, fault_host, fault_rack, gpu_quarantined,
+    kick_executor, kill_worker, quarantine_gpu, respawn_worker, resume_sampling, run, shutdown,
+    submit, Driver, FaasWorld, RespawnError, Worker, WorkerState,
 };

@@ -142,7 +142,18 @@ pub struct Monitoring {
     /// unaffected, and the toggle never changes simulation behaviour —
     /// the store is write-only observability.
     pub record_worker_events: bool,
+    /// Per-executor EWMA of task turnaround (submit → finish) in
+    /// seconds, updated on every successful completion. O(1) state —
+    /// the closed-loop SLO controller reads this instead of scanning
+    /// the task table. Indexed by executor; empty slots are unseeded.
+    latency_ewma: Vec<f64>,
+    /// Completions folded into each executor's EWMA (0 = unseeded).
+    latency_samples: Vec<u64>,
 }
+
+/// Smoothing factor for the per-executor turnaround EWMA: each new
+/// completion moves the estimate 20% toward the observed latency.
+const LATENCY_EWMA_ALPHA: f64 = 0.2;
 
 impl Default for Monitoring {
     fn default() -> Self {
@@ -152,6 +163,8 @@ impl Default for Monitoring {
             worker_events: Vec::new(),
             fault_records: Vec::new(),
             record_worker_events: true,
+            latency_ewma: Vec::new(),
+            latency_samples: Vec::new(),
         }
     }
 }
@@ -199,6 +212,30 @@ impl Monitoring {
             worker,
             detail: detail.into(),
         });
+    }
+
+    /// Fold a completed task's turnaround into its executor's EWMA. The
+    /// first sample seeds the estimate; later ones move it by
+    /// [`LATENCY_EWMA_ALPHA`].
+    pub fn note_latency(&mut self, executor: usize, secs: f64) {
+        if executor >= self.latency_ewma.len() {
+            self.latency_ewma.resize(executor + 1, 0.0);
+            self.latency_samples.resize(executor + 1, 0);
+        }
+        if self.latency_samples[executor] == 0 {
+            self.latency_ewma[executor] = secs;
+        } else {
+            let prev = self.latency_ewma[executor];
+            self.latency_ewma[executor] = prev + LATENCY_EWMA_ALPHA * (secs - prev);
+        }
+        self.latency_samples[executor] += 1;
+    }
+
+    /// Current turnaround EWMA of an executor in seconds; `None` until a
+    /// task has completed there.
+    pub fn latency_ewma(&self, executor: usize) -> Option<f64> {
+        (self.latency_samples.get(executor).copied().unwrap_or(0) > 0)
+            .then(|| self.latency_ewma[executor])
     }
 
     /// Mean time to recovery in seconds over closed incidents, or `None`
@@ -538,6 +575,18 @@ mod tests {
         );
         let mttr = m.mttr_s().unwrap();
         assert!((mttr - 8.0).abs() < 1e-9, "mttr {mttr}");
+    }
+
+    #[test]
+    fn latency_ewma_seeds_then_smooths() {
+        let mut m = Monitoring::new();
+        assert_eq!(m.latency_ewma(0), None);
+        m.note_latency(0, 2.0);
+        assert_eq!(m.latency_ewma(0), Some(2.0));
+        m.note_latency(0, 4.0);
+        // 2.0 + 0.2 * (4.0 - 2.0) = 2.4
+        assert!((m.latency_ewma(0).unwrap() - 2.4).abs() < 1e-12);
+        assert_eq!(m.latency_ewma(3), None);
     }
 
     #[test]

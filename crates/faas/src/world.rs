@@ -24,6 +24,7 @@ use crate::cache::WeightCache;
 use crate::checkpoint::{Checkpoint, CHECKPOINT_BASE_BYTES};
 use crate::config::{AcceleratorSpec, Config, ExecutorKind, ProviderConfig, ShedPolicy};
 use crate::dfk::{Dfk, FailureOutcome, TaskState};
+use crate::drain::{note_drained, ReconfigControl};
 use crate::faults::RecoveryState;
 use crate::index::WorldIndex;
 use crate::monitoring::{FaultPhase, Monitoring, QueueSample, UtilSample, WorkerEventKind};
@@ -212,6 +213,9 @@ pub struct FaasWorld {
     /// Overload-protection state (admission/hedge RNG streams, retry
     /// buckets, live hedge pairs, shed/hedge counters).
     pub overload: OverloadState,
+    /// Online-reconfiguration state: active staged drains, the
+    /// stop-dispatch set, injected commit-failure poison, and counters.
+    pub reconfig: ReconfigControl,
     /// Incrementally maintained worker/queue lookup structures; hot
     /// paths use them instead of scanning `workers`/`queues` (see the
     /// `index` module). Always kept in sync; consult gated on
@@ -284,6 +288,7 @@ impl FaasWorld {
             rng.split(streams::ADMISSION),
             rng.split(streams::HEDGE_TIMING),
         );
+        let reconfig = ReconfigControl::new(rng.split(streams::RECONFIG_FAULTS));
         let mut index = WorldIndex::new(config.executors.len(), fleet.len());
         for w in &workers {
             index.register_worker(w.id, w.executor, w.state);
@@ -306,6 +311,7 @@ impl FaasWorld {
             recovery,
             checkpoints: BTreeMap::new(),
             overload,
+            reconfig,
             index,
         }
     }
@@ -914,14 +920,24 @@ pub fn kick_executor(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, exec: u
             return;
         }
         // The index's ordered idle set yields the lowest-id idle worker —
-        // exactly what the linear `position` scan found.
+        // exactly what the linear `position` scan found. Workers under an
+        // active staged drain are excluded on both paths identically
+        // (stop-dispatch; see the `drain` module).
         let pick = if world.index.enabled {
-            world.index.idle[exec].first().copied()
+            if world.reconfig.draining.is_empty() {
+                world.index.idle[exec].first().copied()
+            } else {
+                world.index.idle[exec]
+                    .iter()
+                    .copied()
+                    .find(|wid| !world.reconfig.draining.contains(wid))
+            }
         } else {
-            world
-                .workers
-                .iter()
-                .position(|w| w.executor == exec && w.state == WorkerState::Idle)
+            world.workers.iter().position(|w| {
+                w.executor == exec
+                    && w.state == WorkerState::Idle
+                    && !world.reconfig.draining.contains(&w.id)
+            })
         };
         let Some(wid) = pick else {
             return;
@@ -1176,6 +1192,20 @@ fn start_body(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) {
         arm_checkpoint(world, eng, wid, task);
     }
     advance_worker(world, eng, wid);
+}
+
+/// Ask a busy worker to snapshot at its next step boundary (staged-drain
+/// support: preserve in-flight progress before a planned restart). No-op
+/// for idle workers, CPU-only workers, and non-checkpointable bodies.
+pub(crate) fn request_checkpoint(world: &mut FaasWorld, wid: usize) {
+    if world.workers[wid].gpu.is_none() {
+        return;
+    }
+    if let Some(r) = world.workers[wid].current.as_mut() {
+        if r.body.as_ref().is_some_and(|b| b.checkpointable()) {
+            r.ckpt_pending = true;
+        }
+    }
 }
 
 /// Arm the (jittered) checkpoint timer for a checkpointable attempt. The
@@ -1598,7 +1628,7 @@ fn try_launch_hedge(
         let mut same_gpu = None;
         let mut other_gpu = None;
         for &cand in &world.index.idle[exec] {
-            if cand == wid {
+            if cand == wid || world.reconfig.draining.contains(&cand) {
                 continue;
             }
             if world.workers[cand].gpu.map(|(g, _)| g) != my_gpu {
@@ -1614,7 +1644,12 @@ fn try_launch_hedge(
         world
             .workers
             .iter()
-            .filter(|w| w.executor == exec && w.state == WorkerState::Idle && w.id != wid)
+            .filter(|w| {
+                w.executor == exec
+                    && w.state == WorkerState::Idle
+                    && w.id != wid
+                    && !world.reconfig.draining.contains(&w.id)
+            })
             .min_by_key(|w| (w.gpu.map(|(g, _)| g) == my_gpu, w.id))
             .map(|w| w.id)
     };
@@ -1761,6 +1796,9 @@ fn cancel_attempt(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize
         world.transition(wid, WorkerState::Idle);
         world.workers[wid].idle_since = Some(now);
     }
+    if world.reconfig.is_draining(wid) {
+        note_drained(world, eng, wid);
+    }
     kick_executor(world, eng, world.workers[wid].executor);
 }
 
@@ -1839,6 +1877,15 @@ fn finish_task(
                 schedule_hedge_cancel(world, eng, loser, run.task);
             }
             world.workers[wid].tasks_completed += 1;
+            {
+                // Live SLO telemetry: fold the turnaround into the
+                // executor's EWMA for the closed-loop controller.
+                let t = world.dfk.task(run.task);
+                let (texec, submitted) = (t.executor, t.submitted);
+                world
+                    .monitor
+                    .note_latency(texec, now.duration_since(submitted).as_secs_f64());
+            }
             let ready = world.dfk.mark_done(run.task, now);
             for r in ready {
                 let rexec = world.dfk.task(r).executor;
@@ -1877,6 +1924,12 @@ fn finish_task(
     if terminal {
         let task = run.task;
         world.with_driver(eng, |d, w, e| d.on_task_done(w, e, task));
+    }
+    // A draining worker's attempt just unwound; this may complete the
+    // drain (and run its reconfig transaction) before the queues below
+    // are kicked against the post-reconfig worker set.
+    if world.reconfig.is_draining(wid) {
+        note_drained(world, eng, wid);
     }
     // Kick every executor: completions may have released tasks elsewhere.
     for e in 0..world.queues.len() {
@@ -2168,8 +2221,10 @@ fn detect_worker_death(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: 
 
 /// Respawn a dead worker if its restart budget allows; marks it
 /// `recovering` so the fault incident closes (MTTR) when it comes back
-/// `Idle`. Returns whether a respawn was started.
-pub(crate) fn auto_respawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) -> bool {
+/// `Idle`. Returns whether a respawn was started. Public because a failed
+/// MPS-resize commit recovers its victims through this budgeted path —
+/// the rollback consumes restart budget, exactly like a fault would.
+pub fn auto_respawn(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: usize) -> bool {
     let now = eng.now();
     let budget = world.config.recovery.restart_budget;
     let used = world.workers[wid].restarts_used;

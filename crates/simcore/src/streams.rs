@@ -72,6 +72,19 @@ pub const BATCH_ARRIVALS: u64 = 999;
 /// perturbs the draws of the recorded open-loop serving artifacts.
 pub const FLEET_ARRIVALS: u64 = 644;
 
+/// Realization of injected reconfiguration failures
+/// (`FaultKind::ReconfigFail` and the `reconfig_fail_prob` Bernoulli
+/// draw) in `parfait-faas`. Kept separate from [`FAULT_REALIZATION`] so
+/// enabling reconfig-fault injection never perturbs the draws of a
+/// previously recorded worker/device fault schedule.
+pub const RECONFIG_FAULTS: u64 = 645;
+
+/// Arrival traces for the closed-loop autoscaling scenario in
+/// `parfait-bench::autoscale` (two out-of-phase tenant mixes drawn
+/// sequentially). Kept separate from [`FLEET_ARRIVALS`] so the autoscale
+/// sweep never perturbs the recorded fleet artifact.
+pub const AUTOSCALE_ARRIVALS: u64 = 646;
+
 /// Every named stream, for the uniqueness check and for reports. Keep in
 /// sync with the constants above; `parfait-lint` independently parses the
 /// `pub const` declarations in this file, so a constant missing from this
@@ -88,6 +101,8 @@ pub const ALL: &[(&str, u64)] = &[
     ("ARRIVAL_TRACE", ARRIVAL_TRACE),
     ("BATCH_ARRIVALS", BATCH_ARRIVALS),
     ("FLEET_ARRIVALS", FLEET_ARRIVALS),
+    ("RECONFIG_FAULTS", RECONFIG_FAULTS),
+    ("AUTOSCALE_ARRIVALS", AUTOSCALE_ARRIVALS),
 ];
 
 #[cfg(test)]
@@ -119,6 +134,8 @@ mod tests {
         assert_eq!(ARRIVAL_TRACE, 424);
         assert_eq!(BATCH_ARRIVALS, 999);
         assert_eq!(FLEET_ARRIVALS, 644);
+        assert_eq!(RECONFIG_FAULTS, 645);
+        assert_eq!(AUTOSCALE_ARRIVALS, 646);
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct FleetShape {
     pub diurnal_amplitude: f64,
     /// Period of one simulated "day" (the sinusoid's period).
     pub day: SimDuration,
+    /// Phase offset of the diurnal sinusoid in radians. Two tenants with
+    /// phases `0` and `π` peak half a day apart — the shifting-mix shape
+    /// an autoscaler exists to chase. `0.0` leaves the classic shape
+    /// bit-identical.
+    pub phase: f64,
     /// Gap between flash-crowd onsets, measured start to start.
     pub flash_every: SimDuration,
     /// Flash-crowd duration; must not exceed `flash_every`.
@@ -117,7 +122,8 @@ impl FleetShape {
     /// Instantaneous arrival rate at `t` seconds.
     pub fn rate_at(&self, t: f64) -> f64 {
         let day = self.day.as_secs_f64();
-        let diurnal = 1.0 + self.diurnal_amplitude * (std::f64::consts::TAU * t / day).sin();
+        let diurnal =
+            1.0 + self.diurnal_amplitude * (std::f64::consts::TAU * t / day + self.phase).sin();
         let phase = t % self.flash_every.as_secs_f64();
         let flash = if phase < self.flash_len.as_secs_f64() {
             self.flash_factor
@@ -211,6 +217,7 @@ mod tests {
             base_rate: 100.0,
             diurnal_amplitude: 0.3,
             day: SimDuration::from_secs(20),
+            phase: 0.0,
             flash_every: SimDuration::from_secs(7),
             flash_len: SimDuration::from_secs(1),
             flash_factor: 1.6,
@@ -271,6 +278,7 @@ mod tests {
             base_rate: 50.0,
             diurnal_amplitude: 0.0,
             day: SimDuration::from_secs(10),
+            phase: 0.0,
             flash_every: SimDuration::from_secs(5),
             flash_len: SimDuration::ZERO,
             flash_factor: 1.0,

@@ -124,6 +124,32 @@ fn fleet_scenario_is_bit_identical_across_runs() {
     );
 }
 
+/// The PR-7 autoscale scenario (closed-loop SLO control over staged
+/// reconfig transactions) draws from two new RNG streams
+/// (`AUTOSCALE_ARRIVALS`, `RECONFIG_FAULTS`); byte-compare a faulty
+/// closed-loop cell across double runs.
+#[test]
+fn autoscale_scenario_is_bit_identical_across_runs() {
+    use parfait_bench::autoscale::{run_cell, Mode};
+    let cell_a = run_cell(Mode::ClosedLoop, 2, 1000, SEED, 0.2);
+    let cell_b = run_cell(Mode::ClosedLoop, 2, 1000, SEED, 0.2);
+    let json_a = serde_json::to_string(&cell_a).expect("cell serializes");
+    let json_b = serde_json::to_string(&cell_b).expect("cell serializes");
+    assert_eq!(
+        json_a, json_b,
+        "serialized autoscale cell diverged across identically-seeded runs"
+    );
+    assert!(
+        cell_a.behavior.txns_committed + cell_a.behavior.txns_failed > 0,
+        "cell must exercise the reconfig transaction machinery: {cell_a:?}"
+    );
+    assert_eq!(
+        cell_a.behavior.completed + cell_a.behavior.failed,
+        cell_a.behavior.submitted,
+        "every task settles"
+    );
+}
+
 #[test]
 fn mps_correlated_outage_is_bit_identical_across_runs() {
     assert_correlated_double_run_identical(Strategy::MpsEqual, Some(10));

@@ -1,9 +1,12 @@
 //! Failure injection and load-shape tests across the full stack.
 
-use parfait::core::{apply_plan, plan, Strategy};
+use parfait::core::{
+    apply_plan, begin_resize_mps, plan, reconfigure_mig_equal, resize_mps, ReconfigError, Strategy,
+};
 use parfait::faas::app::bodies::CpuBurn;
 use parfait::faas::{
-    boot, kill_worker, respawn_worker, submit, AppCall, Config, ExecutorConfig, FaasWorld,
+    boot, crash_worker, fault_host, fault_rack, kill_worker, quarantine_gpu, respawn_worker,
+    submit, AcceleratorSpec, AppCall, CheckpointPolicy, Config, ExecutorConfig, FaasWorld,
     WorkerState,
 };
 use parfait::gpu::host::GpuFleet;
@@ -137,4 +140,167 @@ fn open_loop_mps_sustains_higher_load() {
         mps4.p95_turnaround_s,
         single.p95_turnaround_s
     );
+}
+
+/// One A100 shared 50/50 under MPS, with knobs for the reconfig racing
+/// tests.
+fn mps_platform(configure: impl FnOnce(&mut Config)) -> (FaasWorld, Engine<FaasWorld>, LlmSpec) {
+    let gpu_spec = GpuSpec::a100_80gb();
+    let mut fleet = GpuFleet::new();
+    fleet.add(gpu_spec.clone());
+    let p = plan(&gpu_spec, 0, 2, &Strategy::MpsEqual).unwrap();
+    let specs = apply_plan(&mut fleet, &p).unwrap();
+    let mut config = Config::new(vec![ExecutorConfig::gpu("gpu", specs)]);
+    config.retries = 4;
+    configure(&mut config);
+    (
+        FaasWorld::new(config, fleet, SEED),
+        Engine::new(),
+        LlmSpec::llama2_7b(2),
+    )
+}
+
+/// Current MPS shares, in worker order.
+fn mps_pcts(w: &FaasWorld) -> Vec<u32> {
+    w.workers
+        .iter()
+        .filter_map(|wk| match wk.accel {
+            Some(AcceleratorSpec::GpuPercentage(_, p)) => Some(p),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A ~35 s chat session — long enough that a reconfig drain has to wait
+/// on it (and a checkpoint restore saves real work).
+fn long_session(llm: &LlmSpec) -> AppCall {
+    let llm = llm.clone();
+    let gpu = GpuSpec::a100_80gb();
+    AppCall::new("session", "gpu", move |_| {
+        Box::new(CompletionBody::new(llm.clone(), gpu.clone(), 96, 220))
+    })
+}
+
+/// Racing fault #1: a resize request racing an active host outage is
+/// refused outright — no drain starts, no worker restarts, and after the
+/// host returns the workers come back with their *old* shares.
+#[test]
+fn resize_refused_during_host_outage() {
+    let (mut w, mut eng, _llm) = mps_platform(|_| {});
+    boot(&mut w, &mut eng);
+    let fenced = fault_host(&mut w, &mut eng, 0);
+    assert_eq!(fenced, 1, "host 0 owns the only GPU");
+
+    assert_eq!(
+        resize_mps(&mut w, &mut eng, 0, &[70, 30]).unwrap_err(),
+        ReconfigError::GpuFenced(0)
+    );
+    assert_eq!(
+        begin_resize_mps(&mut w, &mut eng, 0, vec![70, 30]).unwrap_err(),
+        ReconfigError::GpuFenced(0)
+    );
+    assert_eq!(
+        reconfigure_mig_equal(&mut w, &mut eng, 0, 2).unwrap_err(),
+        ReconfigError::GpuFenced(0)
+    );
+    assert_eq!(w.reconfig.stats.drains_started, 0);
+
+    eng.run(&mut w); // host reboots, GPU re-enrolls, workers respawn
+    assert_eq!(mps_pcts(&w), vec![50, 50], "old shares survive the outage");
+    assert!(w
+        .workers
+        .iter()
+        .all(|wk| wk.state != WorkerState::Dead && wk.state != WorkerState::Crashed));
+}
+
+/// A Crashed (silently dead, not yet reaped) victim is refused: the
+/// watchdog owns that worker's lifecycle, not the resize path.
+#[test]
+fn resize_refuses_crashed_worker() {
+    let (mut w, mut eng, _llm) = mps_platform(|_| {});
+    boot(&mut w, &mut eng);
+    crash_worker(&mut w, &mut eng, 1, "induced for test");
+    assert_eq!(
+        resize_mps(&mut w, &mut eng, 0, &[70, 30]).unwrap_err(),
+        ReconfigError::WorkerUnhealthy { worker: 1 }
+    );
+    // Quarantine refusal holds for the MIG path on a healthy-worker GPU
+    // too.
+    let (mut w2, mut eng2, _llm) = mps_platform(|_| {});
+    boot(&mut w2, &mut eng2);
+    quarantine_gpu(&mut w2, &mut eng2, GpuId(0), "induced for test");
+    assert_eq!(
+        reconfigure_mig_equal(&mut w2, &mut eng2, 0, 2).unwrap_err(),
+        ReconfigError::GpuFenced(0)
+    );
+}
+
+/// Racing fault #2: a rack-power fence lands mid-drain. The fence kills
+/// the draining workers (resolving the drain), the transaction aborts at
+/// commit because the GPU is fenced, and after power restore + re-enroll
+/// the workers return with their pre-transaction shares.
+#[test]
+fn rack_fence_mid_drain_aborts_transaction() {
+    let (mut w, mut eng, llm) = mps_platform(|_| {});
+    boot(&mut w, &mut eng);
+    for _ in 0..2 {
+        submit(&mut w, &mut eng, long_session(&llm));
+    }
+    eng.schedule_at(SimTime::from_secs(5), |w: &mut FaasWorld, e| {
+        begin_resize_mps(w, e, 0, vec![70, 30]).expect("gpu is healthy at begin");
+    });
+    eng.schedule_at(SimTime::from_secs(6), |w: &mut FaasWorld, e| {
+        fault_rack(w, e, 0);
+    });
+    eng.run(&mut w);
+
+    assert_eq!(w.reconfig.stats.drains_started, 1);
+    assert_eq!(
+        w.reconfig.stats.txns_aborted, 1,
+        "fenced mid-drain must abort"
+    );
+    assert_eq!(w.reconfig.stats.txns_committed, 0);
+    assert_eq!(w.reconfig.stats.rollbacks, 0);
+    assert_eq!(
+        mps_pcts(&w),
+        vec![50, 50],
+        "aborted transaction must leave the old shares"
+    );
+    assert!(w.dfk.all_settled());
+    assert_eq!(w.dfk.done_count(), 2, "retries absorb the fence");
+}
+
+/// Racing fault #3: in-flight sessions outlive the drain timeout, get
+/// force-killed, and the transaction still commits the new shares; the
+/// killed attempts then restore from their drain-requested checkpoints
+/// instead of replaying from scratch.
+#[test]
+fn drain_timeout_forced_kill_restores_from_checkpoint() {
+    let (mut w, mut eng, llm) = mps_platform(|c| {
+        c.checkpoint = CheckpointPolicy::every(SimDuration::from_secs(2));
+        c.reconfig.drain_timeout = SimDuration::from_secs(5);
+    });
+    boot(&mut w, &mut eng);
+    for _ in 0..2 {
+        submit(&mut w, &mut eng, long_session(&llm));
+    }
+    eng.schedule_at(SimTime::from_secs(10), |w: &mut FaasWorld, e| {
+        begin_resize_mps(w, e, 0, vec![70, 30]).expect("gpu is healthy at begin");
+    });
+    eng.run(&mut w);
+
+    assert_eq!(w.reconfig.stats.drains_started, 1);
+    assert!(
+        w.reconfig.stats.drains_forced_kills > 0,
+        "35 s sessions must outlive a 5 s drain timeout"
+    );
+    assert_eq!(w.reconfig.stats.txns_committed, 1);
+    assert_eq!(mps_pcts(&w), vec![70, 30], "committed shares apply");
+    assert!(
+        w.recovery.stats.tasks_resumed > 0,
+        "killed attempts must restore from checkpoints: {:?}",
+        w.recovery.stats
+    );
+    assert!(w.dfk.all_settled());
+    assert_eq!(w.dfk.done_count(), 2);
 }
