@@ -5,9 +5,12 @@
 //! to the performance artifacts it protects: a BENCH number is only
 //! comparable across runs because these rules hold.
 
-use parfait_lint::{find_workspace_root, rules::CATALOG, run_workspace, Baseline};
+use parfait_lint::{
+    find_workspace_root, rules::CATALOG, run_workspace_opts, Baseline, LintOptions,
+};
 use serde::Serialize;
 use std::path::Path;
+use std::time::Instant;
 
 /// One catalog row.
 #[derive(Debug, Clone, Serialize)]
@@ -46,6 +49,15 @@ pub struct BudgetRow {
     pub over: bool,
 }
 
+/// Wall time one lint pass spent in one phase, across all files.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleTimingRow {
+    /// Pass key: `lex`, `scope`, or a rule code (`D1`..`F3`).
+    pub pass: String,
+    /// Accumulated nanoseconds.
+    pub nanos: u64,
+}
+
 /// The full artifact written to `BENCH_lint.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct LintReport {
@@ -61,6 +73,9 @@ pub struct LintReport {
     pub streams: Vec<StreamRow>,
     /// Per-crate budget status.
     pub budgets: Vec<BudgetRow>,
+    /// Per-pass wall time. The lint crate is banned from wall clocks by
+    /// its own D2 rule, so the clock is injected from here.
+    pub rule_timings: Vec<RuleTimingRow>,
 }
 
 /// Run the lint over the workspace containing `start` and build the report.
@@ -68,7 +83,14 @@ pub fn measure(start: &Path) -> std::io::Result<LintReport> {
     let root = find_workspace_root(start).ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::NotFound, "no workspace root found")
     })?;
-    let report = run_workspace(&root)?;
+    let t0 = Instant::now();
+    let clock = move || t0.elapsed().as_nanos() as u64;
+    let report = run_workspace_opts(
+        &root,
+        &LintOptions {
+            clock: Some(&clock),
+        },
+    )?;
     let baseline = Baseline::load(&root)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let budgets: Vec<BudgetRow> = baseline
@@ -105,6 +127,14 @@ pub fn measure(start: &Path) -> std::io::Result<LintReport> {
             })
             .collect(),
         budgets,
+        rule_timings: report
+            .rule_nanos
+            .iter()
+            .map(|(pass, nanos)| RuleTimingRow {
+                pass: pass.clone(),
+                nanos: *nanos,
+            })
+            .collect(),
     })
 }
 
@@ -127,5 +157,15 @@ mod tests {
         assert!(r.rules.len() >= 5);
         assert!(r.streams.len() >= 6);
         assert!(!r.budgets.is_empty());
+        // Per-rule timings must be present (the CI artifact check keys
+        // on them) and cover the structural passes.
+        assert!(!r.rule_timings.is_empty());
+        for pass in ["lex", "scope", "F1", "F2", "F3"] {
+            assert!(
+                r.rule_timings.iter().any(|t| t.pass == pass),
+                "missing timing for pass {pass}: {:?}",
+                r.rule_timings
+            );
+        }
     }
 }

@@ -121,7 +121,7 @@ fn sample(mut f: impl FnMut() -> u64) -> (u64, Vec<f64>) {
         walls.push(t.elapsed().as_secs_f64());
         assert_eq!(got, ops, "benchmark case must be deterministic");
     }
-    walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    walls.sort_by(|a, b| a.total_cmp(b));
     (ops, walls)
 }
 

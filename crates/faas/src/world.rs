@@ -242,6 +242,7 @@ impl GpuHost for FaasWorld {
 impl FaasWorld {
     /// Build the platform. Workers are created in `Provisioning`; call
     /// [`boot`] to start them.
+    // lint:allow(stream-hygiene, per-worker streams are WORKER_BASE + worker id, a fixed function of fleet layout, so the in-loop split cannot depend on iteration order)
     pub fn new(config: Config, fleet: GpuFleet, seed: u64) -> Self {
         let config_cores = config.node_cores.max(1);
         let rng = SimRng::new(seed);
@@ -279,16 +280,14 @@ impl FaasWorld {
                 });
             }
         }
-        let recovery = RecoveryState::new(
-            rng.split(streams::RETRY_JITTER),
-            rng.split(streams::CHECKPOINT_TIMING),
-            fleet.len(),
-        );
-        let overload = OverloadState::new(
-            rng.split(streams::ADMISSION),
-            rng.split(streams::HEDGE_TIMING),
-        );
-        let reconfig = ReconfigControl::new(rng.split(streams::RECONFIG_FAULTS));
+        let retry_rng = rng.split(streams::RETRY_JITTER);
+        let checkpoint_rng = rng.split(streams::CHECKPOINT_TIMING);
+        let recovery = RecoveryState::new(retry_rng, checkpoint_rng, fleet.len());
+        let admission_rng = rng.split(streams::ADMISSION);
+        let hedge_rng = rng.split(streams::HEDGE_TIMING);
+        let overload = OverloadState::new(admission_rng, hedge_rng);
+        let reconfig_rng = rng.split(streams::RECONFIG_FAULTS);
+        let reconfig = ReconfigControl::new(reconfig_rng);
         let mut index = WorldIndex::new(config.executors.len(), fleet.len());
         for w in &workers {
             index.register_worker(w.id, w.executor, w.state);
@@ -712,15 +711,16 @@ fn finish_cold_start(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, wid: us
     kick_executor(world, eng, world.workers[wid].executor);
 }
 
-/// Submit an app call; returns its task id.
-///
-/// # Panics
-/// Panics if the call names an unknown executor label.
+/// Submit an app call; returns its task id. A call naming an unknown
+/// executor label is registered and immediately failed terminally (the
+/// driver sees it as a fatal task, same as an admission refusal).
 pub fn submit(world: &mut FaasWorld, eng: &mut Engine<FaasWorld>, call: AppCall) -> TaskId {
-    let exec = world
-        .config
-        .executor_index(&call.executor)
-        .unwrap_or_else(|| panic!("unknown executor label {:?}", call.executor));
+    let Some(exec) = world.config.executor_index(&call.executor) else {
+        let label = call.executor.clone();
+        let (id, _) = world.dfk.submit(eng.now(), call, 0, 0);
+        fail_terminally(world, eng, id, &format!("unknown executor label {label:?}"));
+        return id;
+    };
     let retries = world.config.retries;
     let (id, ready) = world.dfk.submit(eng.now(), call, exec, retries);
     if ready {

@@ -45,6 +45,33 @@ fn cpu_task_runs_to_completion() {
 }
 
 #[test]
+fn unknown_executor_label_fails_terminally_instead_of_panicking() {
+    let config = Config::new(vec![ExecutorConfig::cpu("cpu", 1)]);
+    let mut w = FaasWorld::new(config, GpuFleet::new(), 1);
+    let mut eng = Engine::new();
+    boot(&mut w, &mut eng);
+    let bad = AppCall::new("app", "no-such-pool", |_| {
+        Box::new(CpuBurn::new(SimDuration::from_secs(1)))
+    });
+    let id = submit(&mut w, &mut eng, bad);
+    eng.run(&mut w);
+    let t = w.dfk.task(id);
+    assert_eq!(t.state, TaskState::Failed);
+    assert!(
+        t.error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("unknown executor"),
+        "error: {:?}",
+        t.error
+    );
+    // The platform keeps serving well-formed work afterwards.
+    let ok = submit(&mut w, &mut eng, cpu_call("hello", 1));
+    eng.run(&mut w);
+    assert_eq!(w.dfk.task(ok).state, TaskState::Done);
+}
+
+#[test]
 fn cold_start_precedes_first_task() {
     let config = Config::new(vec![ExecutorConfig::cpu("cpu", 1)]);
     let mut w = FaasWorld::new(config, GpuFleet::new(), 2);

@@ -1,0 +1,18 @@
+// F1 fixture: mutations live inside funnel fns (the conformance test's
+// manifest names `funnel_write` and `World::transition`); everything
+// else only reads.
+
+pub fn funnel_write(world: &mut World) {
+    world.index.enabled = true;
+}
+
+impl World {
+    pub(crate) fn transition(&mut self, wid: usize, new: WorkerState) {
+        let old = self.workers[wid].state;
+        self.index.on_state_change(wid, 0, old, new);
+    }
+}
+
+pub fn read_only(world: &World, exec: usize) -> usize {
+    world.index.not_dead[exec] + world.index.idle[exec].len()
+}

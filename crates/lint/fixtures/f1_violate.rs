@@ -1,0 +1,27 @@
+// F1 fixture: WorldIndex mutations outside the funnel set. Reads stay
+// legal everywhere.
+
+/// Direct field write.
+pub fn sneak_write(world: &mut World) {
+    world.index.enabled = false;
+}
+
+/// Compound assignment through an indexed slot.
+pub fn sneak_compound(world: &mut World, exec: usize) {
+    world.index.queued_unknown[exec] += 1;
+}
+
+/// pub(crate) mutator call.
+pub fn sneak_mutator(world: &mut World, wid: usize) {
+    world.index.on_state_change(wid, 0, WorkerState::Idle, WorkerState::Dead);
+}
+
+/// Container mutation on an index field.
+pub fn sneak_container(world: &mut World, exec: usize, wid: usize) {
+    world.index.idle[exec].insert(wid);
+}
+
+/// Reads are fine even outside the funnel.
+pub fn read_only(world: &World, exec: usize) -> bool {
+    world.index.live[exec] == 0 && world.index.crashed.is_empty()
+}

@@ -1,0 +1,8 @@
+// F2 fixture: a scoped allow on the fn suppresses the finding.
+
+impl GpuDevice {
+    // lint:allow(dirty-domain, wipe is only reachable from reset paths that mark every domain before the next advance)
+    pub fn wipe(&mut self) {
+        self.kernels.clear();
+    }
+}

@@ -1,0 +1,22 @@
+// F2 fixture: every rate-state mutation marks the affected domain.
+
+impl GpuDevice {
+    pub fn launch(&mut self, ctx: CtxId, id: u64, k: Kernel) {
+        self.kernels.insert(id, k);
+        self.mark_ctx_dirty(ctx);
+    }
+
+    pub fn set_mode(&mut self, mode: ShareMode) {
+        self.mode = mode;
+        self.mark_all_dirty();
+    }
+
+    pub fn collect(&mut self, dom: usize) {
+        self.kernels.retain(|k| !k.done);
+        self.mark_domain_dirty(dom);
+    }
+
+    pub fn rates_equal(&self, other: f64) -> bool {
+        self.slowdown == other
+    }
+}

@@ -1,0 +1,24 @@
+// F2 fixture: a GpuDevice method mutates rate-feeding state without
+// marking a dirty domain. The same shape on another type is out of
+// scope, and read-only methods never need marks.
+
+impl GpuDevice {
+    /// Inserting a kernel changes the domain's rate inputs — and this
+    /// fn forgets to mark it.
+    pub fn sneak_launch(&mut self, id: u64, k: Kernel) {
+        self.order.push(id);
+        self.kernels.insert(id, k);
+    }
+
+    /// Reads don't need marks.
+    pub fn peek(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+impl SomethingElse {
+    /// Identical body, different self type: F2 does not apply.
+    pub fn unrelated(&mut self, id: u64, k: Kernel) {
+        self.kernels.insert(id, k);
+    }
+}

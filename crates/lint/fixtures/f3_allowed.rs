@@ -1,0 +1,10 @@
+// F3 fixture: an item-scoped allow on the owning fn covers the in-loop
+// split.
+
+// lint:allow(stream-hygiene, per-worker stream ids are a fixed function of the worker index, independent of iteration order)
+pub fn per_worker(rng: &SimRng, n: u64) {
+    for id in 0..n {
+        let r = rng.split(streams::WORKER_BASE + id);
+        drop(r);
+    }
+}

@@ -1,0 +1,20 @@
+// F3 fixture: the blessed shapes — named locals at construction scope,
+// splits hoisted out of loops, and `str::split` untouched.
+
+pub fn hoisted(rng: &SimRng) -> Consumer {
+    let fault_rng = rng.split(streams::FAULT_REALIZATION);
+    Consumer::new(7, fault_rng)
+}
+
+pub fn before_the_loop(rng: &SimRng) -> u64 {
+    let worker_rng = rng.split(streams::WORKER_BASE);
+    let mut acc = 0;
+    for _ in 0..4 {
+        acc += worker_rng.draw();
+    }
+    acc
+}
+
+pub fn str_split_is_not_rng(label: &str) -> Option<&str> {
+    label.split('.').next()
+}

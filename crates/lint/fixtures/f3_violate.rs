@@ -1,0 +1,20 @@
+// F3 fixture: splits in a loop, into a struct field, and straight into
+// a call argument.
+
+pub fn in_loop(rng: &SimRng) {
+    for i in 0..4 {
+        let r = rng.split(streams::WORKER_BASE + i);
+        drop(r);
+    }
+}
+
+pub fn into_field(rng: &SimRng) -> Holder {
+    Holder {
+        label: "h".to_string(),
+        rng: rng.split(streams::RETRY_JITTER),
+    }
+}
+
+pub fn across_boundary(rng: &SimRng) -> Consumer {
+    Consumer::new(7, rng.split(streams::FAULT_REALIZATION))
+}

@@ -75,7 +75,15 @@ pub struct Lexed {
 }
 
 /// Rule ids accepted inside `lint:allow(...)`.
-pub const ALLOWABLE_RULES: &[&str] = &["hash-order", "wall-clock", "rng-stream", "sync-primitive"];
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "hash-order",
+    "wall-clock",
+    "rng-stream",
+    "sync-primitive",
+    "index-funnel",
+    "dirty-domain",
+    "stream-hygiene",
+];
 
 fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     // Anchor to the start of the comment body (past doc-comment `/`/`!`

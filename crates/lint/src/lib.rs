@@ -24,14 +24,37 @@
 //!   budgets against a checked-in baseline, so new unwraps in hot paths
 //!   fail CI while legacy ones are ratcheted down over time.
 //!
+//! On top of the flat token scans, the [`scope`] module builds a
+//! per-file item tree (mod → impl → fn, with spans and self types),
+//! which powers the structural F-family:
+//!
+//! * **F1 `index-funnel`** — `WorldIndex` field writes and mutator
+//!   calls are only legal inside the funnel fns named in the checked-in
+//!   [`manifest`] (`lint-manifest.txt`), statically enforcing PR 6's
+//!   single-funnel invariant.
+//! * **F2 `dirty-domain`** — any `GpuDevice` method that mutates
+//!   rate-feeding state must call a `mark_*_dirty` entry point or be
+//!   manifest-exempt with a reviewed justification.
+//! * **F3 `stream-hygiene`** — `SimRng::split` in a loop body, stored
+//!   into a struct field, or passed directly across a fn boundary.
+//! * **F4 scoped allows** — `// lint:allow(rule, reason)` above an item
+//!   covers the whole item; unused allows still fail (A2).
+//! * **M1 `manifest`** — every manifest entry must resolve to a defined
+//!   fn, so renaming a funnel fn without updating the manifest fails CI
+//!   with a pointer to the file.
+//!
 //! See `DESIGN.md` § "Determinism invariants & lint catalog" for the
 //! full catalog, the annotation format and the baseline workflow.
 
 pub mod lexer;
+pub mod manifest;
 pub mod rules;
+pub mod scope;
 
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE};
 pub use rules::{
-    lint_file, parse_registry, Diagnostic, FileCtx, FileFindings, Registry, RuleSet, CATALOG,
+    lint_file, lint_file_timed, parse_registry, rule_info, Diagnostic, FileCtx, FileFindings,
+    Registry, RuleSet, RuleTimer, CATALOG,
 };
 
 use rules::BudgetCounts;
@@ -51,10 +74,18 @@ pub const REGISTRY_PATH: &str = "crates/simcore/src/streams.rs";
 /// (`vendor/` stand-ins are third-party API surface, not sim code).
 fn profile(dir: &str) -> Option<(&'static str, RuleSet)> {
     match dir {
-        // Event-handler crates: the full catalog.
+        // Event-handler crates: the full catalog. faas additionally owns
+        // the WorldIndex funnel (F1).
         "simcore" => Some(("parfait-simcore", RuleSet::sim_visible_full())),
-        "faas" => Some(("parfait-faas", RuleSet::sim_visible_full())),
+        "faas" => Some((
+            "parfait-faas",
+            RuleSet {
+                f1: true,
+                ..RuleSet::sim_visible_full()
+            },
+        )),
         // Sim-visible state, but no event-handler paths of their own.
+        // gpu owns the dirty-domain contract (F2).
         "gpu" => Some((
             "parfait-gpu",
             RuleSet {
@@ -63,6 +94,9 @@ fn profile(dir: &str) -> Option<(&'static str, RuleSet)> {
                 d3: true,
                 d4: false,
                 d5: true,
+                f1: false,
+                f2: true,
+                f3: true,
             },
         )),
         "workloads" => Some((
@@ -73,6 +107,9 @@ fn profile(dir: &str) -> Option<(&'static str, RuleSet)> {
                 d3: true,
                 d4: false,
                 d5: true,
+                f1: false,
+                f2: false,
+                f3: true,
             },
         )),
         "core" => Some((
@@ -83,31 +120,32 @@ fn profile(dir: &str) -> Option<(&'static str, RuleSet)> {
                 d3: true,
                 d4: false,
                 d5: true,
+                f1: false,
+                f2: false,
+                f3: true,
             },
         )),
         // The bench harness owns the only legitimate wall clock (D2 off)
         // and builds serialized artifacts from sim state, so hash-order
         // is a real hazard there too — but the ISSUE scopes D1 to
-        // sim-visible crates; bench gets D3/D5.
+        // sim-visible crates; bench gets D3/D5. F3 stays off: bench
+        // constructs throwaway rngs for scenario plumbing, not
+        // sim-visible streams.
         "bench" => Some((
             "parfait-bench",
             RuleSet {
-                d1: false,
-                d2: false,
                 d3: true,
-                d4: false,
                 d5: true,
+                ..RuleSet::default()
             },
         )),
         // The lint holds itself to determinism and panic hygiene.
         "lint" => Some((
             "parfait-lint",
             RuleSet {
-                d1: false,
                 d2: true,
-                d3: false,
-                d4: false,
                 d5: true,
+                ..RuleSet::default()
             },
         )),
         _ => None,
@@ -136,7 +174,7 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// The workspace-wide lint result.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
-    /// All diagnostics (D1–D4, R1, A1/A2), sorted by path.
+    /// All diagnostics (D1–D4, F1–F3, M1, R1, A1/A2), sorted by path.
     pub diagnostics: Vec<Diagnostic>,
     /// Per-crate D5 counters: crate → (panics, unwraps).
     pub budgets: BudgetCounts,
@@ -144,6 +182,18 @@ pub struct WorkspaceReport {
     pub registry: Vec<(String, u64)>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Accumulated per-pass elapsed nanos (`lex`, `scope`, `D1`..`F3`).
+    /// Empty unless [`LintOptions::clock`] was provided.
+    pub rule_nanos: BTreeMap<String, u64>,
+}
+
+/// Options for [`run_workspace_opts`].
+#[derive(Default)]
+pub struct LintOptions<'a> {
+    /// Monotonic nano clock for per-rule timings. The lint crate is
+    /// banned from wall clocks by its own D2 profile, so the caller
+    /// (the bench harness) injects one; `None` disables timing.
+    pub clock: Option<&'a dyn Fn() -> u64>,
 }
 
 /// One crate's budget check against the baseline.
@@ -283,6 +333,11 @@ fn rel(root: &Path, p: &Path) -> String {
 /// and stand-in dependencies cannot put nondeterminism into sim-visible
 /// state.
 pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    run_workspace_opts(root, &LintOptions::default())
+}
+
+/// [`run_workspace`] with options (per-rule timing clock).
+pub fn run_workspace_opts(root: &Path, opts: &LintOptions<'_>) -> io::Result<WorkspaceReport> {
     let mut report = WorkspaceReport::default();
 
     // Parse the stream registry first; D3 resolves against it.
@@ -296,12 +351,45 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
                 id: "stream-registry",
                 path: REGISTRY_PATH.to_string(),
                 line: 1,
+                end_line: 1,
                 msg: "stream registry missing: crates/simcore/src/streams.rs not found".into(),
             }],
         ),
     };
     report.diagnostics.append(&mut reg_diags);
     report.registry = registry.entries.clone();
+
+    // The invariant manifest; F1/F2 resolve against it. A missing or
+    // unparseable manifest is an M1 finding (and the F rules then run
+    // against an empty funnel set, which fails loudly too).
+    let manifest = match Manifest::load(root) {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            report.diagnostics.push(Diagnostic {
+                code: "M1",
+                id: "manifest",
+                path: MANIFEST_FILE.to_string(),
+                line: 1,
+                end_line: 1,
+                msg: format!(
+                    "{MANIFEST_FILE} missing at the workspace root: F1/F2 need the \
+                     checked-in funnel and dirty-exempt lists"
+                ),
+            });
+            Manifest::default()
+        }
+        Err(e) => {
+            report.diagnostics.push(Diagnostic {
+                code: "M1",
+                id: "manifest",
+                path: MANIFEST_FILE.to_string(),
+                line: 1,
+                end_line: 1,
+                msg: e,
+            });
+            Manifest::default()
+        }
+    };
 
     // (dir under crates/, crate name, ruleset, src root)
     let mut targets: Vec<(String, RuleSet, PathBuf)> = Vec::new();
@@ -323,15 +411,18 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     targets.push((
         "parfait".to_string(),
         RuleSet {
-            d1: false,
             d2: true,
-            d3: false,
-            d4: false,
             d5: true,
+            ..RuleSet::default()
         },
         root.join("src"),
     ));
 
+    let mut timer = match opts.clock {
+        Some(c) => RuleTimer::with_clock(c),
+        None => RuleTimer::disabled(),
+    };
+    let mut fns_by_crate: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for (crate_name, rules, src_root) in targets {
         let mut files = Vec::new();
         rust_files(&src_root, &mut files)?;
@@ -346,14 +437,53 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
                 rules,
                 is_registry: path == REGISTRY_PATH,
             };
-            let findings = lint_file(&ctx, &src, &registry);
+            let mut findings = lint_file_timed(&ctx, &src, &registry, &manifest, &mut timer);
             report.diagnostics.extend(findings.diagnostics);
             panics += findings.panics;
             unwraps += findings.unwraps;
+            fns_by_crate
+                .entry(crate_name.clone())
+                .or_default()
+                .append(&mut findings.fns);
             report.files_scanned += 1;
         }
         if rules.d5 {
             report.budgets.insert(crate_name, (panics, unwraps));
+        }
+    }
+    report.rule_nanos = timer
+        .nanos
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+
+    // M1 drift check: every manifest entry must still resolve to a fn
+    // defined in the crate its rule governs.
+    let resolves = |krate: &str, name: &str| {
+        fns_by_crate
+            .get(krate)
+            .is_some_and(|v| v.iter().any(|f| f == name))
+    };
+    for (section, krate, entries) in [
+        ("index-funnel", "parfait-faas", &manifest.index_funnel),
+        ("dirty-exempt", "parfait-gpu", &manifest.dirty_exempt),
+    ] {
+        for e in entries {
+            if !resolves(krate, &e.name) {
+                report.diagnostics.push(Diagnostic {
+                    code: "M1",
+                    id: "manifest",
+                    path: MANIFEST_FILE.to_string(),
+                    line: e.line,
+                    end_line: e.line,
+                    msg: format!(
+                        "[{section}] entry `{}` does not resolve to any fn defined in \
+                         {krate}: the fn was renamed or removed — update {MANIFEST_FILE} \
+                         to match",
+                        e.name
+                    ),
+                });
+            }
         }
     }
 

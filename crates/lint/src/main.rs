@@ -6,18 +6,31 @@
 //! * `--deny` — exit 1 on any diagnostic or budget overrun (CI mode).
 //! * `--baseline` — re-record `lint-baseline.txt` from current counts.
 //! * `--list-rules` — print the rule catalog and exit.
+//! * `--format json` — one finding per stdout line as a JSON object
+//!   (`code`, `id`, `path`, `line`, `end_line`, `msg`); budget overruns
+//!   become synthetic `D5` findings; the human footer moves to stderr.
+//!   CI turns these into GitHub error annotations.
 //! * `--root DIR` — lint the workspace rooted at DIR instead of
 //!   auto-discovering from the current directory.
 
-use parfait_lint::{find_workspace_root, run_workspace, Baseline, BASELINE_FILE, CATALOG};
+use parfait_lint::{
+    find_workspace_root, run_workspace, Baseline, Diagnostic, BASELINE_FILE, CATALOG,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Opts {
     root: Option<PathBuf>,
     deny: bool,
     baseline: bool,
     list_rules: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -26,6 +39,7 @@ fn parse_args() -> Result<Opts, String> {
         deny: false,
         baseline: false,
         list_rules: false,
+        format: Format::Text,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,14 +51,23 @@ fn parse_args() -> Result<Opts, String> {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
             }
+            "--format" => {
+                let f = args.next().ok_or("--format requires `text` or `json`")?;
+                opts.format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "parfait-lint: determinism static analysis for the PARFAIT workspace\n\n\
-                     USAGE: parfait-lint [--root DIR] [--deny | --baseline] [--list-rules]\n\n\
-                     \x20 --root DIR    lint the workspace at DIR (default: discover from cwd)\n\
-                     \x20 --deny        exit nonzero on any finding or budget overrun (CI mode)\n\
-                     \x20 --baseline    re-record {BASELINE_FILE} from current D5 counts\n\
-                     \x20 --list-rules  print the rule catalog and exit"
+                     USAGE: parfait-lint [--root DIR] [--deny | --baseline] [--format text|json] [--list-rules]\n\n\
+                     \x20 --root DIR     lint the workspace at DIR (default: discover from cwd)\n\
+                     \x20 --deny         exit nonzero on any finding or budget overrun (CI mode)\n\
+                     \x20 --baseline     re-record {BASELINE_FILE} from current D5 counts\n\
+                     \x20 --format json  one JSON finding per line on stdout (for CI annotations)\n\
+                     \x20 --list-rules   print the rule catalog and exit"
                 );
                 std::process::exit(0);
             }
@@ -54,7 +77,39 @@ fn parse_args() -> Result<Opts, String> {
     if opts.deny && opts.baseline {
         return Err("--deny and --baseline are mutually exclusive".into());
     }
+    if opts.baseline && opts.format == Format::Json {
+        return Err("--baseline has no json output".into());
+    }
     Ok(opts)
+}
+
+/// Minimal JSON string escaper (the lint is dependency-free by design).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_line(d: &Diagnostic) -> String {
+    format!(
+        "{{\"code\":\"{}\",\"id\":\"{}\",\"path\":\"{}\",\"line\":{},\"end_line\":{},\"msg\":\"{}\"}}",
+        json_escape(d.code),
+        json_escape(d.id),
+        json_escape(&d.path),
+        d.line,
+        d.end_line,
+        json_escape(&d.msg)
+    )
 }
 
 fn main() -> ExitCode {
@@ -93,8 +148,10 @@ fn main() -> ExitCode {
         }
     };
 
-    for d in &report.diagnostics {
-        println!("{d}");
+    if opts.format == Format::Text {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
     }
 
     if opts.baseline {
@@ -124,16 +181,22 @@ fn main() -> ExitCode {
         }
     };
     let checks = baseline.check(&report.budgets);
-    let mut over = false;
+    let mut overruns: Vec<Diagnostic> = Vec::new();
     for c in &checks {
         if c.over() {
-            over = true;
-            println!(
-                "{}: [D5 panic-budget] {} panic!/{} .unwrap() exceed baseline {}/{} \
-                 (remove them or consciously re-record with --baseline)",
-                c.crate_name, c.panics, c.unwraps, c.base_panics, c.base_unwraps
-            );
-        } else if c.under() {
+            overruns.push(Diagnostic {
+                code: "D5",
+                id: "panic-budget",
+                path: BASELINE_FILE.to_string(),
+                line: 1,
+                end_line: 1,
+                msg: format!(
+                    "{}: {} panic!/{} .unwrap() exceed baseline {}/{} (remove them or \
+                     consciously re-record with --baseline)",
+                    c.crate_name, c.panics, c.unwraps, c.base_panics, c.base_unwraps
+                ),
+            });
+        } else if c.under() && opts.format == Format::Text {
             println!(
                 "note: {} is under budget ({}/{} vs baseline {}/{}); \
                  run `parfait-lint --baseline` to ratchet down",
@@ -142,7 +205,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let fail = !report.diagnostics.is_empty() || over;
+    match opts.format {
+        Format::Text => {
+            for d in &overruns {
+                println!("{}", d.msg);
+            }
+        }
+        Format::Json => {
+            for d in report.diagnostics.iter().chain(overruns.iter()) {
+                println!("{}", json_line(d));
+            }
+        }
+    }
+
+    let fail = !report.diagnostics.is_empty() || !overruns.is_empty();
     report_footer(&report, fail);
     if fail && opts.deny {
         ExitCode::from(1)
@@ -152,7 +228,8 @@ fn main() -> ExitCode {
 }
 
 fn report_footer(report: &parfait_lint::WorkspaceReport, fail: bool) {
-    println!(
+    // Stderr so `--format json` leaves stdout machine-parseable.
+    eprintln!(
         "parfait-lint: {} file(s), {} stream id(s), {} finding(s){}",
         report.files_scanned,
         report.registry.len(),

@@ -1,0 +1,142 @@
+//! The checked-in invariant manifest (`lint-manifest.txt`).
+//!
+//! F1 `index-funnel` and F2 `dirty-domain` are *allowlist* rules: a
+//! mutation is legal only inside fns named here. Keeping the lists in a
+//! reviewed file at the workspace root (instead of hardcoding them in
+//! the lint) means widening the funnel is a visible diff, and renaming
+//! a funnel fn without updating the manifest fails CI with a pointer to
+//! this file (rule M1 `manifest` checks every entry still resolves to a
+//! defined fn).
+//!
+//! Format: INI-style sections, one qualified fn name per line
+//! (`Type::method` or a free fn's bare name), `#` comments and blank
+//! lines ignored.
+//!
+//! ```text
+//! [index-funnel]
+//! FaasWorld::transition
+//! queue_push
+//!
+//! [dirty-exempt]
+//! GpuDevice::advance
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Name of the manifest file at the workspace root.
+pub const MANIFEST_FILE: &str = "lint-manifest.txt";
+
+/// One manifest entry with its source line (for M1 diagnostics).
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Qualified fn name (`Type::method` or a free fn name).
+    pub name: String,
+    /// 1-based line in the manifest file.
+    pub line: u32,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// F1: fns allowed to mutate `WorldIndex` state directly.
+    pub index_funnel: Vec<ManifestEntry>,
+    /// F2: `GpuDevice` fns that mutate rate-feeding state without a
+    /// dirty mark, each with a reviewed justification in the file.
+    pub dirty_exempt: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Parse the manifest text. Unknown sections and entries outside a
+    /// section are errors — a typoed section silently disabling the
+    /// funnel would defeat the rule.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut m = Manifest::default();
+        let mut section: Option<&mut Vec<ManifestEntry>> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = match name {
+                    "index-funnel" => Some(&mut m.index_funnel),
+                    "dirty-exempt" => Some(&mut m.dirty_exempt),
+                    other => {
+                        return Err(format!(
+                            "manifest line {}: unknown section `[{other}]` \
+                             (expected [index-funnel] or [dirty-exempt])",
+                            ln + 1
+                        ))
+                    }
+                };
+                continue;
+            }
+            let Some(list) = section.as_deref_mut() else {
+                return Err(format!(
+                    "manifest line {}: entry `{line}` before any section header",
+                    ln + 1
+                ));
+            };
+            if line.split_whitespace().nth(1).is_some() {
+                return Err(format!(
+                    "manifest line {}: one fn name per line, got `{line}`",
+                    ln + 1
+                ));
+            }
+            list.push(ManifestEntry {
+                name: line.to_string(),
+                line: (ln + 1) as u32,
+            });
+        }
+        Ok(m)
+    }
+
+    /// Load from the workspace root. `Ok(None)` when the file is absent
+    /// (the caller decides whether that is an error — it is whenever an
+    /// F1/F2-enabled crate is in scope).
+    pub fn load(root: &Path) -> Result<Option<Manifest>, String> {
+        match fs::read_to_string(root.join(MANIFEST_FILE)) {
+            Ok(text) => Manifest::parse(&text).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("reading {MANIFEST_FILE}: {e}")),
+        }
+    }
+
+    /// Is `qualified` an approved F1 funnel fn?
+    pub fn is_funnel(&self, qualified: &str) -> bool {
+        self.index_funnel.iter().any(|e| e.name == qualified)
+    }
+
+    /// Is `qualified` exempt from F2's mark requirement?
+    pub fn is_dirty_exempt(&self, qualified: &str) -> bool {
+        self.dirty_exempt.iter().any(|e| e.name == qualified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_comments() {
+        let m = Manifest::parse(
+            "# comment\n[index-funnel]\nFaasWorld::transition\nqueue_push\n\n\
+             [dirty-exempt]\nGpuDevice::advance\n",
+        )
+        .expect("parses");
+        assert!(m.is_funnel("FaasWorld::transition"));
+        assert!(m.is_funnel("queue_push"));
+        assert!(!m.is_funnel("GpuDevice::advance"));
+        assert!(m.is_dirty_exempt("GpuDevice::advance"));
+        assert_eq!(m.index_funnel[1].line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_stray_entries() {
+        assert!(Manifest::parse("[typo-section]\n").is_err());
+        assert!(Manifest::parse("FaasWorld::transition\n").is_err());
+        assert!(Manifest::parse("[index-funnel]\ntwo names\n").is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! A lightweight item/scope parser over the token stream.
+//!
+//! The F-family rules need to answer "which fn is this token inside?"
+//! and "is that fn a method of `GpuDevice`?" — questions a flat token
+//! scan cannot. This module builds a per-file item tree (mod → impl /
+//! trait → fn, with nesting) from the [`crate::lexer`] output: no full
+//! grammar, just enough structure to assign every token to its
+//! innermost item and to give each item a qualified name
+//! (`Type::method` for impl/trait fns, the bare name for free fns) and
+//! a line span.
+//!
+//! It also precomputes a per-token loop depth (how many `for`/`while`/
+//! `loop` bodies enclose each token), which F3 `stream-hygiene` uses to
+//! flag `SimRng::split` calls inside loops.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Item kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// `mod name { ... }`
+    Mod,
+    /// `impl Type { ... }` / `impl Trait for Type { ... }` (named by the
+    /// self type).
+    Impl,
+    /// `trait Name { ... }`
+    Trait,
+    /// `fn name(...) { ... }` (or a body-less trait method decl).
+    Fn,
+}
+
+/// One item scope.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Item kind.
+    pub kind: ScopeKind,
+    /// Bare name (`new`, `GpuDevice`, `tests`).
+    pub name: String,
+    /// Qualified name: `Type::method` for fns inside an impl/trait,
+    /// otherwise the bare name.
+    pub qualified: String,
+    /// Index of the enclosing scope in [`ScopeTree::scopes`].
+    pub parent: Option<usize>,
+    /// First token of the item, including any `#[...]` attributes and
+    /// visibility/qualifier keywords. Scoped allow annotations anchor
+    /// here.
+    pub anchor: usize,
+    /// Token range of the braced body: indices of `{` and its matching
+    /// `}`. `None` for body-less items (trait method decls).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// 1-based line of the item's last token (closing brace or `;`).
+    pub end_line: u32,
+}
+
+/// The per-file item tree, stored flat in pre-order.
+#[derive(Debug, Default)]
+pub struct ScopeTree {
+    /// All scopes, in source order (parents before children).
+    pub scopes: Vec<Scope>,
+}
+
+impl ScopeTree {
+    /// The innermost `fn` scope whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&Scope> {
+        self.scopes
+            .iter()
+            .filter(|s| {
+                s.kind == ScopeKind::Fn && s.body.is_some_and(|(open, close)| open < i && i < close)
+            })
+            .max_by_key(|s| s.body.map(|(open, _)| open))
+    }
+
+    /// The scope (if any) whose anchor token is exactly `i` — used to
+    /// attach a scoped allow annotation to the item that follows it.
+    pub fn at_anchor(&self, i: usize) -> Option<&Scope> {
+        self.scopes.iter().find(|s| s.anchor == i)
+    }
+
+    /// The name of the impl/trait a fn scope belongs to, if any.
+    pub fn self_type_of(&self, s: &Scope) -> Option<&str> {
+        let mut p = s.parent;
+        while let Some(pi) = p {
+            let ps = &self.scopes[pi];
+            if matches!(ps.kind, ScopeKind::Impl | ScopeKind::Trait) {
+                return Some(&ps.name);
+            }
+            p = ps.parent;
+        }
+        None
+    }
+}
+
+/// Walk back from the index of a matched `)`/`]`/`}` to its opener.
+fn match_open(toks: &[Tok], close: usize, oc: char, cc: char) -> usize {
+    let mut depth = 1usize;
+    let mut i = close;
+    while i > 0 {
+        i -= 1;
+        if toks[i].is_punct(cc) {
+            depth += 1;
+        } else if toks[i].is_punct(oc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    0
+}
+
+/// Walk forward from the index of an opener to its matching closer.
+fn match_close(toks: &[Tok], open: usize, end: usize, oc: char, cc: char) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < end {
+        if toks[i].is_punct(oc) {
+            depth += 1;
+        } else if toks[i].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1).max(open)
+}
+
+/// Crate-visible matcher: from the opener at `open` (`(`/`[`/`{`) to
+/// its closer, bounded by `end`.
+pub(crate) fn match_close_pub(toks: &[Tok], open: usize, end: usize) -> usize {
+    let t = &toks[open];
+    if t.is_punct('(') {
+        match_close(toks, open, end, '(', ')')
+    } else if t.is_punct('[') {
+        match_close(toks, open, end, '[', ']')
+    } else {
+        match_close(toks, open, end, '{', '}')
+    }
+}
+
+/// Crate-visible matcher: from the closer at `close` (`)`/`]`/`}`) back
+/// to its opener.
+pub(crate) fn match_open_pub(toks: &[Tok], close: usize) -> usize {
+    let t = &toks[close];
+    if t.is_punct(')') {
+        match_open(toks, close, '(', ')')
+    } else if t.is_punct(']') {
+        match_open(toks, close, '[', ']')
+    } else {
+        match_open(toks, close, '{', '}')
+    }
+}
+
+/// Walk back from an item keyword over visibility/qualifier tokens and
+/// attributes to the item's first token.
+fn anchor_of(toks: &[Tok], kw: usize) -> usize {
+    let mut a = kw;
+    while a > 0 {
+        let p = a - 1;
+        let t = &toks[p];
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "const" | "async" | "default" | "extern"
+            )
+        {
+            a = p;
+            continue;
+        }
+        // `extern "C"` — the string, then the `extern` above.
+        if t.kind == TokKind::Str && p >= 1 && toks[p - 1].is_ident("extern") {
+            a = p - 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(in path)`.
+        if t.is_punct(')') {
+            let open = match_open(toks, p, '(', ')');
+            if open > 0 && toks[open - 1].is_ident("pub") {
+                a = open - 1;
+                continue;
+            }
+            break;
+        }
+        // An attribute `#[...]`.
+        if t.is_punct(']') {
+            let open = match_open(toks, p, '[', ']');
+            if open > 0 && toks[open - 1].is_punct('#') {
+                a = open - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    a
+}
+
+/// Find the body `{` of an item header starting after `from`: the first
+/// `{` or `;` with parens/brackets balanced (types and where-clauses
+/// contain no braces). Returns `Ok(open)` or `Err(semi_or_end)`.
+fn find_body(toks: &[Tok], from: usize, end: usize) -> Result<usize, usize> {
+    let mut i = from;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            i = match_close(toks, i, end, '(', ')') + 1;
+            continue;
+        }
+        if t.is_punct('[') {
+            i = match_close(toks, i, end, '[', ']') + 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            return Ok(i);
+        }
+        if t.is_punct(';') {
+            return Err(i);
+        }
+        i += 1;
+    }
+    Err(end.saturating_sub(1))
+}
+
+/// Parse the item tree of a whole file's token stream.
+pub fn parse_scopes(toks: &[Tok]) -> ScopeTree {
+    let mut tree = ScopeTree::default();
+    parse_items(toks, 0, toks.len(), None, None, &mut tree);
+    tree
+}
+
+#[allow(clippy::too_many_arguments)] // internal helper; a params struct would just rename the nine
+fn push_scope(
+    tree: &mut ScopeTree,
+    kind: ScopeKind,
+    name: String,
+    self_ty: Option<&str>,
+    parent: Option<usize>,
+    toks: &[Tok],
+    kw: usize,
+    last: usize,
+    body: Option<(usize, usize)>,
+) -> usize {
+    let qualified = match (kind, self_ty) {
+        (ScopeKind::Fn, Some(ty)) => format!("{ty}::{name}"),
+        _ => name.clone(),
+    };
+    tree.scopes.push(Scope {
+        kind,
+        name,
+        qualified,
+        parent,
+        anchor: anchor_of(toks, kw),
+        body,
+        line: toks[kw].line,
+        end_line: toks[last.min(toks.len() - 1)].line,
+    });
+    tree.scopes.len() - 1
+}
+
+/// Scan `toks[i..end]` for `mod`/`impl`/`trait`/`fn` items, recursing
+/// into braced bodies. Tokens that are not item keywords (expressions,
+/// struct bodies, match arms) are skipped: the scanner only reacts to
+/// the four item keywords, and `fn` additionally requires a following
+/// identifier so fn-pointer types (`fn(u32) -> u32`) don't register.
+fn parse_items(
+    toks: &[Tok],
+    mut i: usize,
+    end: usize,
+    parent: Option<usize>,
+    self_ty: Option<&str>,
+    tree: &mut ScopeTree,
+) {
+    while i < end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                let name = toks[i + 1].text.clone();
+                if toks.get(i + 2).is_some_and(|b| b.is_punct('{')) {
+                    let close = match_close(toks, i + 2, end, '{', '}');
+                    let idx = push_scope(
+                        tree,
+                        ScopeKind::Mod,
+                        name,
+                        None,
+                        parent,
+                        toks,
+                        i,
+                        close,
+                        Some((i + 2, close)),
+                    );
+                    parse_items(toks, i + 3, close, Some(idx), None, tree);
+                    i = close + 1;
+                } else {
+                    i += 2; // `mod name;`
+                }
+            }
+            "trait" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                let name = toks[i + 1].text.clone();
+                match find_body(toks, i + 2, end) {
+                    Ok(open) => {
+                        let close = match_close(toks, open, end, '{', '}');
+                        let idx = push_scope(
+                            tree,
+                            ScopeKind::Trait,
+                            name.clone(),
+                            None,
+                            parent,
+                            toks,
+                            i,
+                            close,
+                            Some((open, close)),
+                        );
+                        parse_items(toks, open + 1, close, Some(idx), Some(&name), tree);
+                        i = close + 1;
+                    }
+                    Err(stop) => i = stop + 1,
+                }
+            }
+            "impl" => {
+                // Header: `impl<G> Type`, `impl Trait for Type`, with an
+                // optional where-clause. The self type is the last
+                // path-segment ident at angle-depth 0 before the body,
+                // restarting collection after `for`.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|g| g.is_punct('<')) {
+                    j = skip_angles(toks, j, end);
+                }
+                let mut name = String::new();
+                let mut in_where = false;
+                let mut body_open = None;
+                while j < end {
+                    let h = &toks[j];
+                    if h.is_punct('(') {
+                        j = match_close(toks, j, end, '(', ')') + 1;
+                        continue;
+                    }
+                    if h.is_punct('<') {
+                        j = skip_angles(toks, j, end);
+                        continue;
+                    }
+                    if h.is_punct('{') {
+                        body_open = Some(j);
+                        break;
+                    }
+                    if h.is_punct(';') {
+                        break;
+                    }
+                    if h.kind == TokKind::Ident {
+                        match h.text.as_str() {
+                            "for" => name.clear(),
+                            "where" => in_where = true,
+                            "dyn" | "mut" => {}
+                            _ if !in_where => name = h.text.clone(),
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                match body_open {
+                    Some(open) => {
+                        let close = match_close(toks, open, end, '{', '}');
+                        let idx = push_scope(
+                            tree,
+                            ScopeKind::Impl,
+                            name.clone(),
+                            None,
+                            parent,
+                            toks,
+                            i,
+                            close,
+                            Some((open, close)),
+                        );
+                        parse_items(toks, open + 1, close, Some(idx), Some(&name), tree);
+                        i = close + 1;
+                    }
+                    None => i = j + 1,
+                }
+            }
+            "fn" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                let name = toks[i + 1].text.clone();
+                match find_body(toks, i + 2, end) {
+                    Ok(open) => {
+                        let close = match_close(toks, open, end, '{', '}');
+                        let idx = push_scope(
+                            tree,
+                            ScopeKind::Fn,
+                            name,
+                            self_ty,
+                            parent,
+                            toks,
+                            i,
+                            close,
+                            Some((open, close)),
+                        );
+                        // Nested items (helper fns, test mods) inside the
+                        // body; the self type does not propagate.
+                        parse_items(toks, open + 1, close, Some(idx), None, tree);
+                        i = close + 1;
+                    }
+                    Err(stop) => {
+                        // Trait method declaration without a body.
+                        push_scope(
+                            tree,
+                            ScopeKind::Fn,
+                            name,
+                            self_ty,
+                            parent,
+                            toks,
+                            i,
+                            stop,
+                            None,
+                        );
+                        i = stop + 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skip a balanced `<...>` group starting at `open`, ignoring `->`
+/// arrows whose `>` would otherwise unbalance the count. Returns the
+/// index just past the closing `>`.
+fn skip_angles(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct('(') {
+            i = match_close(toks, i, end, '(', ')');
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Per-token loop depth: how many `for`/`while`/`loop` bodies enclose
+/// each token. `for` only counts when it heads a loop (an `in` follows
+/// before the body brace), so `impl Trait for Type` and `for<'a>`
+/// bounds don't register.
+pub fn loop_depths(toks: &[Tok]) -> Vec<u16> {
+    let n = toks.len();
+    let mut out = vec![0u16; n];
+    let mut brace = 0i64;
+    let mut loop_braces: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for i in 0..n {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            brace += 1;
+            if pending {
+                loop_braces.push(brace);
+                pending = false;
+            }
+        } else if t.is_punct('}') {
+            if loop_braces.last() == Some(&brace) {
+                loop_braces.pop();
+            }
+            brace -= 1;
+        } else if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "loop" | "while" => pending = true,
+                "for" if for_heads_a_loop(toks, i) => pending = true,
+                _ => {}
+            }
+        }
+        out[i] = loop_braces.len() as u16;
+    }
+    out
+}
+
+/// Does the `for` at token `i` introduce a loop? True iff an `in` ident
+/// appears before the next `{`/`;` — impl headers and HRTB bounds never
+/// contain one.
+fn for_heads_a_loop(toks: &[Tok], i: usize) -> bool {
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+        return false; // `for<'a>` bound
+    }
+    for t in toks.iter().skip(i + 1) {
+        if t.is_ident("in") {
+            return true;
+        }
+        if t.is_punct('{') || t.is_punct(';') {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<String> {
+        let l = lex(src);
+        parse_scopes(&l.toks)
+            .scopes
+            .iter()
+            .filter(|s| s.kind == ScopeKind::Fn)
+            .map(|s| s.qualified.clone())
+            .collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_qualified() {
+        let got = fns("pub fn free() {}\nimpl Foo { pub(crate) fn m(&self) {} }\n\
+                       impl Bar for Foo { fn t(&self) {} }");
+        assert_eq!(got, vec!["free", "Foo::m", "Foo::t"]);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_dont_confuse_the_self_type() {
+        let got = fns(
+            "impl<F: Fn() -> u64> Holder<F> where F: Clone { fn call(&self) -> u64 { (self.f)() } }",
+        );
+        assert_eq!(got, vec!["Holder::call"]);
+    }
+
+    #[test]
+    fn nested_fns_and_mods() {
+        let got = fns("mod inner { fn a() { fn b() {} } }\nfn outer() {}");
+        assert_eq!(got, vec!["a", "b", "outer"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let got = fns("struct S { f: fn(u32) -> u32 }\nfn real(s: S) {}");
+        assert_eq!(got, vec!["real"]);
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost() {
+        let l = lex("fn outer() { fn inner() { let x = 1; } }");
+        let tree = parse_scopes(&l.toks);
+        let xi = l.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(tree.enclosing_fn(xi).unwrap().qualified, "inner");
+    }
+
+    #[test]
+    fn anchor_includes_attributes_and_visibility() {
+        let l = lex("#[inline]\npub fn f() {}");
+        let tree = parse_scopes(&l.toks);
+        assert_eq!(tree.scopes[0].anchor, 0);
+        assert_eq!(tree.scopes[0].line, 2);
+    }
+
+    #[test]
+    fn loop_depths_track_loops_not_impl_for() {
+        let src = "impl A for B { fn f(&self) { let a = 1; for x in 0..3 { let b = 2; \
+                   while b > 0 { let c = 3; } } } }";
+        let l = lex(src);
+        let d = loop_depths(&l.toks);
+        let at = |name: &str| l.toks.iter().position(|t| t.is_ident(name)).unwrap();
+        assert_eq!(d[at("a")], 0);
+        assert_eq!(d[at("b")], 1);
+        assert_eq!(d[at("c")], 2);
+    }
+
+    #[test]
+    fn trait_default_methods_are_qualified_by_trait() {
+        let got = fns("trait T { fn decl(&self); fn dflt(&self) {} }");
+        assert_eq!(got, vec!["T::decl", "T::dflt"]);
+    }
+}

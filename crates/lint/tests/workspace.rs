@@ -1,8 +1,11 @@
 //! The lint eats its own dog food: the checked-in workspace must be
-//! clean under `--deny` semantics, and the real `simcore::streams`
-//! registry must parse with unique ids.
+//! clean under `--deny` semantics (F-family included), the real
+//! `simcore::streams` registry must parse with unique ids, and the
+//! invariant manifest must both exist and fail loudly when it drifts
+//! from the code.
 
-use parfait_lint::{run_workspace, Baseline};
+use parfait_lint::rules::RuleSet;
+use parfait_lint::{lint_file, parse_registry, run_workspace, Baseline, FileCtx, Manifest};
 use std::path::Path;
 
 fn workspace_root() -> &'static Path {
@@ -37,6 +40,121 @@ fn real_registry_has_unique_ids() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), report.registry.len(), "duplicate stream ids");
+}
+
+/// Lint the real `world.rs` with F1 enabled against an arbitrary
+/// manifest, returning the F1 diagnostics.
+fn lint_world_with(manifest: &Manifest) -> Vec<String> {
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join("crates/faas/src/world.rs")).expect("world.rs");
+    let reg_src =
+        std::fs::read_to_string(root.join("crates/simcore/src/streams.rs")).expect("registry");
+    let (reg, _) = parse_registry("crates/simcore/src/streams.rs", &reg_src);
+    let ctx = FileCtx {
+        crate_name: "parfait-faas".into(),
+        path: "crates/faas/src/world.rs".into(),
+        rules: RuleSet {
+            f1: true,
+            ..RuleSet::default()
+        },
+        is_registry: false,
+    };
+    lint_file(&ctx, &src, &reg, manifest)
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.code == "F1")
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn deleting_a_funnel_fn_from_the_manifest_fails_the_lint() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-manifest.txt")).expect("manifest");
+    let full = Manifest::parse(&text).expect("checked-in manifest parses");
+    assert!(
+        lint_world_with(&full).is_empty(),
+        "real manifest is funnel-complete"
+    );
+
+    // Drop `FaasWorld::transition`: its on_state_change call becomes a
+    // bypass, and the finding points back at the manifest.
+    let narrowed = Manifest::parse(
+        &text
+            .lines()
+            .filter(|l| l.trim() != "FaasWorld::transition")
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .expect("narrowed manifest parses");
+    let findings = lint_world_with(&narrowed);
+    assert!(
+        findings.iter().any(|f| f.contains("FaasWorld::transition")
+            && f.contains("on_state_change")
+            && f.contains("lint-manifest.txt")),
+        "expected a transition bypass finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn manifest_drift_renamed_funnel_fn_is_an_m1_finding() {
+    // A manifest naming a fn that doesn't exist must produce an M1
+    // diagnostic pointing at the stale entry. run_workspace reads the
+    // manifest at the root, so drift is staged in a scratch workspace.
+    let tmp = std::env::temp_dir().join(format!("parfait-lint-drift-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(tmp.join("crates/faas/src")).expect("mkdir");
+    std::fs::create_dir_all(tmp.join("crates/simcore/src")).expect("mkdir");
+    std::fs::write(tmp.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(
+        tmp.join("crates/simcore/src/streams.rs"),
+        "pub const RETRY_JITTER: u64 = 617;\n",
+    )
+    .expect("write");
+    std::fs::write(
+        tmp.join("crates/faas/src/world.rs"),
+        "pub fn queue_push() {}\n",
+    )
+    .expect("write");
+    std::fs::write(
+        tmp.join("lint-manifest.txt"),
+        "[index-funnel]\nqueue_push\nFaasWorld::transitionn\n",
+    )
+    .expect("write");
+    let report = run_workspace(&tmp).expect("scan temp root");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let m1: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "M1")
+        .collect();
+    assert_eq!(m1.len(), 1, "{:?}", report.diagnostics);
+    assert!(m1[0].msg.contains("FaasWorld::transitionn"));
+    assert!(m1[0].msg.contains("renamed or removed"));
+    assert_eq!(m1[0].line, 3, "points at the stale manifest line");
+}
+
+#[test]
+fn missing_manifest_is_an_m1_finding() {
+    let tmp = std::env::temp_dir().join(format!("parfait-lint-noman-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(tmp.join("crates/simcore/src")).expect("mkdir");
+    std::fs::write(tmp.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(
+        tmp.join("crates/simcore/src/streams.rs"),
+        "pub const RETRY_JITTER: u64 = 617;\n",
+    )
+    .expect("write");
+    let report = run_workspace(&tmp).expect("scan temp root");
+    let _ = std::fs::remove_dir_all(&tmp);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "M1" && d.msg.contains("missing")),
+        "{:?}",
+        report.diagnostics
+    );
 }
 
 #[test]

@@ -169,9 +169,10 @@ pub struct Campaign {
 impl Campaign {
     /// New campaign with its own RNG stream.
     pub fn new(cfg: CampaignConfig, seed: u64) -> Self {
+        let rng = SimRng::new(seed).split(streams::MOLECULAR_CAMPAIGN);
         Campaign {
             cfg,
-            rng: SimRng::new(seed).split(streams::MOLECULAR_CAMPAIGN),
+            rng,
             chem: Chemistry::default(),
             emulator: None,
             xs: Vec::new(),
